@@ -1,0 +1,383 @@
+(* The druzhba command-line tool.
+
+   Subcommands mirror the paper's components:
+
+     druzhba dgen       generate and print a pipeline description (Fig. 6)
+     druzhba dsim       simulate machine code on a pipeline (RMT dsim)
+     druzhba compile    compile a packet program to machine code
+     druzhba fuzz       compiler-testing workflow of Fig. 5
+     druzhba synth      synthesis backend + wide-width verification (§5.2)
+     druzhba drmt       dRMT schedule + simulation (§4)
+     druzhba table1     reproduce Table 1
+     druzhba casestudy  reproduce the §5.2 case study
+     druzhba benchmarks list the Table-1 programs *)
+
+module Druzhba = Druzhba_core.Druzhba
+open Druzhba
+open Cmdliner
+
+let read_file path =
+  let ic = open_in_bin path in
+  let n = in_channel_length ic in
+  let s = really_input_string ic n in
+  close_in ic;
+  s
+
+(* --- Shared arguments ---------------------------------------------------------- *)
+
+let depth_arg =
+  Arg.(value & opt int 2 & info [ "depth" ] ~docv:"N" ~doc:"Number of pipeline stages.")
+
+let width_arg =
+  Arg.(
+    value & opt int 2
+    & info [ "width" ] ~docv:"N" ~doc:"ALUs per stage and PHV containers.")
+
+let bits_arg =
+  Arg.(value & opt int 32 & info [ "bits" ] ~docv:"B" ~doc:"Datapath width in bits.")
+
+let seed_arg = Arg.(value & opt int 0xD52ba & info [ "seed" ] ~docv:"S" ~doc:"Random seed.")
+
+let phvs_arg =
+  Arg.(value & opt int 1000 & info [ "phvs" ] ~docv:"N" ~doc:"Number of random PHVs to simulate.")
+
+let stateful_arg =
+  Arg.(
+    value & opt string "if_else_raw"
+    & info [ "stateful-alu" ] ~docv:"ATOM|FILE"
+        ~doc:"Stateful ALU: a built-in atom name or a .alu file in the ALU DSL.")
+
+let stateless_arg =
+  Arg.(
+    value & opt string "stateless_full"
+    & info [ "stateless-alu" ] ~docv:"ATOM|FILE"
+        ~doc:"Stateless ALU: a built-in atom name or a .alu file in the ALU DSL.")
+
+let level_arg =
+  let levels =
+    [ ("unoptimized", Optimizer.Unoptimized); ("scc", Optimizer.Scc); ("scc-inline", Optimizer.Scc_inline) ]
+  in
+  Arg.(
+    value
+    & opt (enum levels) Optimizer.Scc
+    & info [ "optimize" ] ~docv:"LEVEL" ~doc:"Optimization level: unoptimized, scc, scc-inline.")
+
+let resolve_alu spec =
+  match Atoms.find spec with
+  | Some alu -> alu
+  | None ->
+    if Sys.file_exists spec then
+      Alu_dsl.Parser.parse ~name:(Filename.remove_extension (Filename.basename spec)) (read_file spec)
+    else failwith (Printf.sprintf "unknown atom and no such file: %s" spec)
+
+let atom_names = String.concat ", " Atoms.all_names
+
+(* --- dgen ------------------------------------------------------------------------ *)
+
+let dgen_cmd =
+  let run depth width bits stateful stateless mc_file level seed =
+    let stateful = resolve_alu stateful and stateless = resolve_alu stateless in
+    let desc = Dgen.generate (Dgen.config ~depth ~width ~bits ()) ~stateful ~stateless in
+    let optimized =
+      match (mc_file, level) with
+      | None, Optimizer.Unoptimized -> desc
+      | None, _ ->
+        (* no machine code given: optimize against a random program *)
+        let mc = Fuzz.random_mc (Prng.create seed) desc in
+        Optimizer.apply ~level ~mc desc
+      | Some path, level -> (
+        match Machine_code.parse (read_file path) with
+        | Ok mc -> Optimizer.apply ~level ~mc desc
+        | Error e -> failwith e)
+    in
+    print_string (Emit.to_string optimized);
+    Printf.printf "\n(* %d IR nodes, %d helpers, %d machine-code controls *)\n"
+      (Ir.size optimized) (Ir.helper_count optimized)
+      (List.length (Ir.required_names optimized))
+  in
+  let doc = "Generate a pipeline description and print it (the Fig. 6 views)." in
+  Cmd.v
+    (Cmd.info "dgen" ~doc)
+    Term.(
+      const run $ depth_arg $ width_arg $ bits_arg $ stateful_arg $ stateless_arg
+      $ Arg.(value & opt (some file) None & info [ "machine-code" ] ~docv:"FILE")
+      $ level_arg $ seed_arg)
+
+(* --- dsim ------------------------------------------------------------------------- *)
+
+let dsim_cmd =
+  let run depth width bits stateful stateless mc_file level seed phvs show_all =
+    let stateful = resolve_alu stateful and stateless = resolve_alu stateless in
+    let mc =
+      match mc_file with
+      | Some path -> (
+        match Machine_code.parse (read_file path) with Ok mc -> mc | Error e -> failwith e)
+      | None ->
+        let desc = Dgen.generate (Dgen.config ~depth ~width ~bits ()) ~stateful ~stateless in
+        Fuzz.random_mc (Prng.create (seed + 1)) desc
+    in
+    let { sim_trace; _ } =
+      simulate ~level ~bits ~seed ~depth ~width ~stateful ~stateless ~mc ~phvs ()
+    in
+    if show_all then Fmt.pr "%a@." Trace.pp sim_trace
+    else begin
+      let n = List.length sim_trace.Trace.outputs in
+      List.iteri
+        (fun i (input, output) ->
+          if i < 10 || i >= n - 2 then
+            Fmt.pr "phv %4d: in %a -> out %a@." i Phv.pp input Phv.pp output)
+        (List.combine sim_trace.Trace.inputs sim_trace.Trace.outputs);
+      if n > 12 then Fmt.pr "... (%d PHVs total)@." n;
+      List.iter
+        (fun (name, state) ->
+          Fmt.pr "state %s = [%a]@." name Fmt.(array ~sep:(any "; ") int) state)
+        sim_trace.Trace.final_state
+    end
+  in
+  let doc = "Simulate random PHVs through a pipeline loaded with machine code (RMT dsim)." in
+  Cmd.v
+    (Cmd.info "dsim" ~doc)
+    Term.(
+      const run $ depth_arg $ width_arg $ bits_arg $ stateful_arg $ stateless_arg
+      $ Arg.(value & opt (some file) None & info [ "machine-code" ] ~docv:"FILE")
+      $ level_arg $ seed_arg $ phvs_arg
+      $ Arg.(value & flag & info [ "full-trace" ] ~doc:"Print every PHV."))
+
+(* --- compile ----------------------------------------------------------------------- *)
+
+let program_arg =
+  Arg.(
+    required
+    & opt (some string) None
+    & info [ "program" ] ~docv:"FILE|BENCHMARK"
+        ~doc:"Packet program: a .domino file or a Table-1 benchmark name.")
+
+let load_program_and_target spec depth width bits stateful stateless =
+  match Spec.find spec with
+  | Some bm -> (Spec.program bm, Spec.target ~bits bm)
+  | None ->
+    if Sys.file_exists spec then
+      ( Compiler.Frontend.parse ~name:(Filename.remove_extension (Filename.basename spec))
+          (read_file spec),
+        Compiler.Codegen.target ~depth ~width ~bits ~stateful:(resolve_alu stateful)
+          ~stateless:(resolve_alu stateless) () )
+    else failwith (Printf.sprintf "no such benchmark or file: %s" spec)
+
+let compile_cmd =
+  let run program depth width bits stateful stateless =
+    let program, target = load_program_and_target program depth width bits stateful stateless in
+    match Compiler.Codegen.compile ~target program with
+    | Error e ->
+      Printf.eprintf "compile error: %s\n" e;
+      exit 1
+    | Ok compiled ->
+      print_string (Machine_code.to_string compiled.Compiler.Codegen.c_mc);
+      let l = compiled.Compiler.Codegen.c_layout in
+      List.iter (fun (f, c) -> Printf.printf "# input  pkt.%s -> container %d\n" f c)
+        l.Compiler.Codegen.l_inputs;
+      List.iter (fun (f, c) -> Printf.printf "# output pkt.%s -> container %d\n" f c)
+        l.Compiler.Codegen.l_outputs;
+      List.iter
+        (fun (v, (alu, slot)) -> Printf.printf "# state  %s -> %s[%d]\n" v alu slot)
+        l.Compiler.Codegen.l_state
+  in
+  let doc = "Compile a packet program to Druzhba machine code (rule-based backend)." in
+  Cmd.v
+    (Cmd.info "compile" ~doc)
+    Term.(
+      const run $ program_arg $ depth_arg $ width_arg $ bits_arg $ stateful_arg $ stateless_arg)
+
+(* --- fuzz -------------------------------------------------------------------------- *)
+
+let fuzz_cmd =
+  let run program depth width bits stateful stateless phvs seed level =
+    let program, target = load_program_and_target program depth width bits stateful stateless in
+    match Compiler.Codegen.compile ~target program with
+    | Error e ->
+      Printf.eprintf "compile error: %s\n" e;
+      exit 1
+    | Ok compiled ->
+      let outcome = Compiler.Testing.check ~level ~seed ~n:phvs compiled in
+      Fmt.pr "%s: %a@." program.Compiler.Ast.name Fuzz.pp_outcome outcome;
+      if not (Fuzz.outcome_is_pass outcome) then exit 1
+  in
+  let doc = "Run the compiler-testing workflow of Fig. 5: compile, simulate, compare traces." in
+  Cmd.v
+    (Cmd.info "fuzz" ~doc)
+    Term.(
+      const run $ program_arg $ depth_arg $ width_arg $ bits_arg $ stateful_arg $ stateless_arg
+      $ phvs_arg $ seed_arg $ level_arg)
+
+(* --- synth -------------------------------------------------------------------------- *)
+
+let synth_cmd =
+  let run program depth width bits stateful stateless synth_bits budget phvs =
+    let program, target = load_program_and_target program depth width bits stateful stateless in
+    match
+      Compiler.Synth.synthesize
+        {
+          Compiler.Synth.p_program = program;
+          p_target = target;
+          p_synth_bits = synth_bits;
+          p_examples = 16;
+          p_budget = budget;
+          p_seed = 42;
+        }
+    with
+    | Compiler.Synth.Budget_exhausted { candidates } ->
+      Printf.printf "synthesis failed: budget exhausted after %d candidates\n" candidates;
+      exit 1
+    | Compiler.Synth.Synthesized compiled ->
+      Printf.printf "# synthesized at %d bits\n" synth_bits;
+      print_string (Machine_code.to_string compiled.Compiler.Codegen.c_mc);
+      let outcome = Compiler.Testing.check ~n:phvs compiled in
+      Fmt.pr "# verification at %d bits: %a@." bits Fuzz.pp_outcome outcome
+  in
+  let doc = "Synthesize machine code (CEGIS, Chipmunk-style) and verify it by fuzzing." in
+  Cmd.v
+    (Cmd.info "synth" ~doc)
+    Term.(
+      const run $ program_arg
+      $ Arg.(value & opt int 1 & info [ "depth" ] ~docv:"N")
+      $ Arg.(value & opt int 1 & info [ "width" ] ~docv:"N")
+      $ Arg.(value & opt int 10 & info [ "bits" ] ~docv:"B" ~doc:"Verification width.")
+      $ Arg.(value & opt string "pair" & info [ "stateful-alu" ] ~docv:"ATOM|FILE")
+      $ stateless_arg
+      $ Arg.(value & opt int 4 & info [ "synth-bits" ] ~docv:"B" ~doc:"Synthesis width.")
+      $ Arg.(value & opt int 150_000 & info [ "budget" ] ~docv:"N" ~doc:"Candidate budget.")
+      $ phvs_arg)
+
+(* --- verify ------------------------------------------------------------------------- *)
+
+let verify_cmd =
+  let run program depth width bits stateful stateless max_states =
+    let program, target = load_program_and_target program depth width bits stateful stateless in
+    match Compiler.Codegen.compile ~target program with
+    | Error e ->
+      Printf.eprintf "compile error: %s\n" e;
+      exit 1
+    | Ok compiled ->
+      let result =
+        Druzhba_fuzz.Verify.exhaustive_check ~max_states
+          ~desc:compiled.Compiler.Codegen.c_desc ~mc:compiled.Compiler.Codegen.c_mc
+          ~spec:(Compiler.Testing.spec_of compiled)
+          ~observed:(Compiler.Testing.observed compiled)
+          ~state_layout:(Compiler.Testing.state_layout compiled)
+          ~init:compiled.Compiler.Codegen.c_layout.Compiler.Codegen.l_init ()
+      in
+      Fmt.pr "%s at %d bits: %a@." program.Compiler.Ast.name bits Druzhba_fuzz.Verify.pp_result
+        result;
+      (match result with Druzhba_fuzz.Verify.Counterexample _ -> exit 1 | _ -> ())
+  in
+  let doc =
+    "Exhaustively verify a compiled program against its specification at a small datapath width \
+     (all inputs, all reachable states)."
+  in
+  Cmd.v
+    (Cmd.info "verify" ~doc)
+    Term.(
+      const run $ program_arg $ depth_arg $ width_arg
+      $ Arg.(value & opt int 3 & info [ "bits" ] ~docv:"B" ~doc:"Datapath width (keep small).")
+      $ stateful_arg $ stateless_arg
+      $ Arg.(value & opt int 500_000 & info [ "max-states" ] ~docv:"N" ~doc:"State budget."))
+
+(* --- drmt --------------------------------------------------------------------------- *)
+
+let drmt_cmd =
+  let run p4_file entries_file packets processors match_cap action_cap seed =
+    let p = Drmt.P4.parse (read_file p4_file) in
+    let entries =
+      match entries_file with
+      | None -> []
+      | Some path -> (
+        match Drmt.Entries.parse (read_file path) with Ok e -> e | Error e -> failwith e)
+    in
+    let dag = Drmt.Dag.build p in
+    let cfg =
+      Drmt.Scheduler.config ~processors ~match_capacity:match_cap ~action_capacity:action_cap ()
+    in
+    let sched = Drmt.Scheduler.schedule cfg dag in
+    Fmt.pr "%a@." Drmt.Scheduler.pp sched;
+    let r = Drmt.Sim.run ~seed ~cfg ~entries ~packets p in
+    let s = r.Drmt.Sim.r_stats in
+    Fmt.pr "simulated %d packets in %d cycles (%d matches, %d actions)@."
+      s.Drmt.Sim.st_packets s.Drmt.Sim.st_cycles s.Drmt.Sim.st_matches s.Drmt.Sim.st_actions;
+    Fmt.pr "peak crossbar usage per cycle: %d matches, %d actions@."
+      s.Drmt.Sim.st_peak_match_per_cycle s.Drmt.Sim.st_peak_action_per_cycle;
+    List.iter (fun (t, n) -> Fmt.pr "table %s: %d hits@." t n) s.Drmt.Sim.st_table_hits;
+    List.iter (fun (r, v) -> Fmt.pr "register %s = %d@." r v) r.Drmt.Sim.r_registers
+  in
+  let doc = "Schedule and simulate a P4-subset program on the dRMT model." in
+  Cmd.v
+    (Cmd.info "drmt" ~doc)
+    Term.(
+      const run
+      $ Arg.(required & opt (some file) None & info [ "p4" ] ~docv:"FILE")
+      $ Arg.(value & opt (some file) None & info [ "entries" ] ~docv:"FILE")
+      $ Arg.(value & opt int 1000 & info [ "packets" ] ~docv:"N")
+      $ Arg.(value & opt int 4 & info [ "processors" ] ~docv:"P")
+      $ Arg.(value & opt int 8 & info [ "match-capacity" ] ~docv:"M")
+      $ Arg.(value & opt int 32 & info [ "action-capacity" ] ~docv:"A")
+      $ seed_arg)
+
+(* --- experiments ----------------------------------------------------------------------- *)
+
+let table1_cmd =
+  let run phvs interpreted =
+    let mode = if interpreted then `Interpreted else `Compiled in
+    let rows = Druzhba_experiments.Table1.run ~phvs ~mode () in
+    Fmt.pr "%a@." Druzhba_experiments.Table1.pp rows;
+    Fmt.pr "%a@." Druzhba_experiments.Table1.summary rows
+  in
+  let doc = "Reproduce Table 1: RMT runtimes with and without optimizations." in
+  Cmd.v
+    (Cmd.info "table1" ~doc)
+    Term.(
+      const run
+      $ Arg.(value & opt int 50_000 & info [ "phvs" ] ~docv:"N" ~doc:"PHVs per run (paper: 50000).")
+      $ Arg.(value & flag & info [ "interpreted" ] ~doc:"Interpret the description IR instead."))
+
+let casestudy_cmd =
+  let run phvs budget =
+    let report = Druzhba_experiments.Casestudy.run ~phvs ~synth_budget:budget () in
+    Fmt.pr "%a@." Druzhba_experiments.Casestudy.pp report
+  in
+  let doc = "Reproduce the case study of §5.2 (compiler testing at scale)." in
+  Cmd.v
+    (Cmd.info "casestudy" ~doc)
+    Term.(
+      const run
+      $ Arg.(value & opt int 1000 & info [ "phvs" ] ~docv:"N")
+      $ Arg.(value & opt int 120_000 & info [ "synth-budget" ] ~docv:"N"))
+
+let benchmarks_cmd =
+  let run () =
+    Printf.printf "%-20s %-5s %-12s %s\n" "name" "d,w" "atom" "description";
+    List.iter
+      (fun (bm : Spec.benchmark) ->
+        Printf.printf "%-20s %d,%-3d %-12s %s\n" bm.Spec.bm_name bm.Spec.bm_depth bm.Spec.bm_width
+          bm.Spec.bm_stateful bm.Spec.bm_description)
+      Spec.all;
+    Printf.printf "\nbuilt-in ALUs: %s\n" atom_names
+  in
+  let doc = "List the Table-1 benchmark programs and built-in ALUs." in
+  Cmd.v (Cmd.info "benchmarks" ~doc) Term.(const run $ const ())
+
+let () =
+  let doc = "Druzhba: switch hardware simulation for testing programmable-switch compilers" in
+  let info = Cmd.info "druzhba" ~version:Druzhba.version ~doc in
+  exit
+    (Cmd.eval
+       (Cmd.group info
+          [
+            dgen_cmd;
+            dsim_cmd;
+            compile_cmd;
+            fuzz_cmd;
+            verify_cmd;
+            synth_cmd;
+            drmt_cmd;
+            table1_cmd;
+            casestudy_cmd;
+            benchmarks_cmd;
+          ]))

@@ -1,0 +1,1 @@
+examples/blue_aqm.ml: Compile Compiled Compiler Druzhba_core Fmt Fuzz List Optimizer Spec Sys Traffic

@@ -1,0 +1,1 @@
+examples/blue_aqm.mli:

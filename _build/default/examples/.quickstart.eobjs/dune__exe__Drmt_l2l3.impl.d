@@ -1,0 +1,1 @@
+examples/drmt_l2l3.ml: Drmt Druzhba_core Fmt List

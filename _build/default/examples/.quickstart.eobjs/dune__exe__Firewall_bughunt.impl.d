@@ -1,0 +1,1 @@
+examples/firewall_bughunt.ml: Compiler Druzhba_core Fmt Fuzz Ir List Machine_code Names Option Spec

@@ -1,0 +1,1 @@
+examples/flowlets_testing.ml: Compiler Druzhba_core Fmt Fuzz List Machine_code Names Spec

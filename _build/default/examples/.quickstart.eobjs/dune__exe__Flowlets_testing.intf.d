@@ -1,0 +1,1 @@
+examples/flowlets_testing.mli:

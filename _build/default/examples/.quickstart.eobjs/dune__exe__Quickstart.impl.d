@@ -1,0 +1,1 @@
+examples/quickstart.ml: Alu_dsl Array Atoms Dgen Druzhba_core Engine Fmt Ir List Machine_code Names Optimizer Trace Traffic

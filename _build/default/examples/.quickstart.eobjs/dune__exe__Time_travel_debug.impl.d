@@ -1,0 +1,1 @@
+examples/time_travel_debug.ml: Compiler Druzhba_core Druzhba_dsim Fmt List Machine_code Names Spec Traffic

@@ -1,0 +1,1 @@
+examples/time_travel_debug.mli:

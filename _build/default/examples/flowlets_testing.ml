@@ -1,0 +1,65 @@
+(* Flowlet switching through the full compiler-testing workflow (Fig. 5).
+
+   The flowlets program — pick a new next hop whenever the inter-packet gap
+   exceeds a threshold — is compiled by the rule-based backend onto the
+   paper's Table-1 pipeline for it (4 stages x 5 ALUs, pred_raw atoms); the
+   resulting machine code is loaded into the simulated pipeline; random PHVs
+   are run through both the pipeline and the program specification; and the
+   output traces are compared.
+
+   Run with:  dune exec examples/flowlets_testing.exe *)
+
+module Druzhba = Druzhba_core.Druzhba
+open Druzhba
+
+let () =
+  let bm = Spec.find_exn "flowlets" in
+  Fmt.pr "--- program (Domino subset) ---%s@." bm.Spec.bm_source;
+
+  (* compile at the paper's Table-1 dimensions *)
+  let compiled = Spec.compile_exn bm in
+  let layout = compiled.Compiler.Codegen.c_layout in
+  Fmt.pr "compiled onto a %d x %d pipeline of '%s' atoms: %d machine-code pairs@."
+    bm.Spec.bm_depth bm.Spec.bm_width bm.Spec.bm_stateful
+    (Machine_code.cardinal compiled.Compiler.Codegen.c_mc);
+  List.iter
+    (fun (f, c) -> Fmt.pr "  input  pkt.%-8s -> container %d@." f c)
+    layout.Compiler.Codegen.l_inputs;
+  List.iter
+    (fun (f, c) -> Fmt.pr "  output pkt.%-8s -> container %d@." f c)
+    layout.Compiler.Codegen.l_outputs;
+  List.iter
+    (fun (v, (alu, slot)) -> Fmt.pr "  state  %-10s -> %s[%d]@." v alu slot)
+    layout.Compiler.Codegen.l_state;
+
+  (* the Fig. 5 loop: simulate random PHVs, compare against the spec *)
+  Fmt.pr "@.fuzzing 10000 PHVs against the specification...@.";
+  (match Compiler.Testing.check ~n:10_000 compiled with
+  | Fuzz.Pass { phvs } -> Fmt.pr "PASS: pipeline and specification agree on %d PHVs@." phvs
+  | o -> Fmt.pr "FAIL: %a@." Fuzz.pp_outcome o);
+
+  (* now sabotage the machine code the way a buggy compiler would: pick the
+     wrong relational operator for the flowlet-gap test *)
+  Fmt.pr "@.injecting a compiler bug (wrong relational opcode)...@.";
+  let buggy = Machine_code.copy compiled.Compiler.Codegen.c_mc in
+  let victim =
+    (* flip the relational opcode of the stateful ALU that holds saved_hop:
+       its predicate decides when the flowlet switches next hops *)
+    let alu, _ = List.assoc "saved_hop" layout.Compiler.Codegen.l_state in
+    Names.slot ~alu_prefix:alu ~slot_name:"rel_op_0"
+  in
+  Machine_code.set buggy victim ((Machine_code.find buggy victim + 1) mod 4);
+  (match Druzhba.Workflow.test_machine_code ~phvs:10_000 compiled ~mc:buggy with
+  | { Druzhba.Workflow.outcome = Fuzz.Mismatch mm; _ } ->
+    Fmt.pr "CAUGHT: %a@." Fuzz.pp_outcome (Fuzz.Mismatch mm)
+  | { Druzhba.Workflow.outcome; _ } ->
+    Fmt.pr "NOT CAUGHT (unexpected): %a@." Fuzz.pp_outcome outcome);
+
+  (* and the paper's other failure class: deleting the output-mux pairs *)
+  Fmt.pr "@.injecting the case study's missing-pairs failure...@.";
+  let missing = Machine_code.copy compiled.Compiler.Codegen.c_mc in
+  Machine_code.remove missing (Names.output_mux ~stage:0 ~container:0);
+  match Druzhba.Workflow.test_machine_code ~phvs:100 compiled ~mc:missing with
+  | { Druzhba.Workflow.outcome = Fuzz.Missing_pairs names; _ } ->
+    Fmt.pr "CAUGHT: missing machine code pairs: %a@." Fmt.(list ~sep:(any ", ") string) names
+  | { Druzhba.Workflow.outcome; _ } -> Fmt.pr "NOT CAUGHT (unexpected): %a@." Fuzz.pp_outcome outcome

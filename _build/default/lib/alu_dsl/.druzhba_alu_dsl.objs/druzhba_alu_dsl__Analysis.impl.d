@@ -1,0 +1,1 @@
+lib/alu_dsl/analysis.pp.ml: Ast Format List Ppx_deriving_runtime Printf String

@@ -1,0 +1,1 @@
+lib/alu_dsl/ast.pp.ml: List Ppx_deriving_runtime

@@ -1,0 +1,1 @@
+lib/alu_dsl/lexer.pp.ml: Druzhba_util List Ppx_deriving_runtime Printf

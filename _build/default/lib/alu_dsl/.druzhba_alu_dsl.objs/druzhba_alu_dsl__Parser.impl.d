@@ -1,0 +1,1 @@
+lib/alu_dsl/parser.pp.ml: Ast Druzhba_util Fmt Lexer List Printf String

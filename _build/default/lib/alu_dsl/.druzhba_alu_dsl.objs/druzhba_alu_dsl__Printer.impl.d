@@ -1,0 +1,1 @@
+lib/alu_dsl/printer.pp.ml: Ast Fmt List String

@@ -1,0 +1,76 @@
+(* Abstract syntax of the ALU DSL (paper Fig. 3/4).
+
+   An ALU description declares whether the unit is stateful or stateless, its
+   state variables, hole variables (extra machine-code-controlled values) and
+   packet-field operands, followed by a body of assignments, conditionals and
+   returns.  The machine-code-controlled constructs — [Mux], [Opt], [C()],
+   [rel_op], [arith_op] — each carry the instance index assigned by the
+   parser in order of appearance; the index determines the machine-code name
+   of the control that configures the construct (see {!Analysis}). *)
+
+type kind =
+  | Stateful
+  | Stateless
+[@@deriving eq, show { with_path = false }]
+
+type unop =
+  | Neg  (* arithmetic negation, wraps to the datapath width *)
+  | Not  (* logical negation: 0 -> 1, nonzero -> 0 *)
+[@@deriving eq, show { with_path = false }]
+
+type binop =
+  | Add
+  | Sub
+  | Mul
+  | Div
+  | Mod
+  | Eq
+  | Neq
+  | Lt
+  | Gt
+  | Le
+  | Ge
+  | And
+  | Or
+[@@deriving eq, show { with_path = false }]
+
+type expr =
+  | Const of int  (* literal appearing in the DSL source *)
+  | Var of string (* state variable, hole variable, or packet field *)
+  | Unop of unop * expr
+  | Binop of binop * expr * expr
+  | Hole_const of int (* [C()]: immediate supplied by machine code *)
+  | Opt of int * expr (* [Opt(e)]: machine code selects [e] or 0 *)
+  | Mux of int * expr list (* [MuxN(e1,..,eN)]: machine code selects one *)
+  | Rel_op of int * expr * expr (* relational operator chosen by machine code *)
+  | Arith_op of int * expr * expr (* + or - chosen by machine code *)
+[@@deriving eq, show { with_path = false }]
+
+type stmt =
+  | Assign of string * expr (* state-variable update *)
+  | If of (expr * stmt list) list * stmt list (* if/elif*/else; else may be [] *)
+  | Return of expr (* ALU output value *)
+[@@deriving eq, show { with_path = false }]
+
+type t = {
+  name : string; (* e.g. "if_else_raw"; supplied by the caller, not the file *)
+  kind : kind;
+  state_vars : string list;
+  hole_vars : string list;
+  packet_fields : string list;
+  body : stmt list;
+}
+[@@deriving eq, show { with_path = false }]
+
+let is_stateful t = t.kind = Stateful
+
+(* Number of PHV-container operands the ALU consumes. *)
+let arity t = List.length t.packet_fields
+
+(* The relational operators selectable by [rel_op], in machine-code order:
+   0 -> >=, 1 -> <=, 2 -> ==, 3 -> != (the four the paper's grammar lists). *)
+let rel_op_count = 4
+
+(* The arithmetic operators selectable by [arith_op], in machine-code order:
+   0 -> +, 1 -> - (as in the paper's Fig. 6 example). *)
+let arith_op_count = 2

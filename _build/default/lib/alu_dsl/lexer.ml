@@ -1,0 +1,84 @@
+(* Lexer for the ALU DSL, built on the shared character scanner. *)
+
+module Scanner = Druzhba_util.Scanner
+
+type token =
+  | IDENT of string
+  | INT of int
+  | COLON
+  | LBRACE
+  | RBRACE
+  | LPAREN
+  | RPAREN
+  | COMMA
+  | SEMI
+  | PLUS
+  | MINUS
+  | STAR
+  | SLASH
+  | PERCENT
+  | BANG
+  | ASSIGN (* = *)
+  | EQEQ
+  | NEQ
+  | LT
+  | GT
+  | LE
+  | GE
+  | ANDAND
+  | OROR
+  | EOF
+[@@deriving eq, show { with_path = false }]
+
+type located = { token : token; pos : Scanner.position }
+
+exception Error of Scanner.position * string
+
+let token_of_char sc c =
+  match c with
+  | ':' -> COLON
+  | '{' -> LBRACE
+  | '}' -> RBRACE
+  | '(' -> LPAREN
+  | ')' -> RPAREN
+  | ',' -> COMMA
+  | ';' -> SEMI
+  | '+' -> PLUS
+  | '-' -> MINUS
+  | '*' -> STAR
+  | '/' -> SLASH
+  | '%' -> PERCENT
+  | c -> raise (Error (Scanner.position sc, Printf.sprintf "unexpected character %C" c))
+
+let next_token sc =
+  Scanner.skip_trivia sc;
+  let pos = Scanner.position sc in
+  let token =
+    match Scanner.peek sc with
+    | None -> EOF
+    | Some c when Scanner.is_digit c -> INT (Scanner.scan_int sc)
+    | Some c when Scanner.is_alpha c -> IDENT (Scanner.scan_ident sc)
+    | Some '=' -> if Scanner.try_string sc "==" then EQEQ else (Scanner.advance sc; ASSIGN)
+    | Some '!' -> if Scanner.try_string sc "!=" then NEQ else (Scanner.advance sc; BANG)
+    | Some '<' -> if Scanner.try_string sc "<=" then LE else (Scanner.advance sc; LT)
+    | Some '>' -> if Scanner.try_string sc ">=" then GE else (Scanner.advance sc; GT)
+    | Some '&' ->
+      if Scanner.try_string sc "&&" then ANDAND
+      else raise (Error (pos, "expected '&&'"))
+    | Some '|' ->
+      if Scanner.try_string sc "||" then OROR
+      else raise (Error (pos, "expected '||'"))
+    | Some c ->
+      let t = token_of_char sc c in
+      Scanner.advance sc;
+      t
+  in
+  { token; pos }
+
+let tokenize src =
+  let sc = Scanner.create src in
+  let rec go acc =
+    let t = try next_token sc with Scanner.Error (p, m) -> raise (Error (p, m)) in
+    if t.token = EOF then List.rev (t :: acc) else go (t :: acc)
+  in
+  go []

@@ -1,0 +1,342 @@
+(* Recursive-descent parser for the ALU DSL.
+
+   Grammar (paper Fig. 3, plus the [elif] keyword used by the atom files):
+
+   {v
+   alu      := header stmt*
+   header   := "type" ":" ("stateful" | "stateless")
+               "state" "variables" ":" "{" idents "}"
+               "hole" "variables" ":" "{" idents "}"
+               "packet" "fields" ":" "{" idents "}"
+   stmt     := "if" "(" expr ")" block ("elif" "(" expr ")" block)*
+               ("else" block)?
+             | "return" expr ";"
+             | ident "=" expr ";"
+   block    := "{" stmt* "}"
+   expr     := C-style precedence over ||, &&, comparisons, additive and
+               multiplicative operators,
+               with unary - and !, parentheses, integer literals, identifiers,
+               and the machine-code constructs MuxN(e,..), Opt(e), C(),
+               rel_op(e, e), arith_op(e, e)
+   v}
+
+   Every machine-code construct receives an instance index in order of
+   appearance; the indices key the machine-code slot names (see
+   {!Analysis.slots}). *)
+
+module Scanner = Druzhba_util.Scanner
+
+exception Error of Scanner.position * string
+
+type state = {
+  mutable tokens : Lexer.located list;
+  mutable counters : counters;
+}
+
+and counters = { mutable mux : int; mutable opt : int; mutable const : int; mutable rel : int; mutable arith : int }
+
+let fresh_counters () = { mux = 0; opt = 0; const = 0; rel = 0; arith = 0 }
+
+let peek st =
+  match st.tokens with
+  | t :: _ -> t
+  | [] -> assert false (* the token list always ends with EOF *)
+
+let advance st =
+  match st.tokens with
+  | _ :: rest when rest <> [] -> st.tokens <- rest
+  | _ -> ()
+
+let error_at (t : Lexer.located) msg = raise (Error (t.pos, msg))
+
+let expect st token msg =
+  let t = peek st in
+  if Lexer.equal_token t.token token then advance st else error_at t msg
+
+let expect_ident st =
+  let t = peek st in
+  match t.token with
+  | Lexer.IDENT s ->
+    advance st;
+    s
+  | _ -> error_at t "expected identifier"
+
+let expect_keyword st kw =
+  let t = peek st in
+  match t.token with
+  | Lexer.IDENT s when s = kw -> advance st
+  | _ -> error_at t (Printf.sprintf "expected '%s'" kw)
+
+(* Parses "{ id, id, ... }" (possibly empty). *)
+let parse_ident_set st =
+  expect st Lexer.LBRACE "expected '{'";
+  let rec go acc =
+    match (peek st).token with
+    | Lexer.RBRACE ->
+      advance st;
+      List.rev acc
+    | Lexer.COMMA when acc <> [] ->
+      advance st;
+      go acc
+    | _ -> go (expect_ident st :: acc)
+  in
+  go []
+
+(* Returns [Some n] if [name] is a mux constructor "MuxN" with N >= 2. *)
+let mux_arity name =
+  let prefix = "Mux" in
+  let plen = String.length prefix in
+  if String.length name > plen && String.sub name 0 plen = prefix then
+    match int_of_string_opt (String.sub name plen (String.length name - plen)) with
+    | Some n when n >= 2 -> Some n
+    | Some _ | None -> None
+  else None
+
+let rec parse_expr st = parse_or st
+
+and parse_or st =
+  let lhs = parse_and st in
+  let rec go lhs =
+    match (peek st).token with
+    | Lexer.OROR ->
+      advance st;
+      go (Ast.Binop (Ast.Or, lhs, parse_and st))
+    | _ -> lhs
+  in
+  go lhs
+
+and parse_and st =
+  let lhs = parse_cmp st in
+  let rec go lhs =
+    match (peek st).token with
+    | Lexer.ANDAND ->
+      advance st;
+      go (Ast.Binop (Ast.And, lhs, parse_cmp st))
+    | _ -> lhs
+  in
+  go lhs
+
+and parse_cmp st =
+  let lhs = parse_add st in
+  let op =
+    match (peek st).token with
+    | Lexer.EQEQ -> Some Ast.Eq
+    | Lexer.NEQ -> Some Ast.Neq
+    | Lexer.LT -> Some Ast.Lt
+    | Lexer.GT -> Some Ast.Gt
+    | Lexer.LE -> Some Ast.Le
+    | Lexer.GE -> Some Ast.Ge
+    | _ -> None
+  in
+  match op with
+  | None -> lhs
+  | Some op ->
+    advance st;
+    Ast.Binop (op, lhs, parse_add st)
+
+and parse_add st =
+  let lhs = parse_mul st in
+  let rec go lhs =
+    match (peek st).token with
+    | Lexer.PLUS ->
+      advance st;
+      go (Ast.Binop (Ast.Add, lhs, parse_mul st))
+    | Lexer.MINUS ->
+      advance st;
+      go (Ast.Binop (Ast.Sub, lhs, parse_mul st))
+    | _ -> lhs
+  in
+  go lhs
+
+and parse_mul st =
+  let lhs = parse_unary st in
+  let rec go lhs =
+    match (peek st).token with
+    | Lexer.STAR ->
+      advance st;
+      go (Ast.Binop (Ast.Mul, lhs, parse_unary st))
+    | Lexer.SLASH ->
+      advance st;
+      go (Ast.Binop (Ast.Div, lhs, parse_unary st))
+    | Lexer.PERCENT ->
+      advance st;
+      go (Ast.Binop (Ast.Mod, lhs, parse_unary st))
+    | _ -> lhs
+  in
+  go lhs
+
+and parse_unary st =
+  match (peek st).token with
+  | Lexer.MINUS ->
+    advance st;
+    Ast.Unop (Ast.Neg, parse_unary st)
+  | Lexer.BANG ->
+    advance st;
+    Ast.Unop (Ast.Not, parse_unary st)
+  | _ -> parse_primary st
+
+and parse_primary st =
+  let t = peek st in
+  match t.token with
+  | Lexer.INT n ->
+    advance st;
+    Ast.Const n
+  | Lexer.LPAREN ->
+    advance st;
+    let e = parse_expr st in
+    expect st Lexer.RPAREN "expected ')'";
+    e
+  | Lexer.IDENT name -> (
+    advance st;
+    match (peek st).token with
+    | Lexer.LPAREN -> parse_call st t name
+    | _ -> Ast.Var name)
+  | _ -> error_at t "expected expression"
+
+and parse_call st at name =
+  expect st Lexer.LPAREN "expected '('";
+  let args () =
+    let rec go acc =
+      match (peek st).token with
+      | Lexer.RPAREN ->
+        advance st;
+        List.rev acc
+      | Lexer.COMMA when acc <> [] ->
+        advance st;
+        go acc
+      | _ -> go (parse_expr st :: acc)
+    in
+    go []
+  in
+  (* Instance indices are reserved *before* the arguments are parsed so that
+     constructs are numbered in textual (pre-order) appearance order, e.g. in
+     Opt(Opt(s)) the outer Opt is instance 0. *)
+  let c = st.counters in
+  match name with
+  | "C" ->
+    let i = c.const in
+    c.const <- i + 1;
+    (match args () with
+    | [] -> Ast.Hole_const i
+    | _ -> error_at at "C() takes no arguments")
+  | "Opt" ->
+    let i = c.opt in
+    c.opt <- i + 1;
+    (match args () with
+    | [ e ] -> Ast.Opt (i, e)
+    | _ -> error_at at "Opt(e) takes exactly one argument")
+  | "rel_op" ->
+    let i = c.rel in
+    c.rel <- i + 1;
+    (match args () with
+    | [ a; b ] -> Ast.Rel_op (i, a, b)
+    | _ -> error_at at "rel_op(a, b) takes exactly two arguments")
+  | "arith_op" ->
+    let i = c.arith in
+    c.arith <- i + 1;
+    (match args () with
+    | [ a; b ] -> Ast.Arith_op (i, a, b)
+    | _ -> error_at at "arith_op(a, b) takes exactly two arguments")
+  | _ -> (
+    match mux_arity name with
+    | Some arity ->
+      let i = c.mux in
+      c.mux <- i + 1;
+      let es = args () in
+      if List.length es <> arity then
+        error_at at (Printf.sprintf "%s takes exactly %d arguments" name arity)
+      else Ast.Mux (i, es)
+    | None -> error_at at (Printf.sprintf "unknown function '%s'" name))
+
+let rec parse_stmt st =
+  let t = peek st in
+  match t.token with
+  | Lexer.IDENT "if" ->
+    advance st;
+    parse_if st
+  | Lexer.IDENT "return" ->
+    advance st;
+    let e = parse_expr st in
+    expect st Lexer.SEMI "expected ';' after return";
+    Ast.Return e
+  | Lexer.IDENT name ->
+    advance st;
+    expect st Lexer.ASSIGN "expected '=' in assignment";
+    let e = parse_expr st in
+    expect st Lexer.SEMI "expected ';' after assignment";
+    Ast.Assign (name, e)
+  | _ -> error_at t "expected statement"
+
+and parse_if st =
+  expect st Lexer.LPAREN "expected '(' after if";
+  let cond = parse_expr st in
+  expect st Lexer.RPAREN "expected ')'";
+  let body = parse_block st in
+  let rec branches acc =
+    match (peek st).token with
+    | Lexer.IDENT "elif" ->
+      advance st;
+      expect st Lexer.LPAREN "expected '(' after elif";
+      let c = parse_expr st in
+      expect st Lexer.RPAREN "expected ')'";
+      let b = parse_block st in
+      branches ((c, b) :: acc)
+    | Lexer.IDENT "else" ->
+      advance st;
+      (List.rev acc, parse_block st)
+    | _ -> (List.rev acc, [])
+  in
+  let elifs, els = branches [] in
+  Ast.If ((cond, body) :: elifs, els)
+
+and parse_block st =
+  expect st Lexer.LBRACE "expected '{'";
+  let rec go acc =
+    match (peek st).token with
+    | Lexer.RBRACE ->
+      advance st;
+      List.rev acc
+    | _ -> go (parse_stmt st :: acc)
+  in
+  go []
+
+let parse_header st =
+  expect_keyword st "type";
+  expect st Lexer.COLON "expected ':' after 'type'";
+  let kind =
+    match expect_ident st with
+    | "stateful" -> Ast.Stateful
+    | "stateless" -> Ast.Stateless
+    | other -> error_at (peek st) (Printf.sprintf "unknown ALU type '%s'" other)
+  in
+  expect_keyword st "state";
+  expect_keyword st "variables";
+  expect st Lexer.COLON "expected ':' after 'state variables'";
+  let state_vars = parse_ident_set st in
+  expect_keyword st "hole";
+  expect_keyword st "variables";
+  expect st Lexer.COLON "expected ':' after 'hole variables'";
+  let hole_vars = parse_ident_set st in
+  expect_keyword st "packet";
+  expect_keyword st "fields";
+  expect st Lexer.COLON "expected ':' after 'packet fields'";
+  let packet_fields = parse_ident_set st in
+  (kind, state_vars, hole_vars, packet_fields)
+
+let parse ~name src =
+  let tokens = try Lexer.tokenize src with Lexer.Error (p, m) -> raise (Error (p, m)) in
+  let st = { tokens; counters = fresh_counters () } in
+  let kind, state_vars, hole_vars, packet_fields = parse_header st in
+  let rec body acc =
+    match (peek st).token with
+    | Lexer.EOF -> List.rev acc
+    | _ -> body (parse_stmt st :: acc)
+  in
+  let body = body [] in
+  { Ast.name; kind; state_vars; hole_vars; packet_fields; body }
+
+let parse_result ~name src =
+  match parse ~name src with
+  | alu -> Ok alu
+  | exception Error (pos, msg) ->
+    Error (Fmt.str "%s: %a: %s" name Scanner.pp_position pos msg)

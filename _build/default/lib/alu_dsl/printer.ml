@@ -1,0 +1,84 @@
+(* Pretty-printer emitting ALU DSL concrete syntax.
+
+   Printing then re-parsing an ALU yields a structurally equal AST (machine
+   code construct indices are re-assigned in the same order), which the
+   property tests rely on. *)
+
+open Ast
+
+let binop_symbol = function
+  | Add -> "+"
+  | Sub -> "-"
+  | Mul -> "*"
+  | Div -> "/"
+  | Mod -> "%"
+  | Eq -> "=="
+  | Neq -> "!="
+  | Lt -> "<"
+  | Gt -> ">"
+  | Le -> "<="
+  | Ge -> ">="
+  | And -> "&&"
+  | Or -> "||"
+
+(* Precedence levels matching the parser, used to print minimal parentheses. *)
+let binop_level = function
+  | Or -> 1
+  | And -> 2
+  | Eq | Neq | Lt | Gt | Le | Ge -> 3
+  | Add | Sub -> 4
+  | Mul | Div | Mod -> 5
+
+let rec pp_expr_prec level ppf e =
+  match e with
+  | Const n -> Fmt.int ppf n
+  | Var v -> Fmt.string ppf v
+  | Unop (Neg, e) -> Fmt.pf ppf "-%a" (pp_expr_prec 6) e
+  | Unop (Not, e) -> Fmt.pf ppf "!%a" (pp_expr_prec 6) e
+  | Binop (op, a, b) ->
+    let l = binop_level op in
+    (* Comparisons are non-associative in the grammar, so both operands need
+       a strictly higher level; other operators are left-associative. *)
+    let left_level = match op with Eq | Neq | Lt | Gt | Le | Ge -> l + 1 | _ -> l in
+    let doc ppf () =
+      Fmt.pf ppf "%a %s %a" (pp_expr_prec left_level) a (binop_symbol op) (pp_expr_prec (l + 1)) b
+    in
+    if l < level then Fmt.parens doc ppf () else doc ppf ()
+  | Hole_const _ -> Fmt.string ppf "C()"
+  | Opt (_, e) -> Fmt.pf ppf "Opt(%a)" (pp_expr_prec 0) e
+  | Mux (_, es) ->
+    Fmt.pf ppf "Mux%d(%a)" (List.length es) Fmt.(list ~sep:(any ", ") (pp_expr_prec 0)) es
+  | Rel_op (_, a, b) -> Fmt.pf ppf "rel_op(%a, %a)" (pp_expr_prec 0) a (pp_expr_prec 0) b
+  | Arith_op (_, a, b) -> Fmt.pf ppf "arith_op(%a, %a)" (pp_expr_prec 0) a (pp_expr_prec 0) b
+
+let pp_expr = pp_expr_prec 0
+
+let rec pp_stmt ~indent ppf s =
+  let pad = String.make indent ' ' in
+  match s with
+  | Assign (v, e) -> Fmt.pf ppf "%s%s = %a;" pad v pp_expr e
+  | Return e -> Fmt.pf ppf "%sreturn %a;" pad pp_expr e
+  | If (branches, els) ->
+    let pp_block ppf body =
+      List.iter (fun s -> Fmt.pf ppf "%a@," (pp_stmt ~indent:(indent + 2)) s) body
+    in
+    List.iteri
+      (fun i (cond, body) ->
+        let kw = if i = 0 then "if" else "elif" in
+        Fmt.pf ppf "%s%s (%a) {@,%a%s}" pad kw pp_expr cond pp_block body pad;
+        if i < List.length branches - 1 || els <> [] then Fmt.pf ppf "@,")
+      branches;
+    if els <> [] then Fmt.pf ppf "%selse {@,%a%s}" pad pp_block els pad
+
+let pp_idents ppf ids = Fmt.pf ppf "{%a}" Fmt.(list ~sep:(any ", ") string) ids
+
+let pp ppf (alu : t) =
+  Fmt.pf ppf "@[<v>";
+  Fmt.pf ppf "type : %s@," (match alu.kind with Stateful -> "stateful" | Stateless -> "stateless");
+  Fmt.pf ppf "state variables : %a@," pp_idents alu.state_vars;
+  Fmt.pf ppf "hole variables : %a@," pp_idents alu.hole_vars;
+  Fmt.pf ppf "packet fields : %a@," pp_idents alu.packet_fields;
+  List.iter (fun s -> Fmt.pf ppf "%a@," (pp_stmt ~indent:0) s) alu.body;
+  Fmt.pf ppf "@]"
+
+let to_string alu = Fmt.str "%a" pp alu

@@ -1,0 +1,1 @@
+lib/atoms/atoms.ml: Druzhba_alu_dsl Lazy List Printf

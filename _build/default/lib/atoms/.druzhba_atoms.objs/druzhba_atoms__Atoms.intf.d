@@ -1,0 +1,1 @@
+lib/atoms/atoms.mli: Druzhba_alu_dsl

@@ -1,0 +1,231 @@
+(* The ALU library: 6 stateful and 5 stateless ALUs written in the ALU DSL,
+   modelling the behaviour of the atoms of Banzai (the Domino compiler's
+   switch machine model), as described in §3.1 of the paper.  The paper's
+   Table 1 names the stateful atoms it uses: raw, sub, pred_raw,
+   if_else_raw, pair; nested_ifs completes Banzai's predication family.
+
+   Each definition is DSL source; [stateful]/[stateless] parse them on
+   demand.  The Mux/Opt/C/rel_op/arith_op constructs are the machine-code
+   degrees of freedom a compiler programs. *)
+
+module Ast = Druzhba_alu_dsl.Ast
+module Parser = Druzhba_alu_dsl.Parser
+
+(* --- Stateful atoms ------------------------------------------------------- *)
+
+(* Read-add-write: unconditionally accumulates a packet field or an
+   immediate into the state; outputs the old state (implicit). *)
+let raw_src =
+  {|
+type : stateful
+state variables : {state_0}
+hole variables : {}
+packet fields : {pkt_0}
+state_0 = state_0 + Mux2(pkt_0, C());
+|}
+
+(* Like raw, but the accumulation direction (add or subtract) is chosen by
+   machine code. *)
+let sub_src =
+  {|
+type : stateful
+state variables : {state_0}
+hole variables : {}
+packet fields : {pkt_0, pkt_1}
+state_0 = arith_op(state_0, Mux3(pkt_0, pkt_1, C()));
+|}
+
+(* Predicated read-add-write: the update fires only when the relational
+   predicate holds. *)
+let pred_raw_src =
+  {|
+type : stateful
+state variables : {state_0}
+hole variables : {}
+packet fields : {pkt_0, pkt_1}
+if (rel_op(Opt(state_0), Mux3(pkt_0, pkt_1, C()))) {
+  state_0 = Opt(state_0) + Mux3(pkt_0, pkt_1, C());
+}
+|}
+
+(* If-else read-add-write, exactly the paper's Fig. 4. *)
+let if_else_raw_src =
+  {|
+type : stateful
+state variables : {state_0}
+hole variables : {}
+packet fields : {pkt_0, pkt_1}
+if (rel_op(Opt(state_0), Mux3(pkt_0, pkt_1, C()))) {
+  state_0 = Opt(state_0) + Mux3(pkt_0, pkt_1, C());
+}
+else {
+  state_0 = Opt(state_0) + Mux3(pkt_0, pkt_1, C());
+}
+|}
+
+(* Two-level predication: four independently programmable update arms. *)
+let nested_ifs_src =
+  {|
+type : stateful
+state variables : {state_0}
+hole variables : {}
+packet fields : {pkt_0, pkt_1}
+if (rel_op(Opt(state_0), Mux3(pkt_0, pkt_1, C()))) {
+  if (rel_op(Opt(state_0), Mux3(pkt_0, pkt_1, C()))) {
+    state_0 = Opt(state_0) + Mux3(pkt_0, pkt_1, C());
+  }
+  else {
+    state_0 = Opt(state_0) + Mux3(pkt_0, pkt_1, C());
+  }
+}
+else {
+  if (rel_op(Opt(state_0), Mux3(pkt_0, pkt_1, C()))) {
+    state_0 = Opt(state_0) + Mux3(pkt_0, pkt_1, C());
+  }
+  else {
+    state_0 = Opt(state_0) + Mux3(pkt_0, pkt_1, C());
+  }
+}
+|}
+
+(* Paired-state update: two state variables updated under a shared
+   predicate whose operands can each be state, a packet field, or an
+   immediate; the most capable (and most expensive) Banzai atom. *)
+let pair_src =
+  {|
+type : stateful
+state variables : {state_0, state_1}
+hole variables : {}
+packet fields : {pkt_0, pkt_1}
+if (rel_op(Mux4(state_0, state_1, pkt_0, C()), Mux4(state_0, state_1, pkt_1, C()))) {
+  state_0 = Opt(Mux2(state_0, state_1)) + Mux3(pkt_0, pkt_1, C());
+  state_1 = Opt(Mux2(state_0, state_1)) + Mux3(pkt_0, pkt_1, C());
+}
+else {
+  state_0 = Opt(Mux2(state_0, state_1)) + Mux3(pkt_0, pkt_1, C());
+  state_1 = Opt(Mux2(state_0, state_1)) + Mux3(pkt_0, pkt_1, C());
+}
+|}
+
+(* --- Stateless ALUs -------------------------------------------------------- *)
+
+(* Add/subtract of two muxed operands. *)
+let stateless_arith_src =
+  {|
+type : stateless
+state variables : {}
+hole variables : {}
+packet fields : {pkt_0, pkt_1}
+return arith_op(Mux2(pkt_0, C()), Mux2(pkt_1, C()));
+|}
+
+(* Relational comparison producing 0/1. *)
+let stateless_rel_src =
+  {|
+type : stateless
+state variables : {}
+hole variables : {}
+packet fields : {pkt_0, pkt_1}
+return rel_op(Mux2(pkt_0, C()), Mux2(pkt_1, C()));
+|}
+
+(* Pure selection: forwards a field or an immediate. *)
+let stateless_mux_src =
+  {|
+type : stateless
+state variables : {}
+hole variables : {}
+packet fields : {pkt_0, pkt_1}
+return Mux3(pkt_0, pkt_1, C());
+|}
+
+(* Conjunction/disjunction of two relational tests. *)
+let stateless_logical_src =
+  {|
+type : stateless
+state variables : {}
+hole variables : {}
+packet fields : {pkt_0, pkt_1}
+if (rel_op(pkt_0, C()) && rel_op(pkt_1, C())) {
+  return 1;
+}
+else {
+  return 0;
+}
+|}
+
+(* Opcode-dispatched general-purpose stateless ALU: the hole variable
+   [opcode] selects among arithmetic, selection, relational and immediate
+   behaviours — the workhorse used as the stateless side of the Table 1
+   pipelines. *)
+let stateless_full_src =
+  {|
+type : stateless
+state variables : {}
+hole variables : {opcode}
+packet fields : {pkt_0, pkt_1}
+if (opcode == 0) {
+  return pkt_0 + Mux2(pkt_1, C());
+}
+elif (opcode == 1) {
+  return pkt_0 - Mux2(pkt_1, C());
+}
+elif (opcode == 2) {
+  return Mux3(pkt_0, pkt_1, C());
+}
+elif (opcode == 3) {
+  return rel_op(pkt_0, Mux2(pkt_1, C()));
+}
+elif (opcode == 4) {
+  return rel_op(pkt_0, Mux2(pkt_1, C())) && rel_op(pkt_1, C());
+}
+else {
+  return C();
+}
+|}
+
+let parse name src = Parser.parse ~name src
+
+let raw = lazy (parse "raw" raw_src)
+let sub = lazy (parse "sub" sub_src)
+let pred_raw = lazy (parse "pred_raw" pred_raw_src)
+let if_else_raw = lazy (parse "if_else_raw" if_else_raw_src)
+let nested_ifs = lazy (parse "nested_ifs" nested_ifs_src)
+let pair = lazy (parse "pair" pair_src)
+
+let stateless_arith = lazy (parse "stateless_arith" stateless_arith_src)
+let stateless_rel = lazy (parse "stateless_rel" stateless_rel_src)
+let stateless_mux = lazy (parse "stateless_mux" stateless_mux_src)
+let stateless_logical = lazy (parse "stateless_logical" stateless_logical_src)
+let stateless_full = lazy (parse "stateless_full" stateless_full_src)
+
+let stateful_atoms =
+  [
+    ("raw", raw);
+    ("sub", sub);
+    ("pred_raw", pred_raw);
+    ("if_else_raw", if_else_raw);
+    ("nested_ifs", nested_ifs);
+    ("pair", pair);
+  ]
+
+let stateless_atoms =
+  [
+    ("stateless_arith", stateless_arith);
+    ("stateless_rel", stateless_rel);
+    ("stateless_mux", stateless_mux);
+    ("stateless_logical", stateless_logical);
+    ("stateless_full", stateless_full);
+  ]
+
+let find name =
+  match List.assoc_opt name (stateful_atoms @ stateless_atoms) with
+  | Some l -> Some (Lazy.force l)
+  | None -> None
+
+let find_exn name =
+  match find name with
+  | Some alu -> alu
+  | None -> invalid_arg (Printf.sprintf "Atoms.find_exn: unknown ALU '%s'" name)
+
+let all_names = List.map fst stateful_atoms @ List.map fst stateless_atoms

@@ -1,0 +1,57 @@
+(** The ALU library: Banzai-style atoms written in the ALU DSL (paper §3.1).
+
+    Six stateful atoms model Banzai's packet-processing atoms — the paper's
+    Table 1 uses [raw], [sub], [pred_raw], [if_else_raw] (its Fig. 4) and
+    [pair]; [nested_ifs] completes the predication family.  Five stateless
+    ALUs provide the computation menu of the pipeline's stateless side, with
+    [stateless_full] (opcode-dispatched add/sub/select/compare/and/const)
+    being the workhorse the rule-based compiler targets.
+
+    Each value is the parsed DSL description; the sources ([*_src]) are also
+    exposed so tools can display or re-parse them. *)
+
+module Ast = Druzhba_alu_dsl.Ast
+
+(** {1 DSL sources} *)
+
+val raw_src : string
+val sub_src : string
+val pred_raw_src : string
+
+val if_else_raw_src : string
+(** Exactly the paper's Fig. 4. *)
+
+val nested_ifs_src : string
+val pair_src : string
+val stateless_arith_src : string
+val stateless_rel_src : string
+val stateless_mux_src : string
+val stateless_logical_src : string
+val stateless_full_src : string
+
+(** {1 Parsed atoms} *)
+
+val raw : Ast.t lazy_t
+val sub : Ast.t lazy_t
+val pred_raw : Ast.t lazy_t
+val if_else_raw : Ast.t lazy_t
+val nested_ifs : Ast.t lazy_t
+val pair : Ast.t lazy_t
+val stateless_arith : Ast.t lazy_t
+val stateless_rel : Ast.t lazy_t
+val stateless_mux : Ast.t lazy_t
+val stateless_logical : Ast.t lazy_t
+val stateless_full : Ast.t lazy_t
+
+(** {1 Registry} *)
+
+val stateful_atoms : (string * Ast.t lazy_t) list
+val stateless_atoms : (string * Ast.t lazy_t) list
+
+val find : string -> Ast.t option
+(** Looks up any atom (stateful or stateless) by name. *)
+
+val find_exn : string -> Ast.t
+(** @raise Invalid_argument on unknown names. *)
+
+val all_names : string list

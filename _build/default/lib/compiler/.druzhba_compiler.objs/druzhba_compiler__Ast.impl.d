@@ -1,0 +1,1 @@
+lib/compiler/ast.pp.ml: Druzhba_alu_dsl List Ppx_deriving_runtime

@@ -1,0 +1,1 @@
+lib/compiler/checker.pp.ml: Ast Format List Printf String

@@ -1,0 +1,1 @@
+lib/compiler/codegen.pp.ml: Array Ast Checker Druzhba_alu_dsl Druzhba_machine_code Druzhba_pipeline Druzhba_util Format Hashtbl List Match_atom Option Predicate Printf Result String

@@ -1,0 +1,1 @@
+lib/compiler/frontend.pp.ml: Ast Druzhba_util Fmt List Ppx_deriving_runtime Printf

@@ -1,0 +1,1 @@
+lib/compiler/match_atom.pp.ml: Ast Druzhba_alu_dsl Druzhba_util List Option Predicate

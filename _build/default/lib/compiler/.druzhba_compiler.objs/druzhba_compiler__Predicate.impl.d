@@ -1,0 +1,1 @@
+lib/compiler/predicate.pp.ml: Ast Checker Druzhba_util List Map Ppx_deriving_runtime Printf Semantics String

@@ -1,0 +1,1 @@
+lib/compiler/printer.pp.ml: Ast Fmt List String

@@ -1,0 +1,1 @@
+lib/compiler/semantics.pp.ml: Ast Druzhba_util Hashtbl List Printf

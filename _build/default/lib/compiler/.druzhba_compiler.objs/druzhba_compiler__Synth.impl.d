@@ -1,0 +1,1 @@
+lib/compiler/synth.pp.ml: Array Ast Checker Codegen Druzhba_alu_dsl Druzhba_dsim Druzhba_fuzz Druzhba_machine_code Druzhba_pipeline Druzhba_util Fun List String Testing

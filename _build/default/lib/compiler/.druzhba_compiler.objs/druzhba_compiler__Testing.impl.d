@@ -1,0 +1,1 @@
+lib/compiler/testing.pp.ml: Array Ast Codegen Druzhba_dsim Druzhba_fuzz Druzhba_util Hashtbl List Semantics

@@ -1,0 +1,53 @@
+(* Abstract syntax of the Domino-like packet-transaction language.
+
+   This is the high-level language on the left of the paper's Fig. 1: a
+   program declares switch state and a transaction body that runs once per
+   packet, reading and writing packet fields ("pkt.x") and state.  The
+   compiler under test maps such programs to Druzhba machine code; the
+   reference semantics in {!Semantics} doubles as the specification of
+   Fig. 5. *)
+
+(* Operators are shared with the ALU DSL: the datapath algebra is the same. *)
+type binop = Druzhba_alu_dsl.Ast.binop =
+  | Add
+  | Sub
+  | Mul
+  | Div
+  | Mod
+  | Eq
+  | Neq
+  | Lt
+  | Gt
+  | Le
+  | Ge
+  | And
+  | Or
+[@@deriving eq, show { with_path = false }]
+
+type unop = Druzhba_alu_dsl.Ast.unop = Neg | Not [@@deriving eq, show { with_path = false }]
+
+type expr =
+  | Int of int
+  | Field of string (* pkt.x *)
+  | Var of string (* state variable or local *)
+  | Binop of binop * expr * expr
+  | Unop of unop * expr
+[@@deriving eq, show { with_path = false }]
+
+type lvalue =
+  | Lfield of string (* pkt.x = ... *)
+  | Lvar of string (* state variable = ... *)
+[@@deriving eq, show { with_path = false }]
+
+type stmt =
+  | Assign of lvalue * expr
+  | Local of string * expr (* local x = e; introduces a transaction-scoped name *)
+  | If of (expr * stmt list) list * stmt list (* if/elif*/else *)
+[@@deriving eq, show { with_path = false }]
+
+type program = {
+  name : string;
+  states : (string * int) list; (* state declarations with initial values *)
+  body : stmt list;
+}
+[@@deriving eq, show { with_path = false }]

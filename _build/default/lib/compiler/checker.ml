@@ -1,0 +1,98 @@
+(* Semantic analysis of packet transactions: name resolution and the
+   program "signature" that everything downstream keys on — which packet
+   fields are inputs (read before written), which are outputs (written), and
+   which integer constants appear (mined by the synthesis backend to bound
+   its search space). *)
+
+type info = {
+  input_fields : string list; (* read before written, in first-use order *)
+  output_fields : string list; (* written, in first-write order *)
+  state_vars : string list;
+  locals : string list;
+  constants : int list; (* distinct literals, ascending *)
+}
+
+type error = string
+
+let add_unique x xs = if List.mem x xs then xs else xs @ [ x ]
+
+let analyze (p : Ast.program) : (info, error list) result =
+  let errors = ref [] in
+  let err fmt = Format.kasprintf (fun m -> errors := m :: !errors) fmt in
+  let state_vars = List.map fst p.states in
+  (let rec dups = function
+     | [] -> ()
+     | v :: rest -> if List.mem v rest then err "duplicate state variable '%s'" v else dups rest
+   in
+   dups state_vars);
+  let inputs = ref [] in
+  let outputs = ref [] in
+  let locals = ref [] in
+  let constants = ref [] in
+  (* [written] tracks fields already assigned on the current path; a field
+     read before any write is an input.  Conditional writes are treated as
+     writes for input classification only if they dominate the read — to keep
+     the analysis simple and sound we are conservative: a field counts as an
+     input unless it was written on *every* path before the read, which we
+     approximate by only recording writes that happen unconditionally before
+     the read. *)
+  let rec expr ~written (e : Ast.expr) =
+    match e with
+    | Ast.Int n -> constants := add_unique n !constants
+    | Ast.Field f -> if not (List.mem f written) then inputs := add_unique f !inputs
+    | Ast.Var v ->
+      if not (List.mem v state_vars || List.mem v !locals) then
+        err "use of undeclared variable '%s' (not a state variable or local)" v
+    | Ast.Binop (_, a, b) ->
+      expr ~written a;
+      expr ~written b
+    | Ast.Unop (_, a) -> expr ~written a
+  in
+  let rec stmts ~written ~conditional body =
+    List.fold_left
+      (fun written (s : Ast.stmt) ->
+        match s with
+        | Ast.Assign (Ast.Lfield f, e) ->
+          expr ~written e;
+          outputs := add_unique f !outputs;
+          if conditional then written else f :: written
+        | Ast.Assign (Ast.Lvar v, e) ->
+          expr ~written e;
+          if List.mem v !locals then err "locals are single-assignment; '%s' reassigned" v
+          else if not (List.mem v state_vars) then err "assignment to undeclared variable '%s'" v;
+          written
+        | Ast.Local (v, e) ->
+          expr ~written e;
+          if List.mem v state_vars then err "local '%s' shadows a state variable" v
+          else if List.mem v !locals then err "duplicate local '%s'" v
+          else locals := add_unique v !locals;
+          written
+        | Ast.If (branches, els) ->
+          List.iter
+            (fun (c, b) ->
+              expr ~written c;
+              ignore (stmts ~written ~conditional:true b))
+            branches;
+          ignore (stmts ~written ~conditional:true els);
+          written)
+      written body
+  in
+  ignore (stmts ~written:[] ~conditional:false p.body);
+  List.iter (fun (_, init) -> constants := add_unique init !constants) p.states;
+  match List.rev !errors with
+  | [] ->
+    Ok
+      {
+        input_fields = !inputs;
+        output_fields = !outputs;
+        state_vars;
+        locals = !locals;
+        constants = List.sort_uniq compare (0 :: 1 :: !constants);
+      }
+  | errs -> Error errs
+
+let analyze_exn p =
+  match analyze p with
+  | Ok info -> info
+  | Error errs ->
+    invalid_arg (Printf.sprintf "program '%s': %s" p.Ast.name (String.concat "; " errs))

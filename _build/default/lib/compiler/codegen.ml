@@ -1,0 +1,734 @@
+(* The rule-based backend: maps a packet transaction onto a Druzhba pipeline.
+
+   Stages of the translation:
+
+   1. {!Predicate.predicate} removes branches, leaving one write-once
+      expression per state variable and output field.
+   2. State variables are grouped: variables that appear in each other's
+      update expressions must share a stateful ALU (Domino's constraint that
+      state is local to one atom); a group is realized on the target atom by
+      {!Match_atom.match_group}, yielding slot values plus the operand
+      expressions the atom consumes.
+   3. Operand expressions and output-field expressions are lowered to a DAG
+      of stateless_full operations (add/sub/move/rel/and/const); reads of
+      old state become the stateful ALU's output, and subtrees equal to a
+      group's update expression become its new-state output.  Groups are
+      processed in dependency order (a cycle between groups cannot be laid
+      out on a feed-forward pipeline and is a compile error).
+   4. Nodes and groups are placed ASAP into the depth x width grid subject
+      to per-stage ALU capacity; containers are assigned by linear scan over
+      live intervals.  Exceeding depth, width, or containers is a compile
+      error — the all-or-nothing property of real pipelines.
+   5. Machine code is emitted: a neutral program (all controls zero, output
+      muxes pass-through) overlaid with the placements.
+
+   The result carries the machine code, the generated pipeline description,
+   and the layout (field-to-container and state-to-ALU maps) that the fuzz
+   harness uses to compare simulation traces against the reference
+   semantics. *)
+
+module Aast = Druzhba_alu_dsl.Ast
+module Value = Druzhba_util.Value
+module Machine_code = Druzhba_machine_code.Machine_code
+module Ir = Druzhba_pipeline.Ir
+module Dgen = Druzhba_pipeline.Dgen
+module Names = Druzhba_pipeline.Names
+
+open Predicate
+
+exception Error of string
+
+let fail fmt = Format.kasprintf (fun m -> raise (Error m)) fmt
+
+(* --- Target ------------------------------------------------------------------ *)
+
+type target = {
+  t_depth : int;
+  t_width : int;
+  t_bits : Value.width;
+  t_stateful : Aast.t; (* the atom *)
+  t_stateless : Aast.t; (* must be stateless_full: the lowering menu below *)
+}
+
+let target ~depth ~width ?(bits = 32) ~stateful ~stateless () =
+  if stateless.Aast.name <> "stateless_full" then
+    invalid_arg "Codegen.target: the rule-based backend requires the stateless_full ALU";
+  {
+    t_depth = depth;
+    t_width = width;
+    t_bits = Value.width bits;
+    t_stateful = stateful;
+    t_stateless = stateless;
+  }
+
+(* --- Placement IR ------------------------------------------------------------- *)
+
+(* A reference to a value that will live in a container. *)
+type opref =
+  | Rin of string (* input packet field *)
+  | Rnode of int (* stateless node result *)
+  | Rold of int (* group's pre-update state_0 output *)
+  | Rnew of int (* group's post-update state_0 output *)
+  | Rimm of int (* immediate; allowed only where the ALU has a C() slot *)
+
+type rel = Ge | Le | Eq | Neq
+
+let rel_code = function Ge -> 0 | Le -> 1 | Eq -> 2 | Neq -> 3
+
+(* One stateless_full operation.  The second operand of add/sub/rel may be an
+   immediate (the ALU has a C() slot there). *)
+type node_kind =
+  | Kadd of opref * opref
+  | Ksub of opref * opref
+  | Kmove of opref
+  | Krel of rel * opref * opref
+  | Kand of opref * opref (* logical-and of two truth values *)
+  | Kconst of int
+
+type node = { n_stage : int; n_kind : node_kind }
+
+type group = {
+  g_id : int;
+  g_members : string list; (* program state vars *)
+  g_slots : (string * int) list; (* program state var -> atom state slot *)
+  g_binding : Match_atom.binding;
+  mutable g_operands : (string * opref option) list; (* atom field -> source *)
+  mutable g_stage : int;
+  mutable g_placed : bool;
+  mutable g_old_used : bool;
+  mutable g_new_used : bool;
+}
+
+(* --- Compilation result -------------------------------------------------------- *)
+
+type layout = {
+  l_inputs : (string * int) list; (* input field -> container *)
+  l_outputs : (string * int) list; (* output field -> container *)
+  l_state : (string * (string * int)) list; (* state var -> (ALU name, slot) *)
+  l_init : (string * int array) list; (* ALU name -> initial state vector *)
+}
+
+type compiled = {
+  c_program : Ast.program;
+  c_target : target;
+  c_mc : Machine_code.t;
+  c_desc : Ir.t; (* unoptimized description of the target pipeline *)
+  c_layout : layout;
+}
+
+(* --- State grouping -------------------------------------------------------------- *)
+
+(* State variables that must share a stateful ALU: the strongly connected
+   components of the "update of v reads w" relation.  Mutually dependent
+   variables cannot be split across stages (each would need the other's
+   same-packet value), whereas a one-directional read can flow through the
+   PHV from an earlier stage. *)
+let group_states (pred : Predicate.t) : string list list =
+  let vars = List.map fst pred.state_updates in
+  let n = List.length vars in
+  let index v =
+    let rec go i = function [] -> assert false | x :: r -> if x = v then i else go (i + 1) r in
+    go 0 vars
+  in
+  let reaches = Array.make_matrix n n false in
+  List.iter
+    (fun (v, update) ->
+      List.iter
+        (fun w -> if List.mem w vars then reaches.(index v).(index w) <- true)
+        (state_vars_of [] update))
+    pred.state_updates;
+  for k = 0 to n - 1 do
+    for i = 0 to n - 1 do
+      for j = 0 to n - 1 do
+        if reaches.(i).(k) && reaches.(k).(j) then reaches.(i).(j) <- true
+      done
+    done
+  done;
+  let assigned = Array.make n false in
+  List.concat
+    (List.mapi
+       (fun i v ->
+         if assigned.(i) then []
+         else begin
+           assigned.(i) <- true;
+           let members = ref [ v ] in
+           List.iteri
+             (fun j w ->
+               if (not assigned.(j)) && reaches.(i).(j) && reaches.(j).(i) then begin
+                 assigned.(j) <- true;
+                 members := !members @ [ w ]
+               end)
+             vars;
+           [ !members ]
+         end)
+       vars)
+
+(* One-directional dependency between two groups: some member of one reads a
+   member of the other. *)
+let groups_related (pred : Predicate.t) a b =
+  let reads members other =
+    List.exists
+      (fun v ->
+        let update = List.assoc v pred.state_updates in
+        List.exists (fun w -> List.mem w other) (state_vars_of [] update))
+      members
+  in
+  reads a b || reads b a
+
+(* Groups variables, then greedily merges dependent groups into one ALU when
+   the atom has the state capacity and the merged updates still match it.
+   Merging saves the PHV round-trip a cross-group read costs (one-directional
+   reads work across stages, but e.g. CONGA on a 1-stage pipeline needs both
+   variables in one pair atom).  Returns each final group with its match. *)
+let grouped_matches ~bits ~(atom : Aast.t) (pred : Predicate.t) :
+    (string list * Match_atom.result) list =
+  let capacity = List.length atom.Aast.state_vars in
+  let match_of members =
+    let updates = List.map (fun v -> (v, List.assoc v pred.state_updates)) members in
+    Match_atom.match_group ~bits ~atom ~updates
+  in
+  let rec merge groups =
+    let rec find_mergeable = function
+      | [] -> None
+      | a :: rest -> (
+        let candidate =
+          List.find_map
+            (fun b ->
+              if List.length a + List.length b <= capacity && groups_related pred a b then
+                match match_of (a @ b) with Some m -> Some (b, a @ b, m) | None -> None
+              else None)
+            rest
+        in
+        match candidate with
+        | Some (b, merged, _) ->
+          Some (merged :: List.filter (fun g -> g != b) rest)
+        | None -> Option.map (fun gs -> a :: gs) (find_mergeable rest))
+    in
+    match find_mergeable groups with Some groups' -> merge groups' | None -> groups
+  in
+  let final = merge (group_states pred) in
+  List.map
+    (fun members ->
+      match match_of members with
+      | Some m -> (members, m)
+      | None ->
+        fail "state group {%s} cannot be realized on the '%s' atom" (String.concat ", " members)
+          atom.Aast.name)
+    final
+
+(* --- The builder ------------------------------------------------------------------ *)
+
+type builder = {
+  target : target;
+  pred : Predicate.t;
+  program : Ast.program;
+  mutable nodes : node list; (* reverse creation order *)
+  mutable node_count : int;
+  mutable groups : group list; (* in group-id order *)
+  mutable memo : (sexpr * opref) list; (* lowered expressions, newest first *)
+  var_group : (string, int) Hashtbl.t; (* program state var -> group id *)
+  stateless_load : int array; (* per-stage occupancy *)
+  stateful_load : int array;
+}
+
+let group_by_id b gid = List.find (fun g -> g.g_id = gid) b.groups
+
+let node_by_id b id = List.nth b.nodes (b.node_count - 1 - id)
+
+(* Def stage of a value: the stage whose output mux writes it (inputs and
+   immediates are available from the start). *)
+let def_stage b = function
+  | Rin _ | Rimm _ -> -1
+  | Rnode id -> (node_by_id b id).n_stage
+  | Rold gid | Rnew gid ->
+    let g = group_by_id b gid in
+    if not g.g_placed then fail "internal: group %d consumed before placement" gid;
+    g.g_stage
+
+let operand_ready b r = def_stage b r + 1
+
+(* Allocates a stateless node at the earliest stage with capacity, no
+   earlier than [min_stage]. *)
+let place_node b ~min_stage kind =
+  let rec find stage =
+    if stage >= b.target.t_depth then
+      fail "program does not fit: needs a stateless ALU at stage >= %d but depth is %d" stage
+        b.target.t_depth
+    else if b.stateless_load.(stage) < b.target.t_width then stage
+    else find (stage + 1)
+  in
+  let stage = find (max 0 min_stage) in
+  b.stateless_load.(stage) <- b.stateless_load.(stage) + 1;
+  let id = b.node_count in
+  b.node_count <- id + 1;
+  b.nodes <- { n_stage = stage; n_kind = kind } :: b.nodes;
+  Rnode id
+
+(* --- Lowering ------------------------------------------------------------------------ *)
+
+let use_old_state b v =
+  match Hashtbl.find_opt b.var_group v with
+  | None -> fail "internal: state variable '%s' has no group" v
+  | Some gid ->
+    let g = group_by_id b gid in
+    (* Only state_0 of an ALU is exposed to the output crossbar. *)
+    if List.assoc v g.g_slots <> 0 then
+      fail "state variable '%s' is not state_0 of its ALU, so its value cannot be read out" v;
+    g.g_old_used <- true;
+    Rold gid
+
+let use_new_state b v =
+  match Hashtbl.find_opt b.var_group v with
+  | None -> fail "internal: state variable '%s' has no group" v
+  | Some gid ->
+    let g = group_by_id b gid in
+    if List.assoc v g.g_slots <> 0 then
+      fail "updated value of state variable '%s' is not exposed: it is not state_0 of its ALU" v;
+    g.g_new_used <- true;
+    Rnew gid
+
+let is_boolean_shaped = function
+  | SBin ((Ast.Eq | Ast.Neq | Ast.Lt | Ast.Gt | Ast.Le | Ast.Ge | Ast.And | Ast.Or), _, _)
+  | SUn (Ast.Not, _) ->
+    true
+  | _ -> false
+
+let rec lower b (e : sexpr) : opref =
+  match List.find_opt (fun (k, _) -> equal_sexpr k e) b.memo with
+  | Some (_, r) -> r
+  | None ->
+    let r = lower_uncached b e in
+    b.memo <- (e, r) :: b.memo;
+    r
+
+and lower_uncached b (e : sexpr) : opref =
+  (* A non-leaf subtree equal to a group's (non-identity) update expression
+     is that group's new-state output.  Leaves are always cheaper to read
+     directly, and restricting to placed groups keeps a group's own operand
+     lowering (which runs before its placement) from matching its own update
+     — e.g. flowlets' "last_time = pkt.arrival", whose operand is exactly
+     pkt.arrival. *)
+  let is_leaf = match e with SInt _ | SIn _ | SState _ -> true | _ -> false in
+  let as_new_state =
+    if is_leaf then None
+    else
+      List.find_map
+        (fun (v, update) ->
+          if
+            (not (equal_sexpr update (SState v)))
+            && equal_sexpr e update
+            && (match Hashtbl.find_opt b.var_group v with
+               | Some gid -> (group_by_id b gid).g_placed
+               | None -> false)
+          then Some v
+          else None)
+        b.pred.state_updates
+  in
+  match as_new_state with
+  | Some v -> use_new_state b v
+  | None -> (
+    match e with
+    | SInt n -> Rimm n
+    | SIn f -> Rin f
+    | SState v -> use_old_state b v
+    | SBin (Ast.Add, x, y) ->
+      let rx = lower b x and ry = lower b y in
+      (* the immediate slot is on the second operand *)
+      let rx, ry = match rx with Rimm _ -> (ry, rx) | _ -> (rx, ry) in
+      let rx = ensure_container b rx in
+      place_node b ~min_stage:(max (operand_ready b rx) (operand_ready b ry)) (Kadd (rx, ry))
+    | SBin (Ast.Sub, x, y) ->
+      let rx = ensure_container b (lower b x) in
+      let ry = lower b y in
+      place_node b ~min_stage:(max (operand_ready b rx) (operand_ready b ry)) (Ksub (rx, ry))
+    | SBin (Ast.Ge, x, y) -> lower_rel b Ge x y
+    | SBin (Ast.Le, x, y) -> lower_rel b Le x y
+    | SBin (Ast.Eq, x, y) -> lower_rel b Eq x y
+    | SBin (Ast.Neq, x, y) -> lower_rel b Neq x y
+    | SBin (Ast.Lt, x, y) -> lower b (SUn (Ast.Not, SBin (Ast.Ge, x, y)))
+    | SBin (Ast.Gt, x, y) -> lower b (SUn (Ast.Not, SBin (Ast.Le, x, y)))
+    | SBin (Ast.And, x, y) ->
+      let rx = ensure_container b (lower b x) in
+      let ry = ensure_container b (lower b y) in
+      place_node b ~min_stage:(max (operand_ready b rx) (operand_ready b ry)) (Kand (rx, ry))
+    | SBin (Ast.Or, x, y) ->
+      (* x || y  <=>  !(!x && !y) *)
+      lower b (SUn (Ast.Not, SBin (Ast.And, SUn (Ast.Not, x), SUn (Ast.Not, y))))
+    | SBin ((Ast.Mul | Ast.Div | Ast.Mod), _, _) ->
+      fail "the stateless instruction set has no multiply/divide/modulo unit"
+    | SUn (Ast.Not, x) -> lower_rel b Eq x (SInt 0)
+    | SUn (Ast.Neg, x) ->
+      let zero = ensure_container b (Rimm 0) in
+      let rx = ensure_container b (lower b x) in
+      place_node b ~min_stage:(max (operand_ready b zero) (operand_ready b rx)) (Ksub (zero, rx))
+    | SCond (g, SInt 1, SInt 0) -> lower_bool b g
+    | SCond (g, SInt 0, SInt 1) -> lower b (SUn (Ast.Not, g))
+    | SCond _ ->
+      fail
+        "conditional packet value is not expressible by the stateless units (pipelines have no \
+         per-packet result mux); carry the value through state instead")
+
+and lower_rel b rel x y =
+  let rx = ensure_container b (lower b x) in
+  let ry = lower b y in
+  place_node b ~min_stage:(max (operand_ready b rx) (operand_ready b ry)) (Krel (rel, rx, ry))
+
+(* Lowers an expression used for its truth value into a 0/1 container. *)
+and lower_bool b (g : sexpr) : opref =
+  if is_boolean_shaped g then lower b g
+  else
+    let rg = ensure_container b (lower b g) in
+    place_node b ~min_stage:(operand_ready b rg) (Krel (Neq, rg, Rimm 0))
+
+(* Materializes an immediate into a container where the consuming position
+   has no C() slot. *)
+and ensure_container b (r : opref) : opref =
+  match r with
+  | Rimm n -> (
+    let key = SBin (Ast.Add, SInt n, SInt max_int) (* private memo key for materialized consts *) in
+    match List.find_opt (fun (k, _) -> equal_sexpr k key) b.memo with
+    | Some (_, r) -> r
+    | None ->
+      let r = place_node b ~min_stage:0 (Kconst n) in
+      b.memo <- (key, r) :: b.memo;
+      r)
+  | r -> r
+
+(* --- Group ordering and placement --------------------------------------------------- *)
+
+(* Other groups referenced by a group's operand expressions. *)
+let group_deps b (g : group) =
+  List.concat_map
+    (fun (_, e) ->
+      List.filter_map (fun v -> Hashtbl.find_opt b.var_group v) (state_vars_of [] e))
+    g.g_binding.Match_atom.b_fields
+  |> List.filter (fun gid -> gid <> g.g_id)
+  |> List.sort_uniq compare
+
+let place_group b (g : group) =
+  let operands =
+    List.map
+      (fun field ->
+        match List.assoc_opt field g.g_binding.Match_atom.b_fields with
+        | Some e -> (field, Some (ensure_container b (lower b e)))
+        | None -> (field, None) (* unconstrained operand: reads container 0 *))
+      b.target.t_stateful.Aast.packet_fields
+  in
+  g.g_operands <- operands;
+  let min_stage =
+    List.fold_left
+      (fun acc (_, r) -> match r with Some r -> max acc (operand_ready b r) | None -> acc)
+      0 operands
+  in
+  let rec find stage =
+    if stage >= b.target.t_depth then
+      fail "program does not fit: needs a stateful ALU at stage >= %d but depth is %d" stage
+        b.target.t_depth
+    else if b.stateful_load.(stage) < b.target.t_width then stage
+    else find (stage + 1)
+  in
+  let stage = find min_stage in
+  b.stateful_load.(stage) <- b.stateful_load.(stage) + 1;
+  g.g_stage <- stage;
+  g.g_placed <- true
+
+(* Places all groups in dependency order; a dependency cycle between state
+   groups cannot be laid out feed-forward. *)
+let place_groups b =
+  let placed = Hashtbl.create 8 in
+  let in_progress = Hashtbl.create 8 in
+  let rec visit gid =
+    if Hashtbl.mem placed gid then ()
+    else if Hashtbl.mem in_progress gid then
+      fail "state groups form a dependency cycle; a feed-forward pipeline cannot implement it"
+    else begin
+      Hashtbl.replace in_progress gid ();
+      let g = group_by_id b gid in
+      List.iter visit (group_deps b g);
+      place_group b g;
+      Hashtbl.remove in_progress gid;
+      Hashtbl.replace placed gid ()
+    end
+  in
+  List.iter (fun g -> visit g.g_id) b.groups
+
+(* --- Container allocation ------------------------------------------------------------ *)
+
+let allocate_containers b ~(outputs : (string * opref) list) =
+  let width = b.target.t_width in
+  let last_use : (opref, int) Hashtbl.t = Hashtbl.create 32 in
+  let touch r stage =
+    match r with
+    | Rimm _ -> ()
+    | r ->
+      let prev = try Hashtbl.find last_use r with Not_found -> -1 in
+      if stage > prev then Hashtbl.replace last_use r stage
+  in
+  List.iter
+    (fun (n : node) ->
+      match n.n_kind with
+      | Kadd (a, c) | Ksub (a, c) | Kand (a, c) | Krel (_, a, c) ->
+        touch a n.n_stage;
+        touch c n.n_stage
+      | Kmove a -> touch a n.n_stage
+      | Kconst _ -> ())
+    b.nodes;
+  List.iter
+    (fun g ->
+      List.iter (fun (_, r) -> Option.iter (fun r -> touch r g.g_stage) r) g.g_operands)
+    b.groups;
+  List.iter (fun (_, r) -> touch r b.target.t_depth) outputs;
+  (* Every input field keeps a container through stage 0 even if unused, so
+     the specification adapter can always find its value. *)
+  List.iter (fun f -> touch (Rin f) 0) b.pred.info.Checker.input_fields;
+  let intervals = ref [] in
+  let add_interval r def =
+    match Hashtbl.find_opt last_use r with
+    | Some last -> intervals := (r, def, last) :: !intervals
+    | None -> ()
+  in
+  List.iter (fun f -> add_interval (Rin f) (-1)) b.pred.info.Checker.input_fields;
+  List.iteri (fun i (n : node) -> add_interval (Rnode (b.node_count - 1 - i)) n.n_stage) b.nodes;
+  List.iter
+    (fun g ->
+      if g.g_old_used then add_interval (Rold g.g_id) g.g_stage;
+      if g.g_new_used then add_interval (Rnew g.g_id) g.g_stage)
+    b.groups;
+  (* Linear scan ordered by def stage.  A container is reusable once its
+     occupant's last consumer stage has passed: an overwrite at stage s still
+     lets stage-s consumers read the old value on the stage's input. *)
+  let sorted = List.sort (fun (_, d1, l1) (_, d2, l2) -> compare (d1, l1) (d2, l2)) !intervals in
+  let busy_until = Array.make width (-2) in
+  List.fold_left
+    (fun acc (r, def, last) ->
+      let rec pick c =
+        if c >= width then
+          fail "program does not fit: more than %d simultaneously live values (PHV containers)"
+            width
+        else if busy_until.(c) <= def then c
+        else pick (c + 1)
+      in
+      let c = pick 0 in
+      busy_until.(c) <- last;
+      (r, c) :: acc)
+    [] sorted
+
+(* --- Machine-code emission ------------------------------------------------------------ *)
+
+(* Neutral program: all controls zero, all output muxes pass-through. *)
+let neutral_mc (desc : Ir.t) =
+  let mc = Machine_code.empty () in
+  List.iter (fun (name, _) -> Machine_code.set mc name 0) (Ir.control_domains desc);
+  Array.iter
+    (fun (st : Ir.stage) ->
+      Array.iter
+        (fun name -> Machine_code.set mc name (Names.Select.passthrough ~width:desc.Ir.d_width))
+        st.Ir.s_output_muxes)
+    desc.Ir.d_stages;
+  mc
+
+(* stateless_full slot names, fixed by its DSL source (see {!Atoms}). *)
+module Full = struct
+  let opcode = "opcode"
+  let add_mux = "mux2_0"
+  let add_const = "const_0"
+  let sub_mux = "mux2_1"
+  let sub_const = "const_1"
+  let move_mux = "mux3_2"
+  let rel_op = "rel_op_0"
+  let rel_mux = "mux2_3"
+  let rel_const = "const_3"
+  let and_rel0 = "rel_op_1"
+  let and_mux = "mux2_4"
+  let and_const0 = "const_4"
+  let and_rel1 = "rel_op_2"
+  let and_const1 = "const_5"
+  let const_const = "const_6"
+end
+
+let emit b ~containers =
+  let t = b.target in
+  let desc =
+    Dgen.generate
+      (Dgen.config ~depth:t.t_depth ~width:t.t_width ~bits:t.t_bits ())
+      ~stateful:t.t_stateful ~stateless:t.t_stateless
+  in
+  let mc = neutral_mc desc in
+  let container_of r =
+    match List.assoc_opt r containers with
+    | Some c -> c
+    | None -> fail "internal: value has no container"
+  in
+  let set = Machine_code.set mc in
+  (* stateless nodes, packed per stage in creation order *)
+  let sl_counter = Array.make t.t_depth 0 in
+  let nodes_in_order = List.rev b.nodes in
+  List.iteri
+    (fun id (n : node) ->
+      let stage = n.n_stage in
+      let j = sl_counter.(stage) in
+      sl_counter.(stage) <- j + 1;
+      let prefix = Names.stateless_alu ~stage ~alu:j in
+      let slot name = Names.slot ~alu_prefix:prefix ~slot_name:name in
+      let in_mux k c = set (Names.input_mux ~alu_prefix:prefix ~operand:k) c in
+      let second_operand ~mux ~const c =
+        match c with
+        | Rimm v ->
+          set (slot mux) 1;
+          set (slot const) v
+        | c ->
+          set (slot mux) 0;
+          in_mux 1 (container_of c)
+      in
+      (match n.n_kind with
+      | Kadd (a, c) ->
+        set (slot Full.opcode) 0;
+        in_mux 0 (container_of a);
+        second_operand ~mux:Full.add_mux ~const:Full.add_const c
+      | Ksub (a, c) ->
+        set (slot Full.opcode) 1;
+        in_mux 0 (container_of a);
+        second_operand ~mux:Full.sub_mux ~const:Full.sub_const c
+      | Kmove a ->
+        set (slot Full.opcode) 2;
+        set (slot Full.move_mux) 0;
+        in_mux 0 (container_of a)
+      | Krel (rel, a, c) ->
+        set (slot Full.opcode) 3;
+        set (slot Full.rel_op) (rel_code rel);
+        in_mux 0 (container_of a);
+        second_operand ~mux:Full.rel_mux ~const:Full.rel_const c
+      | Kand (x, y) ->
+        (* (x != 0) && (y != 0) *)
+        set (slot Full.opcode) 4;
+        set (slot Full.and_rel0) 3;
+        set (slot Full.and_mux) 1;
+        set (slot Full.and_const0) 0;
+        set (slot Full.and_rel1) 3;
+        set (slot Full.and_const1) 0;
+        in_mux 0 (container_of x);
+        in_mux 1 (container_of y)
+      | Kconst v ->
+        set (slot Full.opcode) 5;
+        set (slot Full.const_const) v);
+      match List.assoc_opt (Rnode id) containers with
+      | Some c ->
+        set (Names.output_mux ~stage ~container:c) (Names.Select.stateless_output ~width:t.t_width j)
+      | None -> ())
+    nodes_in_order;
+  (* stateful groups, packed per stage in placement (dependency) order is not
+     tracked; pack in group-id order, which also respects per-stage capacity
+     because stages were reserved during placement *)
+  let sf_counter = Array.make t.t_depth 0 in
+  let positions = Hashtbl.create 8 in
+  List.iter
+    (fun g ->
+      let stage = g.g_stage in
+      let j = sf_counter.(stage) in
+      sf_counter.(stage) <- j + 1;
+      Hashtbl.replace positions g.g_id (stage, j);
+      let prefix = Names.stateful_alu ~stage ~alu:j in
+      List.iter
+        (fun (slot_name, v) ->
+          set (Names.slot ~alu_prefix:prefix ~slot_name) (Value.mask t.t_bits v))
+        g.g_binding.Match_atom.b_slots;
+      List.iteri
+        (fun k (_, r) ->
+          match r with
+          | Some r -> set (Names.input_mux ~alu_prefix:prefix ~operand:k) (container_of r)
+          | None -> ())
+        g.g_operands;
+      if g.g_old_used then
+        set
+          (Names.output_mux ~stage ~container:(container_of (Rold g.g_id)))
+          (Names.Select.stateful_output ~width:t.t_width j);
+      if g.g_new_used then
+        set
+          (Names.output_mux ~stage ~container:(container_of (Rnew g.g_id)))
+          (Names.Select.stateful_new_state ~width:t.t_width j))
+    b.groups;
+  (desc, mc, positions)
+
+(* --- Entry point --------------------------------------------------------------------- *)
+
+let compile ~(target : target) (program : Ast.program) : (compiled, string) result =
+  try
+    let bits = target.t_bits in
+    let pred = Predicate.predicate ~bits program in
+    let b =
+      {
+        target;
+        pred;
+        program;
+        nodes = [];
+        node_count = 0;
+        groups = [];
+        memo = [];
+        var_group = Hashtbl.create 8;
+        stateless_load = Array.make target.t_depth 0;
+        stateful_load = Array.make target.t_depth 0;
+      }
+    in
+    (* 1. group states and match each group against the atom *)
+    List.iteri
+      (fun gid (members, { Match_atom.r_binding; r_slots }) ->
+        let g =
+          {
+            g_id = gid;
+            g_members = members;
+            g_slots = r_slots;
+            g_binding = r_binding;
+            g_operands = [];
+            g_stage = 0;
+            g_placed = false;
+            g_old_used = false;
+            g_new_used = false;
+          }
+        in
+        List.iter (fun v -> Hashtbl.replace b.var_group v gid) members;
+        b.groups <- b.groups @ [ g ])
+      (grouped_matches ~bits ~atom:target.t_stateful pred);
+    (* 2. lower operands and place groups in dependency order *)
+    place_groups b;
+    (* 3. lower output-field expressions *)
+    let outputs =
+      List.map (fun (f, e) -> (f, ensure_container b (lower b e))) pred.field_updates
+    in
+    (* 4. containers *)
+    let containers = allocate_containers b ~outputs in
+    (* 5. emit *)
+    let desc, mc, positions = emit b ~containers in
+    let input_containers =
+      List.map (fun f -> (f, List.assoc (Rin f) containers)) pred.info.Checker.input_fields
+    in
+    let output_containers = List.map (fun (f, r) -> (f, List.assoc r containers)) outputs in
+    let state_map, init =
+      List.fold_left
+        (fun (sm, init) g ->
+          let stage, j = Hashtbl.find positions g.g_id in
+          let name = Names.stateful_alu ~stage ~alu:j in
+          let vec = Array.make (List.length target.t_stateful.Aast.state_vars) 0 in
+          List.iter
+            (fun (v, slot) -> vec.(slot) <- Value.mask bits (List.assoc v program.Ast.states))
+            g.g_slots;
+          ( sm @ List.map (fun (v, slot) -> (v, (name, slot))) g.g_slots,
+            init @ [ (name, vec) ] ))
+        ([], []) b.groups
+    in
+    Ok
+      {
+        c_program = program;
+        c_target = target;
+        c_mc = mc;
+        c_desc = desc;
+        c_layout =
+          {
+            l_inputs = input_containers;
+            l_outputs = output_containers;
+            l_state = state_map;
+            l_init = init;
+          };
+      }
+  with
+  | Error msg -> Result.Error (Printf.sprintf "%s: %s" program.Ast.name msg)
+  | Invalid_argument msg -> Result.Error (Printf.sprintf "%s: %s" program.Ast.name msg)

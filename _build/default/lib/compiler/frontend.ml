@@ -1,0 +1,333 @@
+(* Lexer and parser for the Domino-like packet-transaction language.
+
+   Concrete syntax:
+
+   {v
+   state count = 0;
+   state last_time = 0;
+
+   transaction sampling {
+     if (count == 9) {
+       count = 0;
+       pkt.sample = 1;
+     } else {
+       count = count + 1;
+       pkt.sample = 0;
+     }
+   }
+   v}
+
+   Statements: assignments to "pkt.<field>" or a state variable,
+   "local x = e;" bindings, and if/elif/else.  Expression syntax and
+   precedence are the same as the ALU DSL's. *)
+
+module Scanner = Druzhba_util.Scanner
+
+exception Error of Scanner.position * string
+
+type token =
+  | IDENT of string
+  | INT of int
+  | FIELD of string (* pkt.x, lexed as one token *)
+  | LBRACE
+  | RBRACE
+  | LPAREN
+  | RPAREN
+  | SEMI
+  | PLUS
+  | MINUS
+  | STAR
+  | SLASH
+  | PERCENT
+  | BANG
+  | ASSIGN
+  | EQEQ
+  | NEQ
+  | LT
+  | GT
+  | LE
+  | GE
+  | ANDAND
+  | OROR
+  | EOF
+[@@deriving eq, show { with_path = false }]
+
+type located = { token : token; pos : Scanner.position }
+
+let next_token sc =
+  Scanner.skip_trivia sc;
+  let pos = Scanner.position sc in
+  let fail msg = raise (Error (pos, msg)) in
+  let token =
+    match Scanner.peek sc with
+    | None -> EOF
+    | Some c when Scanner.is_digit c -> INT (Scanner.scan_int sc)
+    | Some c when Scanner.is_alpha c -> (
+      let id = Scanner.scan_ident sc in
+      if id = "pkt" && Scanner.peek sc = Some '.' then begin
+        Scanner.advance sc;
+        FIELD (Scanner.scan_ident sc)
+      end
+      else IDENT id)
+    | Some '=' -> if Scanner.try_string sc "==" then EQEQ else (Scanner.advance sc; ASSIGN)
+    | Some '!' -> if Scanner.try_string sc "!=" then NEQ else (Scanner.advance sc; BANG)
+    | Some '<' -> if Scanner.try_string sc "<=" then LE else (Scanner.advance sc; LT)
+    | Some '>' -> if Scanner.try_string sc ">=" then GE else (Scanner.advance sc; GT)
+    | Some '&' -> if Scanner.try_string sc "&&" then ANDAND else fail "expected '&&'"
+    | Some '|' -> if Scanner.try_string sc "||" then OROR else fail "expected '||'"
+    | Some '{' -> Scanner.advance sc; LBRACE
+    | Some '}' -> Scanner.advance sc; RBRACE
+    | Some '(' -> Scanner.advance sc; LPAREN
+    | Some ')' -> Scanner.advance sc; RPAREN
+    | Some ';' -> Scanner.advance sc; SEMI
+    | Some '+' -> Scanner.advance sc; PLUS
+    | Some '-' -> Scanner.advance sc; MINUS
+    | Some '*' -> Scanner.advance sc; STAR
+    | Some '/' -> Scanner.advance sc; SLASH
+    | Some '%' -> Scanner.advance sc; PERCENT
+    | Some c -> fail (Printf.sprintf "unexpected character %C" c)
+  in
+  { token; pos }
+
+let tokenize src =
+  let sc = Scanner.create src in
+  let rec go acc =
+    let t = try next_token sc with Scanner.Error (p, m) -> raise (Error (p, m)) in
+    if t.token = EOF then List.rev (t :: acc) else go (t :: acc)
+  in
+  go []
+
+(* --- Parser ------------------------------------------------------------- *)
+
+type state = { mutable tokens : located list }
+
+let peek st = match st.tokens with t :: _ -> t | [] -> assert false
+
+let advance st = match st.tokens with _ :: (_ :: _ as rest) -> st.tokens <- rest | _ -> ()
+
+let error_at (t : located) msg = raise (Error (t.pos, msg))
+
+let expect st token msg =
+  let t = peek st in
+  if equal_token t.token token then advance st else error_at t msg
+
+let expect_ident st =
+  let t = peek st in
+  match t.token with
+  | IDENT s ->
+    advance st;
+    s
+  | _ -> error_at t "expected identifier"
+
+let rec parse_expr st = parse_or st
+
+and parse_or st =
+  let rec go lhs =
+    match (peek st).token with
+    | OROR ->
+      advance st;
+      go (Ast.Binop (Ast.Or, lhs, parse_and st))
+    | _ -> lhs
+  in
+  go (parse_and st)
+
+and parse_and st =
+  let rec go lhs =
+    match (peek st).token with
+    | ANDAND ->
+      advance st;
+      go (Ast.Binop (Ast.And, lhs, parse_cmp st))
+    | _ -> lhs
+  in
+  go (parse_cmp st)
+
+and parse_cmp st =
+  let lhs = parse_add st in
+  let op =
+    match (peek st).token with
+    | EQEQ -> Some Ast.Eq
+    | NEQ -> Some Ast.Neq
+    | LT -> Some Ast.Lt
+    | GT -> Some Ast.Gt
+    | LE -> Some Ast.Le
+    | GE -> Some Ast.Ge
+    | _ -> None
+  in
+  match op with
+  | None -> lhs
+  | Some op ->
+    advance st;
+    Ast.Binop (op, lhs, parse_add st)
+
+and parse_add st =
+  let rec go lhs =
+    match (peek st).token with
+    | PLUS ->
+      advance st;
+      go (Ast.Binop (Ast.Add, lhs, parse_mul st))
+    | MINUS ->
+      advance st;
+      go (Ast.Binop (Ast.Sub, lhs, parse_mul st))
+    | _ -> lhs
+  in
+  go (parse_mul st)
+
+and parse_mul st =
+  let rec go lhs =
+    match (peek st).token with
+    | STAR ->
+      advance st;
+      go (Ast.Binop (Ast.Mul, lhs, parse_unary st))
+    | SLASH ->
+      advance st;
+      go (Ast.Binop (Ast.Div, lhs, parse_unary st))
+    | PERCENT ->
+      advance st;
+      go (Ast.Binop (Ast.Mod, lhs, parse_unary st))
+    | _ -> lhs
+  in
+  go (parse_unary st)
+
+and parse_unary st =
+  match (peek st).token with
+  | MINUS ->
+    advance st;
+    Ast.Unop (Ast.Neg, parse_unary st)
+  | BANG ->
+    advance st;
+    Ast.Unop (Ast.Not, parse_unary st)
+  | _ -> parse_primary st
+
+and parse_primary st =
+  let t = peek st in
+  match t.token with
+  | INT n ->
+    advance st;
+    Ast.Int n
+  | FIELD f ->
+    advance st;
+    Ast.Field f
+  | IDENT v ->
+    advance st;
+    Ast.Var v
+  | LPAREN ->
+    advance st;
+    let e = parse_expr st in
+    expect st RPAREN "expected ')'";
+    e
+  | _ -> error_at t "expected expression"
+
+let rec parse_stmt st =
+  let t = peek st in
+  match t.token with
+  | IDENT "if" ->
+    advance st;
+    parse_if st
+  | IDENT "local" ->
+    advance st;
+    let name = expect_ident st in
+    expect st ASSIGN "expected '=' in local binding";
+    let e = parse_expr st in
+    expect st SEMI "expected ';'";
+    Ast.Local (name, e)
+  | FIELD f ->
+    advance st;
+    expect st ASSIGN "expected '=' in assignment";
+    let e = parse_expr st in
+    expect st SEMI "expected ';'";
+    Ast.Assign (Ast.Lfield f, e)
+  | IDENT v ->
+    advance st;
+    expect st ASSIGN "expected '=' in assignment";
+    let e = parse_expr st in
+    expect st SEMI "expected ';'";
+    Ast.Assign (Ast.Lvar v, e)
+  | _ -> error_at t "expected statement"
+
+and parse_if st =
+  expect st LPAREN "expected '(' after if";
+  let cond = parse_expr st in
+  expect st RPAREN "expected ')'";
+  let body = parse_block st in
+  let rec branches acc =
+    match (peek st).token with
+    | IDENT "elif" ->
+      advance st;
+      expect st LPAREN "expected '(' after elif";
+      let c = parse_expr st in
+      expect st RPAREN "expected ')'";
+      let b = parse_block st in
+      branches ((c, b) :: acc)
+    | IDENT "else" ->
+      advance st;
+      (List.rev acc, parse_block st)
+    | _ -> (List.rev acc, [])
+  in
+  let elifs, els = branches [] in
+  Ast.If ((cond, body) :: elifs, els)
+
+and parse_block st =
+  expect st LBRACE "expected '{'";
+  let rec go acc =
+    match (peek st).token with
+    | RBRACE ->
+      advance st;
+      List.rev acc
+    | _ -> go (parse_stmt st :: acc)
+  in
+  go []
+
+let parse ?name src =
+  let st = { tokens = tokenize src } in
+  let rec states acc =
+    match (peek st).token with
+    | IDENT "state" ->
+      advance st;
+      let v = expect_ident st in
+      expect st ASSIGN "expected '=' in state declaration";
+      let init =
+        match (peek st).token with
+        | INT n ->
+          advance st;
+          n
+        | MINUS ->
+          advance st;
+          (match (peek st).token with
+          | INT n ->
+            advance st;
+            -n
+          | _ -> error_at (peek st) "expected integer initializer")
+        | _ -> error_at (peek st) "expected integer initializer"
+      in
+      expect st SEMI "expected ';'";
+      states ((v, init) :: acc)
+    | _ -> List.rev acc
+  in
+  let states = states [] in
+  let t = peek st in
+  (match t.token with
+  | IDENT "transaction" -> advance st
+  | _ -> error_at t "expected 'transaction'");
+  let declared_name =
+    match (peek st).token with
+    | IDENT n when n <> "if" ->
+      advance st;
+      Some n
+    | _ -> None
+  in
+  let body = parse_block st in
+  (match (peek st).token with
+  | EOF -> ()
+  | _ -> error_at (peek st) "trailing input after transaction");
+  let name =
+    match (name, declared_name) with
+    | Some n, _ -> n
+    | None, Some n -> n
+    | None, None -> "anonymous"
+  in
+  { Ast.name; states; body }
+
+let parse_result ?name src =
+  match parse ?name src with
+  | p -> Ok p
+  | exception Error (pos, msg) -> Error (Fmt.str "%a: %s" Scanner.pp_position pos msg)

@@ -1,0 +1,383 @@
+(* Structural matching of predicated state updates against stateful-atom
+   templates.
+
+   Given the (branch-removed) update expression of each state variable in a
+   group and the ALU DSL description of the target atom, this module searches
+   for an assignment of the atom's machine-code slots — mux selectors, Opt
+   selectors, rel_op/arith_op opcodes, immediates — together with a binding
+   of the atom's packet-field operands to (pipeline-computable) operand
+   expressions, such that the configured atom computes exactly the updates.
+
+   This is the heart of the rule-based backend: the same unifier drives all
+   six atoms, because it walks the atom's own parsed AST rather than
+   hard-coding per-atom rules.  Matching assumes the simulator's latched
+   state-read semantics (all state operands are pre-execution values), which
+   is also what predication produces.
+
+   Soundness over completeness: every returned binding is correct by
+   construction (slot values are derived from structural identities), but a
+   mappable program can be missed — in which case compilation fails, which
+   on an all-or-nothing pipeline is the honest outcome. *)
+
+module Aast = Druzhba_alu_dsl.Ast
+module Analysis = Druzhba_alu_dsl.Analysis
+module Value = Druzhba_util.Value
+
+open Predicate
+
+type binding = {
+  b_slots : (string * int) list; (* atom slot name -> machine-code value *)
+  b_fields : (string * sexpr) list; (* atom packet field -> operand expression *)
+}
+
+let empty_binding = { b_slots = []; b_fields = [] }
+
+let ( let* ) = Option.bind
+
+(* Tries alternatives in order; the first success wins. *)
+let first_of fs b = List.find_map (fun f -> f b) fs
+
+let add_slot name v b =
+  match List.assoc_opt name b.b_slots with
+  | Some v' -> if v = v' then Some b else None
+  | None -> Some { b with b_slots = (name, v) :: b.b_slots }
+
+(* Binds an atom packet field to an operand expression.  Operands may refer
+   to inputs and to *other* groups' state (routed through state-output
+   containers by the scheduler) but never to this group's own state. *)
+let add_field ~own_states name e b =
+  if List.exists (fun v -> List.mem v own_states) (Predicate.state_vars_of [] e) then None
+  else
+    match List.assoc_opt name b.b_fields with
+    | Some e' -> if equal_sexpr e e' then Some b else None
+    | None -> Some { b with b_fields = (name, e) :: b.b_fields }
+
+(* Machine-code encodings fixed by dgen's helper construction. *)
+let rel_code = function Ast.Ge -> Some 0 | Ast.Le -> Some 1 | Ast.Eq -> Some 2 | Ast.Neq -> Some 3 | _ -> None
+
+let rel_flip = function Ast.Ge -> Ast.Le | Ast.Le -> Ast.Ge | op -> op
+let rel_negate = function Ast.Eq -> Some Ast.Neq | Ast.Neq -> Some Ast.Eq | _ -> None
+
+type ctx = {
+  atom : Aast.t;
+  state_map : (string * string) list; (* atom state var -> program state var *)
+  own_states : string list; (* program state vars of this group *)
+  bits : Value.width;
+}
+
+let mapped ctx v = List.assoc_opt v ctx.state_map
+
+(* --- Expression unification ------------------------------------------------ *)
+
+let rec unify ctx (template : Aast.expr) (target : sexpr) b : binding option =
+  match template with
+  | Aast.Const n -> if target = SInt (Value.mask ctx.bits n) then Some b else None
+  | Aast.Var v -> (
+    match mapped ctx v with
+    | Some pv -> if target = SState pv then Some b else None
+    | None ->
+      if List.mem v ctx.atom.Aast.hole_vars then
+        match target with SInt n -> add_slot v n b | _ -> None
+      else add_field ~own_states:ctx.own_states v target b)
+  | Aast.Hole_const i -> (
+    match target with SInt n -> add_slot (Analysis.const_slot_name i) n b | _ -> None)
+  | Aast.Opt (i, inner) ->
+    let slot = Analysis.opt_slot_name i in
+    first_of
+      [
+        (fun b ->
+          let* b = add_slot slot 0 b in
+          unify ctx inner target b);
+        (fun b -> if target = SInt 0 then add_slot slot 1 b else None);
+      ]
+      b
+  | Aast.Mux (i, choices) ->
+    let slot = Analysis.mux_slot_name ~arity:(List.length choices) i in
+    (* Packet-field choices are tried last: binding a field operand to a
+       constant is legal but wasteful (it costs an extra stateless unit and a
+       pipeline stage to materialize), so prefer the C()/state choices. *)
+    let indexed = List.mapi (fun k c -> (k, c)) choices in
+    let is_field = function
+      | Aast.Var v -> not (List.mem_assoc v ctx.state_map)
+      | _ -> false
+    in
+    let preferred, fields = List.partition (fun (_, c) -> not (is_field c)) indexed in
+    first_of
+      (List.map
+         (fun (k, choice) b ->
+           let* b = add_slot slot k b in
+           unify ctx choice target b)
+         (preferred @ fields))
+      b
+  | Aast.Rel_op (i, ta, tb) -> (
+    let slot = Analysis.rel_op_slot_name i in
+    match target with
+    | SBin (op, x, y) when rel_code op <> None ->
+      first_of
+        [
+          (fun b ->
+            let* b = add_slot slot (Option.get (rel_code op)) b in
+            let* b = unify ctx ta x b in
+            unify ctx tb y b);
+          (* x >= y  <=>  y <= x : try the operand-swapped encoding *)
+          (fun b ->
+            let* b = add_slot slot (Option.get (rel_code (rel_flip op))) b in
+            let* b = unify ctx ta y b in
+            unify ctx tb x b);
+        ]
+        b
+    | _ -> None)
+  | Aast.Arith_op (i, ta, tb) ->
+    let slot = Analysis.arith_op_slot_name i in
+    first_of
+      [
+        (fun b ->
+          match target with
+          | SBin (Ast.Add, x, y) ->
+            first_of
+              [
+                (fun b ->
+                  let* b = add_slot slot 0 b in
+                  let* b = unify ctx ta x b in
+                  unify ctx tb y b);
+                (fun b ->
+                  let* b = add_slot slot 0 b in
+                  let* b = unify ctx ta y b in
+                  unify ctx tb x b);
+              ]
+              b
+          | SBin (Ast.Sub, x, y) ->
+            let* b = add_slot slot 1 b in
+            let* b = unify ctx ta x b in
+            unify ctx tb y b
+          | _ -> None);
+        (* t = t + 0 = t - 0: absorb the whole target into one operand *)
+        (fun b ->
+          let* b = add_slot slot 0 b in
+          let* b = unify ctx tb (SInt 0) b in
+          unify ctx ta target b);
+        (fun b ->
+          let* b = add_slot slot 0 b in
+          let* b = unify ctx ta (SInt 0) b in
+          unify ctx tb target b);
+      ]
+      b
+  | Aast.Binop (Ast.Add, ta, tb) ->
+    first_of
+      [
+        (fun b ->
+          match target with
+          | SBin (Ast.Add, x, y) ->
+            first_of
+              [
+                (fun b ->
+                  let* b = unify ctx ta x b in
+                  unify ctx tb y b);
+                (fun b ->
+                  let* b = unify ctx ta y b in
+                  unify ctx tb x b);
+              ]
+              b
+          | _ -> None);
+        (* t = t + 0: one side absorbs the target, the other matches zero *)
+        (fun b ->
+          let* b = unify ctx tb (SInt 0) b in
+          unify ctx ta target b);
+        (fun b ->
+          let* b = unify ctx ta (SInt 0) b in
+          unify ctx tb target b);
+      ]
+      b
+  | Aast.Binop (Ast.Sub, ta, tb) ->
+    first_of
+      [
+        (fun b ->
+          match target with
+          | SBin (Ast.Sub, x, y) ->
+            let* b = unify ctx ta x b in
+            unify ctx tb y b
+          | _ -> None);
+        (fun b ->
+          let* b = unify ctx tb (SInt 0) b in
+          unify ctx ta target b);
+      ]
+      b
+  | Aast.Binop (op, ta, tb) -> (
+    match target with
+    | SBin (op', x, y) when op = op' ->
+      let* b = unify ctx ta x b in
+      unify ctx tb y b
+    | _ -> None)
+  | Aast.Unop (op, ta) -> (
+    match target with
+    | SUn (op', x) when op = op' -> unify ctx ta x b
+    | _ -> None)
+
+(* Unifies a template guard against [Some g] (a target guard) or, when the
+   target update is unconditional, against a tautology so the guarded branch
+   always fires. *)
+let tautology = SBin (Ast.Ge, SInt 0, SInt 0)
+
+(* --- Statement-level matching ----------------------------------------------- *)
+
+(* [targets]: program state var -> its required value at the end of this
+   control path (phrased over transaction-start values). *)
+let rec unify_stmts ctx (stmts : Aast.stmt list) targets b : binding option =
+  match stmts with
+  | [] ->
+    (* Whatever this path does not assign must be left unchanged. *)
+    if List.for_all (fun (v, t) -> equal_sexpr t (SState v)) targets then Some b else None
+  | Aast.Assign (av, te) :: rest -> (
+    match mapped ctx av with
+    | None -> None (* atoms only assign state variables *)
+    | Some pv ->
+      let* target = List.assoc_opt pv targets in
+      let* b = unify ctx te target b in
+      unify_stmts ctx rest (List.remove_assoc pv targets) b)
+  | Aast.Return _ :: rest ->
+    (* A return does not affect state; outputs are handled by the machine
+       model (old/new state outputs). *)
+    unify_stmts ctx rest targets b
+  | [ Aast.If ([ (cond, then_stmts) ], else_stmts) ] ->
+    let split_on guard =
+      List.map
+        (fun (v, t) ->
+          match t with
+          | SCond (g, a, bb) when equal_sexpr g guard -> (v, a, bb)
+          | t -> (v, t, t))
+        targets
+    in
+    let candidate_guards =
+      List.filter_map (fun (_, t) -> match t with SCond (g, _, _) -> Some g | _ -> None) targets
+    in
+    let try_guard guard ~negated b =
+      let arms = split_on guard in
+      let thens = List.map (fun (v, a, bb) -> if negated then (v, bb) else (v, a)) arms in
+      let elses = List.map (fun (v, a, bb) -> if negated then (v, a) else (v, bb)) arms in
+      let guard_expr =
+        if negated then
+          match guard with
+          | SBin (op, x, y) when rel_negate op <> None ->
+            Some (SBin (Option.get (rel_negate op), x, y))
+          (* no relational negation available: encode as "guard == 0" via the
+             truthiness fallback in [unify_guard] *)
+          | g -> Some (SUn (Ast.Not, g))
+        else Some guard
+      in
+      let* guard_expr in
+      let* b = unify_guard ctx cond guard_expr b in
+      let* b = unify_stmts ctx then_stmts thens b in
+      unify_stmts ctx else_stmts elses b
+    in
+    first_of
+      (List.concat_map
+         (fun g -> [ try_guard g ~negated:false; try_guard g ~negated:true ])
+         candidate_guards
+      @ [
+          (* unconditional targets: make the guard a tautology and implement
+             everything in the then-branch (the else-branch, if any, must
+             also match, but with equal arms that is automatic) *)
+          (fun b ->
+            let* b = unify_guard ctx cond tautology b in
+            let* b = unify_stmts ctx then_stmts targets b in
+            if else_stmts = [] then Some b else unify_stmts ctx else_stmts targets b);
+        ])
+      b
+  | Aast.If _ :: _ -> None (* atoms use a single trailing conditional *)
+
+(* Guard unification: the template guard is a rel_op in all our atoms; in
+   addition to direct comparison matching, an arbitrary boolean target [g]
+   can be encoded as [g != 0], and a negated target [!g] as [g == 0], with
+   either operand of the rel_op carrying [g] (the operand is then computed
+   by an earlier stateless stage). *)
+and unify_guard ctx (cond : Aast.expr) guard b : binding option =
+  let truthiness rel_value g (i, ta, tb) b =
+    let slot = Analysis.rel_op_slot_name i in
+    first_of
+      [
+        (fun b ->
+          let* b = add_slot slot rel_value b in
+          let* b = unify ctx ta g b in
+          unify ctx tb (SInt 0) b);
+        (fun b ->
+          let* b = add_slot slot rel_value b in
+          let* b = unify ctx ta (SInt 0) b in
+          unify ctx tb g b);
+      ]
+      b
+  in
+  first_of
+    [
+      (fun b -> unify ctx cond guard b);
+      (fun b ->
+        match cond with
+        | Aast.Rel_op (i, ta, tb) -> (
+          match guard with
+          | SUn (Ast.Not, g) -> truthiness 2 (* == 0 *) g (i, ta, tb) b
+          | g -> truthiness 3 (* != 0 *) g (i, ta, tb) b)
+        | _ -> None);
+    ]
+    b
+
+(* --- Entry point ------------------------------------------------------------- *)
+
+(* A successful match: the slot/field binding plus which atom state slot
+   (index into the atom's state vector) each program variable landed in. *)
+type result = { r_binding : binding; r_slots : (string * int) list }
+
+(* Attempts to realize the update expressions of one state group on [atom].
+   [updates]: program state var -> update sexpr.  Tries every assignment of
+   the group's variables to the atom's state slots. *)
+let match_group ~bits ~(atom : Aast.t) ~(updates : (string * sexpr) list) : result option =
+  let program_vars = List.map fst updates in
+  let atom_vars = atom.Aast.state_vars in
+  if List.length program_vars > List.length atom_vars then None
+  else begin
+    (* All injective assignments of program vars to atom state slots.  Unused
+       atom slots get identity targets (their junk updates are confined to
+       slots no program variable lives in — but an atom always updates its
+       declared slots, so we require the identity to be *expressible*; the
+       matcher verifies that by unifying those targets too). *)
+    let rec assignments avs pvs =
+      match avs with
+      | [] -> if pvs = [] then [ [] ] else []
+      | av :: rest ->
+        let without =
+          if List.length pvs <= List.length rest then
+            List.map (fun m -> (av, None) :: m) (assignments rest pvs)
+          else []
+        in
+        let with_each =
+          List.concat_map
+            (fun pv ->
+              List.map (fun m -> (av, Some pv) :: m) (assignments rest (List.filter (( <> ) pv) pvs)))
+            pvs
+        in
+        with_each @ without
+    in
+    let slot_index av =
+      let rec go i = function
+        | [] -> assert false
+        | v :: rest -> if v = av then i else go (i + 1) rest
+      in
+      go 0 atom_vars
+    in
+    let try_assignment assign =
+      let state_map = List.filter_map (fun (av, pv) -> Option.map (fun p -> (av, p)) pv) assign in
+      (* Unmapped atom state slots must stay harmless: give them fresh
+         phantom program variables whose target is identity, so the matcher
+         must configure those updates as no-ops. *)
+      let phantom =
+        List.filter_map
+          (fun (av, pv) -> if pv = None then Some (av, "__phantom_" ^ av) else None)
+          assign
+      in
+      let ctx = { atom; state_map = state_map @ phantom; own_states = program_vars; bits } in
+      let targets = updates @ List.map (fun (_, ph) -> (ph, SState ph)) phantom in
+      match unify_stmts ctx atom.Aast.body targets empty_binding with
+      | Some b ->
+        Some { r_binding = b; r_slots = List.map (fun (av, pv) -> (pv, slot_index av)) state_map }
+      | None -> None
+    in
+    List.find_map try_assignment (assignments atom_vars program_vars)
+  end

@@ -1,0 +1,164 @@
+(* Branch removal (predication).
+
+   The standard Domino-style transform: the transaction's control flow is
+   eliminated by symbolic execution, leaving one *write-once* expression per
+   state variable and per output packet field, phrased entirely over the
+   transaction's inputs (packet input fields and state values at transaction
+   start).  Conditionals become [SCond] nodes.  This form is what the
+   rule-based backend schedules and what the atom matcher unifies against
+   the ALU templates. *)
+
+module Value = Druzhba_util.Value
+
+type sexpr =
+  | SInt of int
+  | SIn of string (* input packet field, value at transaction start *)
+  | SState of string (* state variable, value at transaction start *)
+  | SBin of Ast.binop * sexpr * sexpr
+  | SUn of Ast.unop * sexpr
+  | SCond of sexpr * sexpr * sexpr (* if g <> 0 then a else b *)
+[@@deriving eq, show { with_path = false }]
+
+(* Constant folding with guard normalization: strict comparisons — which the
+   switch's relational units do not implement (the paper's grammar has only
+   >=, <=, ==, !=) — are rewritten at SCond level by swapping arms, and
+   [Not]-guards are eliminated the same way. *)
+let rec fold bits (e : sexpr) : sexpr =
+  match e with
+  | SInt _ | SIn _ | SState _ -> e
+  | SUn (op, a) -> (
+    match fold bits a with
+    | SInt v -> SInt (Semantics.apply_unop bits op v)
+    | a -> SUn (op, a))
+  | SBin (op, a, b) -> (
+    let a = fold bits a and b = fold bits b in
+    match (a, b) with
+    | SInt x, SInt y -> SInt (Semantics.apply_binop bits op x y)
+    | a, SInt 0 when op = Ast.Add || op = Ast.Sub -> a
+    | SInt 0, b when op = Ast.Add -> b
+    | a, b -> SBin (op, a, b))
+  | SCond (g, a, b) -> (
+    match fold bits g with
+    | SInt v -> if Value.is_true v then fold bits a else fold bits b
+    | SBin (Ast.Lt, x, y) -> fold bits (SCond (SBin (Ast.Ge, x, y), b, a))
+    | SBin (Ast.Gt, x, y) -> fold bits (SCond (SBin (Ast.Le, x, y), b, a))
+    | SUn (Ast.Not, g) -> fold bits (SCond (g, b, a))
+    | g ->
+      let a = fold bits a and b = fold bits b in
+      if equal_sexpr a b then a else SCond (g, a, b))
+
+(* Result of predication: the final symbolic value of every state variable
+   and every written packet field. *)
+type t = {
+  state_updates : (string * sexpr) list; (* in declaration order *)
+  field_updates : (string * sexpr) list; (* in first-write order *)
+  info : Checker.info;
+}
+
+(* Symbolic environment: current symbolic value of every name. *)
+module Env = Map.Make (String)
+
+let predicate ~bits (p : Ast.program) : t =
+  let info = Checker.analyze_exn p in
+  (* Pre-branch symbolic value of a name that one branch left unwritten.
+     Locals have no pre-branch value; the binding is dropped, and any later
+     use fails in [eval]. *)
+  let default name =
+    match String.index_opt name '.' with
+    | Some 3 when String.sub name 0 4 = "pkt." ->
+      Some (SIn (String.sub name 4 (String.length name - 4)))
+    | _ -> if List.mem_assoc name p.Ast.states then Some (SState name) else None
+  in
+  let rec eval env (e : Ast.expr) : sexpr =
+    match e with
+    | Ast.Int n -> SInt (Value.mask bits n)
+    | Ast.Field f -> (
+      match Env.find_opt ("pkt." ^ f) env with Some s -> s | None -> SIn f)
+    | Ast.Var v -> (
+      match Env.find_opt v env with
+      | Some s -> s
+      | None ->
+        if List.mem_assoc v p.Ast.states then SState v (* unwritten so far *)
+        else
+          invalid_arg
+            (Printf.sprintf
+               "predication: local '%s' is used outside the conditional branch that binds it" v))
+    | Ast.Binop (op, a, b) -> fold bits (SBin (op, eval env a, eval env b))
+    | Ast.Unop (op, a) -> fold bits (SUn (op, eval env a))
+  in
+  let rec exec env (stmts : Ast.stmt list) =
+    List.fold_left
+      (fun env (s : Ast.stmt) ->
+        match s with
+        | Ast.Assign (Ast.Lfield f, e) -> Env.add ("pkt." ^ f) (eval env e) env
+        | Ast.Assign (Ast.Lvar v, e) | Ast.Local (v, e) -> Env.add v (eval env e) env
+        | Ast.If (branches, els) ->
+          (* Lower elif chains to nested two-way merges. *)
+          let rec chain env = function
+            | [] -> exec env els
+            | (c, body) :: rest ->
+              let g = eval env c in
+              let env_then = exec env body in
+              let env_else = chain env rest in
+              merge g env_then env_else
+          in
+          chain env branches)
+      env stmts
+  and merge g env_then env_else =
+    (* A name bound in both branches gets a conditional merge; a name bound
+       in only one branch merges with its pre-branch symbolic value (state
+       variables and packet fields), while branch-scoped locals are
+       dropped. *)
+    Env.merge
+      (fun name a b ->
+        match (a, b) with
+        | Some a, Some b -> Some (if equal_sexpr a b then a else fold bits (SCond (g, a, b)))
+        | Some a, None -> (
+          match default name with
+          | Some d -> Some (fold bits (SCond (g, a, d)))
+          | None -> None)
+        | None, Some b -> (
+          match default name with
+          | Some d -> Some (fold bits (SCond (g, d, b)))
+          | None -> None)
+        | None, None -> None)
+      env_then env_else
+  in
+  let final = exec Env.empty p.Ast.body in
+  let state_updates =
+    List.map
+      (fun (v, _) ->
+        match Env.find_opt v final with
+        | Some s -> (v, fold bits s)
+        | None -> (v, SState v) (* never written: identity *))
+      p.Ast.states
+  in
+  let field_updates =
+    List.map
+      (fun f ->
+        match Env.find_opt ("pkt." ^ f) final with
+        | Some s -> (f, fold bits s)
+        | None -> assert false (* outputs are written by definition *))
+      info.Checker.output_fields
+  in
+  { state_updates; field_updates; info }
+
+(* --- Queries used by the backend ------------------------------------------- *)
+
+let rec state_vars_of acc (e : sexpr) =
+  match e with
+  | SInt _ | SIn _ -> acc
+  | SState v -> if List.mem v acc then acc else v :: acc
+  | SBin (_, a, b) -> state_vars_of (state_vars_of acc a) b
+  | SUn (_, a) -> state_vars_of acc a
+  | SCond (g, a, b) -> state_vars_of (state_vars_of (state_vars_of acc g) a) b
+
+let state_free e = state_vars_of [] e = []
+
+let rec input_fields_of acc (e : sexpr) =
+  match e with
+  | SInt _ | SState _ -> acc
+  | SIn f -> if List.mem f acc then acc else f :: acc
+  | SBin (_, a, b) -> input_fields_of (input_fields_of acc a) b
+  | SUn (_, a) -> input_fields_of acc a
+  | SCond (g, a, b) -> input_fields_of (input_fields_of (input_fields_of acc g) a) b

@@ -1,0 +1,76 @@
+(* Pretty-printer for the Domino-subset language.
+
+   Emits concrete syntax that {!Frontend.parse} reads back to a structurally
+   equal program — the property tests rely on that — and is used by tooling
+   that round-trips programs (e.g. writing case-study corpus entries to
+   disk). *)
+
+open Ast
+
+let binop_symbol = function
+  | Add -> "+"
+  | Sub -> "-"
+  | Mul -> "*"
+  | Div -> "/"
+  | Mod -> "%"
+  | Eq -> "=="
+  | Neq -> "!="
+  | Lt -> "<"
+  | Gt -> ">"
+  | Le -> "<="
+  | Ge -> ">="
+  | And -> "&&"
+  | Or -> "||"
+
+(* Precedence levels matching {!Frontend}'s grammar. *)
+let binop_level = function
+  | Or -> 1
+  | And -> 2
+  | Eq | Neq | Lt | Gt | Le | Ge -> 3
+  | Add | Sub -> 4
+  | Mul | Div | Mod -> 5
+
+let rec pp_expr_prec level ppf (e : expr) =
+  match e with
+  | Int n -> Fmt.int ppf n
+  | Field f -> Fmt.pf ppf "pkt.%s" f
+  | Var v -> Fmt.string ppf v
+  | Unop (Neg, a) -> Fmt.pf ppf "-%a" (pp_expr_prec 6) a
+  | Unop (Not, a) -> Fmt.pf ppf "!%a" (pp_expr_prec 6) a
+  | Binop (op, a, b) ->
+    let l = binop_level op in
+    (* comparisons are non-associative; the rest left-associative *)
+    let left_level = match op with Eq | Neq | Lt | Gt | Le | Ge -> l + 1 | _ -> l in
+    let doc ppf () =
+      Fmt.pf ppf "%a %s %a" (pp_expr_prec left_level) a (binop_symbol op) (pp_expr_prec (l + 1)) b
+    in
+    if l < level then Fmt.parens doc ppf () else doc ppf ()
+
+let pp_expr = pp_expr_prec 0
+
+let rec pp_stmt ~indent ppf (s : stmt) =
+  let pad = String.make indent ' ' in
+  match s with
+  | Assign (Lfield f, e) -> Fmt.pf ppf "%spkt.%s = %a;" pad f pp_expr e
+  | Assign (Lvar v, e) -> Fmt.pf ppf "%s%s = %a;" pad v pp_expr e
+  | Local (v, e) -> Fmt.pf ppf "%slocal %s = %a;" pad v pp_expr e
+  | If (branches, els) ->
+    let pp_block ppf body =
+      List.iter (fun s -> Fmt.pf ppf "%a@," (pp_stmt ~indent:(indent + 2)) s) body
+    in
+    List.iteri
+      (fun i (cond, body) ->
+        let kw = if i = 0 then "if" else "elif" in
+        Fmt.pf ppf "%s%s (%a) {@,%a%s}" pad kw pp_expr cond pp_block body pad;
+        if i < List.length branches - 1 || els <> [] then Fmt.pf ppf "@,")
+      branches;
+    if els <> [] then Fmt.pf ppf "%selse {@,%a%s}" pad pp_block els pad
+
+let pp ppf (p : program) =
+  Fmt.pf ppf "@[<v>";
+  List.iter (fun (v, init) -> Fmt.pf ppf "state %s = %d;@," v init) p.states;
+  Fmt.pf ppf "transaction %s {@," p.name;
+  List.iter (fun s -> Fmt.pf ppf "%a@," (pp_stmt ~indent:2) s) p.body;
+  Fmt.pf ppf "}@]"
+
+let to_string p = Fmt.str "%a" pp p

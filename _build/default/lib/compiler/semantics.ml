@@ -1,0 +1,77 @@
+(* Reference semantics of packet transactions.
+
+   This is the "program spec" of the paper's Fig. 5: the golden model whose
+   output trace the pipeline simulation must reproduce.  The transaction runs
+   sequentially, once per packet, on the same fixed-width unsigned algebra as
+   the simulator ({!Druzhba_util.Value}). *)
+
+module Value = Druzhba_util.Value
+
+type env = {
+  bits : Value.width;
+  state : (string, int) Hashtbl.t;
+  fields : (string, int) Hashtbl.t; (* packet fields, mutated in place *)
+  locals : (string, int) Hashtbl.t;
+}
+
+let lookup tbl kind name =
+  match Hashtbl.find_opt tbl name with
+  | Some v -> v
+  | None -> invalid_arg (Printf.sprintf "Semantics: unbound %s '%s'" kind name)
+
+let apply_binop bits (op : Ast.binop) a b =
+  match op with
+  | Ast.Add -> Value.add bits a b
+  | Ast.Sub -> Value.sub bits a b
+  | Ast.Mul -> Value.mul bits a b
+  | Ast.Div -> Value.div bits a b
+  | Ast.Mod -> Value.rem bits a b
+  | Ast.Eq -> Value.eq a b
+  | Ast.Neq -> Value.neq a b
+  | Ast.Lt -> Value.lt a b
+  | Ast.Gt -> Value.gt a b
+  | Ast.Le -> Value.le a b
+  | Ast.Ge -> Value.ge a b
+  | Ast.And -> Value.logical_and a b
+  | Ast.Or -> Value.logical_or a b
+
+let apply_unop bits (op : Ast.unop) a =
+  match op with Ast.Neg -> Value.neg bits a | Ast.Not -> Value.logical_not a
+
+let rec eval env (e : Ast.expr) =
+  match e with
+  | Ast.Int n -> Value.mask env.bits n
+  | Ast.Field f -> lookup env.fields "packet field" f
+  | Ast.Var v -> (
+    match Hashtbl.find_opt env.locals v with
+    | Some x -> x
+    | None -> lookup env.state "state variable" v)
+  | Ast.Binop (op, a, b) -> apply_binop env.bits op (eval env a) (eval env b)
+  | Ast.Unop (op, a) -> apply_unop env.bits op (eval env a)
+
+let rec exec env (stmts : Ast.stmt list) =
+  List.iter
+    (fun (s : Ast.stmt) ->
+      match s with
+      | Ast.Assign (Ast.Lfield f, e) -> Hashtbl.replace env.fields f (eval env e)
+      | Ast.Assign (Ast.Lvar v, e) -> Hashtbl.replace env.state v (eval env e)
+      | Ast.Local (v, e) -> Hashtbl.replace env.locals v (eval env e)
+      | Ast.If (branches, els) ->
+        let rec pick = function
+          | [] -> exec env els
+          | (c, body) :: rest -> if Value.is_true (eval env c) then exec env body else pick rest
+        in
+        pick branches)
+    stmts
+
+(* Fresh state table with the program's declared initial values. *)
+let initial_state ~bits (p : Ast.program) =
+  let state = Hashtbl.create 8 in
+  List.iter (fun (v, init) -> Hashtbl.replace state v (Value.mask bits init)) p.Ast.states;
+  state
+
+(* Runs the transaction once: [fields] must contain every input field and is
+   mutated with the outputs; [state] carries over between packets. *)
+let run_transaction ~bits (p : Ast.program) ~state ~fields =
+  let env = { bits; state; fields; locals = Hashtbl.create 8 } in
+  exec env p.Ast.body

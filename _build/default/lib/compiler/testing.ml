@@ -1,0 +1,55 @@
+(* Adapter between the compiler and the fuzzing harness: turns a compiled
+   program into the Fig. 5 workflow pieces — the specification (reference
+   semantics driven through the compiler's field/state layout), the set of
+   observed containers, and the state comparison map. *)
+
+module Value = Druzhba_util.Value
+module Fuzz = Druzhba_fuzz.Fuzz
+module Phv = Druzhba_dsim.Phv
+
+(* Index of every program state variable in the spec's state vector. *)
+let state_indices (c : Codegen.compiled) =
+  List.mapi (fun i (v, _) -> (v, i)) c.Codegen.c_layout.Codegen.l_state
+
+(* Builds a {!Fuzz.spec} that runs the reference semantics on the containers
+   the compiler assigned. *)
+let spec_of (c : Codegen.compiled) : Fuzz.spec =
+  let bits = c.Codegen.c_target.Codegen.t_bits in
+  let layout = c.Codegen.c_layout in
+  let indices = state_indices c in
+  let init () =
+    Array.of_list
+      (List.map
+         (fun (v, _) -> Value.mask bits (List.assoc v c.Codegen.c_program.Ast.states))
+         layout.Codegen.l_state)
+  in
+  let step state (phv : Phv.t) =
+    let fields = Hashtbl.create 8 in
+    List.iter (fun (f, cont) -> Hashtbl.replace fields f phv.(cont)) layout.Codegen.l_inputs;
+    let state_tbl = Hashtbl.create 8 in
+    List.iter (fun (v, i) -> Hashtbl.replace state_tbl v state.(i)) indices;
+    Semantics.run_transaction ~bits c.Codegen.c_program ~state:state_tbl ~fields;
+    List.iter (fun (v, i) -> state.(i) <- Hashtbl.find state_tbl v) indices;
+    let out = Array.copy phv in
+    List.iter
+      (fun (f, cont) -> out.(cont) <- Hashtbl.find fields f)
+      layout.Codegen.l_outputs;
+    out
+  in
+  { Fuzz.spec_init = init; spec_step = step }
+
+let observed (c : Codegen.compiled) = List.map snd c.Codegen.c_layout.Codegen.l_outputs
+
+let state_layout (c : Codegen.compiled) : Fuzz.state_layout =
+  let indices = state_indices c in
+  List.map
+    (fun (v, (alu, slot)) -> (alu, slot, List.assoc v indices))
+    c.Codegen.c_layout.Codegen.l_state
+
+(* Runs the complete compiler-testing workflow of Fig. 5 on a compiled
+   program: simulate [n] random PHVs and compare the pipeline's output trace
+   against the reference semantics. *)
+let check ?level ?seed ~n (c : Codegen.compiled) : Fuzz.outcome =
+  Fuzz.run_equivalence ?level ?seed ~init:c.Codegen.c_layout.Codegen.l_init
+    ~desc:c.Codegen.c_desc ~mc:c.Codegen.c_mc ~spec:(spec_of c) ~observed:(observed c)
+    ~state_layout:(state_layout c) ~n ()

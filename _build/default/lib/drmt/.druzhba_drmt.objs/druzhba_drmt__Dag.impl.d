@@ -1,0 +1,1 @@
+lib/drmt/dag.pp.ml: Hashtbl List P4 Ppx_deriving_runtime

@@ -1,0 +1,1 @@
+lib/drmt/entries.pp.ml: Fmt List Option Ppx_deriving_runtime Printf Result String

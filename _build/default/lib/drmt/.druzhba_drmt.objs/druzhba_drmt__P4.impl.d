@@ -1,0 +1,1 @@
+lib/drmt/p4.pp.ml: Druzhba_util Fmt Format List Ppx_deriving_runtime Printf String

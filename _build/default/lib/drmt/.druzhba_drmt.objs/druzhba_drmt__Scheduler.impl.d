@@ -1,0 +1,1 @@
+lib/drmt/scheduler.pp.ml: Dag Fmt Hashtbl List Printf

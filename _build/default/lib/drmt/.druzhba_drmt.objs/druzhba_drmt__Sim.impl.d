@@ -1,0 +1,1 @@
+lib/drmt/sim.pp.ml: Dag Druzhba_util Entries Fmt Hashtbl List Option P4 Printf Scheduler String

@@ -1,0 +1,94 @@
+(* Table-dependency DAG extraction (paper §4.1).
+
+   dgen "converts the given P4 file into a DAG representing the match+action
+   table dependencies".  Following the dRMT formulation, every table
+   contributes a match node and an action node; edges carry the minimum
+   separation in clock cycles between the two operations on the same packet:
+
+   - match -> action of the same table: the match latency (the action needs
+     the match result);
+   - action of T -> match of U: *match dependency* — T's actions write a
+     field U matches on;
+   - action of T -> action of U: *action dependency* — T writes a field U's
+     actions read or write;
+   - match of T -> action of U: *reverse-match dependency* — U writes a field
+     T matches on, so U's write must not overtake T's key read (separation 1);
+   - successor edges preserve the control order between otherwise
+     independent tables with separation 0 (they may execute concurrently on
+     different crossbar ports but not be reordered in effect; keeping the
+     edge makes the greedy schedule deterministic). *)
+
+type node =
+  | Match of string (* table name *)
+  | Action of string
+[@@deriving eq, show { with_path = false }]
+
+type edge = { e_from : node; e_to : node; e_latency : int } [@@deriving eq, show { with_path = false }]
+
+type t = {
+  nodes : node list; (* in control order: M t1, A t1, M t2, ... *)
+  edges : edge list;
+  delta_match : int;
+  delta_action : int;
+}
+
+let intersects a b = List.exists (fun x -> List.mem x b) a
+
+(* [delta_match]/[delta_action] default to the dRMT paper's pipeline
+   latencies (22 and 2 cycles). *)
+let build ?(delta_match = 22) ?(delta_action = 2) (p : P4.t) : t =
+  let tables =
+    List.filter_map (fun name -> P4.find_table p name) p.P4.control
+  in
+  let nodes =
+    List.concat_map (fun (t : P4.table) -> [ Match t.t_name; Action t.t_name ]) tables
+  in
+  let edges = ref [] in
+  let add e_from e_to e_latency = edges := { e_from; e_to; e_latency } :: !edges in
+  (* match feeds its own action *)
+  List.iter (fun (t : P4.table) -> add (Match t.t_name) (Action t.t_name) delta_match) tables;
+  (* pairwise dependencies, in control order *)
+  let rec pairs = function
+    | [] -> ()
+    | (t : P4.table) :: rest ->
+      let wt = P4.table_writes p t in
+      List.iter
+        (fun (u : P4.table) ->
+          let ru = P4.table_reads p u in
+          let wu = P4.table_writes p u in
+          let match_dep = List.mem u.P4.t_key wt in
+          let action_dep = intersects wt ru || intersects wt wu in
+          let reverse_dep = List.mem t.P4.t_key wu in
+          if match_dep then add (Action t.t_name) (Match u.P4.t_name) delta_action;
+          if action_dep then add (Action t.t_name) (Action u.P4.t_name) delta_action;
+          if reverse_dep && not match_dep then add (Match t.t_name) (Action u.P4.t_name) 1;
+          if (not match_dep) && not action_dep then
+            (* successor edge: control order between independent tables *)
+            add (Match t.t_name) (Match u.P4.t_name) 0)
+        rest;
+      pairs rest
+  in
+  pairs tables;
+  { nodes; edges = List.rev !edges; delta_match; delta_action }
+
+let predecessors dag node =
+  List.filter_map (fun e -> if equal_node e.e_to node then Some e else None) dag.edges
+
+(* Nodes in a topological order (the node list is already one: all edges go
+   forward in control order, and Match precedes Action per table). *)
+let topological dag = dag.nodes
+
+(* Longest path through the DAG: a lower bound on the per-packet latency any
+   schedule can achieve. *)
+let critical_path dag =
+  let finish = Hashtbl.create 16 in
+  List.iter
+    (fun node ->
+      let start =
+        List.fold_left
+          (fun acc e -> max acc (Hashtbl.find finish (show_node e.e_from) + e.e_latency))
+          0 (predecessors dag node)
+      in
+      Hashtbl.replace finish (show_node node) start)
+    (topological dag);
+  Hashtbl.fold (fun _ v acc -> max v acc) finish 0

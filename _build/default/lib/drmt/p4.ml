@@ -1,0 +1,494 @@
+(* P4-subset programs for the dRMT model (paper §4).
+
+   The paper's dRMT path models programs "at the level of matches and
+   actions": dgen consumes a P4 program, extracts header types, packet
+   fields, actions, matches and the match+action table dependencies, and
+   packages them for dsim.  This module defines the program representation
+   and its textual format:
+
+   {v
+   header ipv4 {
+     ttl : 8;
+     dst : 32;
+   }
+
+   action set_port(port) {
+     meta.out_port = port;
+   }
+   action decrement_ttl() {
+     ipv4.ttl = ipv4.ttl - 1;
+   }
+
+   table ipv4_route {
+     key : ipv4.dst;
+     match : lpm;
+     actions : { set_port, decrement_ttl };
+     default : set_port 0;
+   }
+
+   control {
+     apply ipv4_route;
+   }
+   v}
+
+   Field references are [header.field]; [meta.x] names 32-bit per-packet
+   metadata and [reg.x] names global stateful registers (the "stateful
+   memories (e.g. registers, meters, counters)" of §4.2). *)
+
+module Scanner = Druzhba_util.Scanner
+
+type match_kind =
+  | Exact
+  | Ternary
+  | Lpm
+[@@deriving eq, show { with_path = false }]
+
+type field_ref =
+  | Header of string * string (* header.field *)
+  | Meta of string (* meta.x: 32-bit packet metadata *)
+  | Reg of string (* reg.x: global register *)
+[@@deriving eq, show { with_path = false }]
+
+type expr =
+  | Int of int
+  | Ref of field_ref
+  | Param of string (* action parameter, bound by the table entry *)
+  | Binop of binop * expr * expr
+  | Unop of unop * expr
+[@@deriving eq, show { with_path = false }]
+
+and binop = Add | Sub | Mul | Div | Mod | Eq | Neq | Lt | Gt | Le | Ge | And | Or
+[@@deriving eq, show { with_path = false }]
+
+and unop = Neg | Not [@@deriving eq, show { with_path = false }]
+
+type primitive =
+  | Assign of field_ref * expr
+  | Drop (* mark the packet dropped *)
+  | Noop
+[@@deriving eq, show { with_path = false }]
+
+type action = {
+  a_name : string;
+  a_params : string list;
+  a_body : primitive list;
+}
+[@@deriving eq, show { with_path = false }]
+
+type table = {
+  t_name : string;
+  t_key : field_ref;
+  t_match : match_kind;
+  t_actions : string list; (* names of invocable actions *)
+  t_default : string * int list; (* default action and its arguments *)
+}
+[@@deriving eq, show { with_path = false }]
+
+type header = { h_name : string; h_fields : (string * int) list (* field, bit width *) }
+[@@deriving eq, show { with_path = false }]
+
+type t = {
+  headers : header list;
+  actions : action list;
+  tables : table list;
+  control : string list; (* table application order *)
+}
+[@@deriving eq, show { with_path = false }]
+
+let find_table p name = List.find_opt (fun t -> t.t_name = name) p.tables
+let find_action p name = List.find_opt (fun a -> a.a_name = name) p.actions
+
+let field_width p = function
+  | Header (h, f) -> (
+    match List.find_opt (fun hd -> hd.h_name = h) p.headers with
+    | Some hd -> (
+      match List.assoc_opt f hd.h_fields with
+      | Some w -> Some w
+      | None -> None)
+    | None -> None)
+  | Meta _ | Reg _ -> Some 32
+
+(* All packet fields (header fields and metadata do; registers are switch
+   state, not packet data). *)
+let packet_fields p =
+  List.concat_map (fun h -> List.map (fun (f, w) -> (Header (h.h_name, f), w)) h.h_fields) p
+
+(* --- Static analysis: read/write sets (used by the dependency DAG) ---------- *)
+
+let rec expr_reads acc = function
+  | Int _ | Param _ -> acc
+  | Ref r -> r :: acc
+  | Binop (_, a, b) -> expr_reads (expr_reads acc a) b
+  | Unop (_, a) -> expr_reads acc a
+
+let action_reads (a : action) =
+  List.fold_left
+    (fun acc p -> match p with Assign (_, e) -> expr_reads acc e | Drop | Noop -> acc)
+    [] a.a_body
+  |> List.sort_uniq compare
+
+let action_writes (a : action) =
+  List.filter_map (function Assign (r, _) -> Some r | Drop | Noop -> None) a.a_body
+  |> List.sort_uniq compare
+
+(* Union over every action a table can invoke (including the default). *)
+let table_reads p (t : table) =
+  let names = fst t.t_default :: t.t_actions in
+  List.concat_map
+    (fun n -> match find_action p n with Some a -> action_reads a | None -> [])
+    names
+  |> List.sort_uniq compare
+
+let table_writes p (t : table) =
+  let names = fst t.t_default :: t.t_actions in
+  List.concat_map
+    (fun n -> match find_action p n with Some a -> action_writes a | None -> [])
+    names
+  |> List.sort_uniq compare
+
+(* --- Validation ------------------------------------------------------------- *)
+
+let validate (p : t) =
+  let errs = ref [] in
+  let err fmt = Format.kasprintf (fun m -> errs := m :: !errs) fmt in
+  let check_ref where r =
+    match r with
+    | Header (h, f) -> (
+      match List.find_opt (fun hd -> hd.h_name = h) p.headers with
+      | None -> err "%s: unknown header '%s'" where h
+      | Some hd -> if not (List.mem_assoc f hd.h_fields) then err "%s: unknown field '%s.%s'" where h f)
+    | Meta _ | Reg _ -> ()
+  in
+  List.iter
+    (fun (a : action) ->
+      List.iter
+        (function
+          | Assign (r, e) ->
+            check_ref ("action " ^ a.a_name) r;
+            (match r with
+            | Reg _ | Meta _ | Header _ -> ());
+            List.iter (check_ref ("action " ^ a.a_name)) (expr_reads [] e)
+          | Drop | Noop -> ())
+        a.a_body)
+    p.actions;
+  List.iter
+    (fun (t : table) ->
+      check_ref ("table " ^ t.t_name) t.t_key;
+      List.iter
+        (fun n -> if find_action p n = None then err "table %s: unknown action '%s'" t.t_name n)
+        (fst t.t_default :: t.t_actions);
+      (match find_action p (fst t.t_default) with
+      | Some a ->
+        if List.length a.a_params <> List.length (snd t.t_default) then
+          err "table %s: default action '%s' arity mismatch" t.t_name (fst t.t_default)
+      | None -> ()))
+    p.tables;
+  List.iter
+    (fun n -> if find_table p n = None then err "control: unknown table '%s'" n)
+    p.control;
+  match !errs with [] -> Ok () | errs -> Error (List.rev errs)
+
+(* --- Parser ------------------------------------------------------------------- *)
+
+exception Parse_error of Scanner.position * string
+
+let parse src : t =
+  let sc = Scanner.create src in
+  let fail msg = raise (Parse_error (Scanner.position sc, msg)) in
+  let skip () = Scanner.skip_trivia sc in
+  let expect_char c =
+    skip ();
+    match Scanner.peek sc with
+    | Some x when x = c -> Scanner.advance sc
+    | _ -> fail (Printf.sprintf "expected '%c'" c)
+  in
+  let try_char c =
+    skip ();
+    match Scanner.peek sc with
+    | Some x when x = c ->
+      Scanner.advance sc;
+      true
+    | _ -> false
+  in
+  let ident () =
+    skip ();
+    Scanner.scan_ident sc
+  in
+  let int () =
+    skip ();
+    Scanner.scan_int sc
+  in
+  let field_ref () =
+    let base = ident () in
+    if not (try_char '.') then fail "expected '.' in field reference"
+    else
+      let f = ident () in
+      match base with
+      | "meta" -> Meta f
+      | "reg" -> Reg f
+      | h -> Header (h, f)
+  in
+  (* expressions with the usual precedence *)
+  let rec expr () = expr_or ()
+  and expr_or () =
+    let rec go lhs = if Scanner.try_string sc "||" then go (Binop (Or, lhs, expr_and ())) else lhs in
+    let lhs = expr_and () in
+    skip ();
+    go lhs
+  and expr_and () =
+    let rec go lhs =
+      skip ();
+      if Scanner.try_string sc "&&" then go (Binop (And, lhs, expr_cmp ())) else lhs
+    in
+    go (expr_cmp ())
+  and expr_cmp () =
+    let lhs = expr_add () in
+    skip ();
+    if Scanner.try_string sc "==" then Binop (Eq, lhs, expr_add ())
+    else if Scanner.try_string sc "!=" then Binop (Neq, lhs, expr_add ())
+    else if Scanner.try_string sc "<=" then Binop (Le, lhs, expr_add ())
+    else if Scanner.try_string sc ">=" then Binop (Ge, lhs, expr_add ())
+    else if Scanner.try_string sc "<" then Binop (Lt, lhs, expr_add ())
+    else if Scanner.try_string sc ">" then Binop (Gt, lhs, expr_add ())
+    else lhs
+  and expr_add () =
+    let rec go lhs =
+      skip ();
+      match Scanner.peek sc with
+      | Some '+' ->
+        Scanner.advance sc;
+        go (Binop (Add, lhs, expr_mul ()))
+      | Some '-' ->
+        Scanner.advance sc;
+        go (Binop (Sub, lhs, expr_mul ()))
+      | _ -> lhs
+    in
+    go (expr_mul ())
+  and expr_mul () =
+    let rec go lhs =
+      skip ();
+      match Scanner.peek sc with
+      | Some '*' ->
+        Scanner.advance sc;
+        go (Binop (Mul, lhs, expr_unary ()))
+      | Some '/' when Scanner.peek2 sc <> Some '/' ->
+        Scanner.advance sc;
+        go (Binop (Div, lhs, expr_unary ()))
+      | Some '%' ->
+        Scanner.advance sc;
+        go (Binop (Mod, lhs, expr_unary ()))
+      | _ -> lhs
+    in
+    go (expr_unary ())
+  and expr_unary () =
+    skip ();
+    match Scanner.peek sc with
+    | Some '-' ->
+      Scanner.advance sc;
+      Unop (Neg, expr_unary ())
+    | Some '!' when Scanner.peek2 sc <> Some '=' ->
+      Scanner.advance sc;
+      Unop (Not, expr_unary ())
+    | _ -> expr_primary ()
+  and expr_primary () =
+    skip ();
+    match Scanner.peek sc with
+    | Some '(' ->
+      Scanner.advance sc;
+      let e = expr () in
+      expect_char ')';
+      e
+    | Some c when Scanner.is_digit c -> Int (Scanner.scan_int sc)
+    | Some c when Scanner.is_alpha c ->
+      let base = Scanner.scan_ident sc in
+      if try_char '.' then
+        let f = ident () in
+        Ref (match base with "meta" -> Meta f | "reg" -> Reg f | h -> Header (h, f))
+      else Param base
+    | _ -> fail "expected expression"
+  in
+  let headers = ref [] in
+  let actions = ref [] in
+  let tables = ref [] in
+  let control = ref None in
+  let parse_header () =
+    let name = ident () in
+    expect_char '{';
+    let fields = ref [] in
+    let rec go () =
+      skip ();
+      if try_char '}' then ()
+      else begin
+        let f = ident () in
+        expect_char ':';
+        let w = int () in
+        expect_char ';';
+        fields := (f, w) :: !fields;
+        go ()
+      end
+    in
+    go ();
+    headers := { h_name = name; h_fields = List.rev !fields } :: !headers
+  in
+  let parse_action () =
+    let name = ident () in
+    expect_char '(';
+    let params = ref [] in
+    (let rec go first =
+       skip ();
+       if try_char ')' then ()
+       else begin
+         if not first then expect_char ',';
+         params := ident () :: !params;
+         go false
+       end
+     in
+     go true);
+    expect_char '{';
+    let body = ref [] in
+    let rec go () =
+      skip ();
+      if try_char '}' then ()
+      else begin
+        (match Scanner.peek sc with
+        | Some c when Scanner.is_alpha c -> (
+          (* lookahead: "drop;" / "noop;" or an assignment *)
+          let save = Scanner.position sc in
+          ignore save;
+          let base = ident () in
+          match base with
+          | "drop" ->
+            expect_char ';';
+            body := Drop :: !body
+          | "noop" ->
+            expect_char ';';
+            body := Noop :: !body
+          | base ->
+            if not (try_char '.') then fail "expected '.' in assignment target"
+            else begin
+              let f = ident () in
+              let target =
+                match base with "meta" -> Meta f | "reg" -> Reg f | h -> Header (h, f)
+              in
+              expect_char '=';
+              let e = expr () in
+              expect_char ';';
+              body := Assign (target, e) :: !body
+            end)
+        | _ -> fail "expected primitive");
+        go ()
+      end
+    in
+    go ();
+    actions := { a_name = name; a_params = List.rev !params; a_body = List.rev !body } :: !actions
+  in
+  let parse_table () =
+    let name = ident () in
+    expect_char '{';
+    let key = ref None and kind = ref None and acts = ref [] and default = ref None in
+    let rec go () =
+      skip ();
+      if try_char '}' then ()
+      else begin
+        (match ident () with
+        | "key" ->
+          expect_char ':';
+          key := Some (field_ref ());
+          expect_char ';'
+        | "match" ->
+          expect_char ':';
+          (kind :=
+             match ident () with
+             | "exact" -> Some Exact
+             | "ternary" -> Some Ternary
+             | "lpm" -> Some Lpm
+             | k -> fail (Printf.sprintf "unknown match kind '%s'" k));
+          expect_char ';'
+        | "actions" ->
+          expect_char ':';
+          expect_char '{';
+          let rec names first =
+            skip ();
+            if try_char '}' then ()
+            else begin
+              if not first then expect_char ',';
+              acts := ident () :: !acts;
+              names false
+            end
+          in
+          names true;
+          expect_char ';'
+        | "default" ->
+          expect_char ':';
+          let n = ident () in
+          let args = ref [] in
+          let rec more () =
+            skip ();
+            match Scanner.peek sc with
+            | Some c when Scanner.is_digit c ->
+              args := int () :: !args;
+              more ()
+            | _ -> ()
+          in
+          more ();
+          expect_char ';';
+          default := Some (n, List.rev !args)
+        | k -> fail (Printf.sprintf "unknown table clause '%s'" k));
+        go ()
+      end
+    in
+    go ();
+    match (!key, !kind, !default) with
+    | Some key, Some kind, Some default ->
+      tables :=
+        { t_name = name; t_key = key; t_match = kind; t_actions = List.rev !acts; t_default = default }
+        :: !tables
+    | _ -> fail (Printf.sprintf "table '%s' is missing key, match, or default" name)
+  in
+  let parse_control () =
+    expect_char '{';
+    let order = ref [] in
+    let rec go () =
+      skip ();
+      if try_char '}' then ()
+      else
+        match ident () with
+        | "apply" ->
+          order := ident () :: !order;
+          expect_char ';';
+          go ()
+        | k -> fail (Printf.sprintf "unknown control statement '%s'" k)
+    in
+    go ();
+    control := Some (List.rev !order)
+  in
+  let rec toplevel () =
+    skip ();
+    if Scanner.at_end sc then ()
+    else begin
+      (match ident () with
+      | "header" -> parse_header ()
+      | "action" -> parse_action ()
+      | "table" -> parse_table ()
+      | "control" -> parse_control ()
+      | k -> fail (Printf.sprintf "unknown declaration '%s'" k));
+      toplevel ()
+    end
+  in
+  toplevel ();
+  let p =
+    {
+      headers = List.rev !headers;
+      actions = List.rev !actions;
+      tables = List.rev !tables;
+      control = (match !control with Some c -> c | None -> fail "missing control block");
+    }
+  in
+  match validate p with
+  | Ok () -> p
+  | Error errs -> fail (String.concat "; " errs)
+
+let parse_result src =
+  match parse src with
+  | p -> Ok p
+  | exception Parse_error (pos, msg) -> Error (Fmt.str "%a: %s" Scanner.pp_position pos msg)

@@ -1,0 +1,149 @@
+(* The dRMT scheduler (paper §4.1).
+
+   dRMT runs the same program on P processors, with one new packet admitted
+   per cycle and assigned round robin, so processor p starts packet k (where
+   k ≡ p mod P) at cycle k.  Every processor executes the *same* static
+   schedule: node n of the program runs at cycle (arrival + time n).  The
+   crossbar to the centralized memory clusters bounds the whole chip to at
+   most [match_capacity] match issues and [action_capacity] action issues per
+   cycle.  Because arrivals are 1 per cycle and the schedule repeats every P
+   cycles, the chip-wide constraint reduces to a constraint on residues:
+
+     for every residue r mod P:
+        #{ match nodes with time ≡ r }  <= match_capacity
+        #{ action nodes with time ≡ r } <= action_capacity
+
+   The exact problem is NP-hard (the paper formulates it as an ILP); we use
+   deterministic greedy list scheduling — earliest feasible slot in
+   topological order — which is the standard heuristic and is optimal on the
+   small programs the simulator runs.  [validate] checks the two invariants
+   (precedence and residue capacity) of any schedule, so alternative
+   schedulers can be dropped in and verified. *)
+
+type config = {
+  processors : int;
+  match_capacity : int; (* chip-wide match issues per cycle *)
+  action_capacity : int; (* chip-wide action issues per cycle *)
+}
+
+let config ?(processors = 4) ?(match_capacity = 8) ?(action_capacity = 32) () =
+  if processors < 1 then invalid_arg "Scheduler.config: processors must be >= 1";
+  { processors; match_capacity; action_capacity }
+
+type t = {
+  times : (Dag.node * int) list; (* start cycle of each node, packet-relative *)
+  makespan : int; (* cycles from packet arrival to last node issue *)
+  cfg : config;
+}
+
+let time_of t node =
+  match List.find_opt (fun (n, _) -> Dag.equal_node n node) t.times with
+  | Some (_, time) -> time
+  | None -> invalid_arg "Scheduler.time_of: unscheduled node"
+
+let is_match = function Dag.Match _ -> true | Dag.Action _ -> false
+
+exception Infeasible of string
+
+(* A program fits at line rate only if each processor can issue all of its
+   matches (actions) within its P residue classes: P * capacity slots. *)
+let check_feasible (cfg : config) (dag : Dag.t) =
+  let matches = List.length (List.filter is_match dag.Dag.nodes) in
+  let actions = List.length dag.Dag.nodes - matches in
+  if matches > cfg.processors * cfg.match_capacity then
+    raise
+      (Infeasible
+         (Printf.sprintf
+            "%d match nodes exceed %d processors x %d match issues per cycle; add processors or \
+             reduce the program"
+            matches cfg.processors cfg.match_capacity));
+  if actions > cfg.processors * cfg.action_capacity then
+    raise
+      (Infeasible
+         (Printf.sprintf "%d action nodes exceed %d processors x %d action issues per cycle"
+            actions cfg.processors cfg.action_capacity))
+
+(* Greedy list scheduling with residue-class capacity accounting.
+
+   @raise Infeasible when the program cannot run at line rate on [cfg] (the
+   all-or-nothing property, disaggregated edition). *)
+let schedule (cfg : config) (dag : Dag.t) : t =
+  check_feasible cfg dag;
+  let p = cfg.processors in
+  let match_load = Hashtbl.create 16 (* residue -> issues *) in
+  let action_load = Hashtbl.create 16 in
+  let load tbl r = try Hashtbl.find tbl r with Not_found -> 0 in
+  let times = Hashtbl.create 16 in
+  let scheduled = ref [] in
+  List.iter
+    (fun node ->
+      let earliest =
+        List.fold_left
+          (fun acc (e : Dag.edge) -> max acc (Hashtbl.find times e.Dag.e_from + e.Dag.e_latency))
+          0 (Dag.predecessors dag node)
+      in
+      let tbl, cap =
+        if is_match node then (match_load, cfg.match_capacity)
+        else (action_load, cfg.action_capacity)
+      in
+      let rec fit time =
+        (* A schedule always exists: each node adds one issue to one residue,
+           and time can grow until a residue has room (cap >= 1). *)
+        if load tbl (time mod p) < cap then time else fit (time + 1)
+      in
+      let time = fit earliest in
+      Hashtbl.replace tbl (time mod p) (load tbl (time mod p) + 1);
+      Hashtbl.replace times node time;
+      scheduled := (node, time) :: !scheduled)
+    (Dag.topological dag);
+  let makespan = List.fold_left (fun acc (_, time) -> max acc time) 0 !scheduled in
+  { times = List.rev !scheduled; makespan; cfg }
+
+(* --- Validation (the scheduler's contract) ----------------------------------- *)
+
+type violation =
+  | Precedence of Dag.edge * int * int (* edge, from-time, to-time *)
+  | Capacity of [ `Match | `Action ] * int * int (* residue, load *)
+
+let pp_violation ppf = function
+  | Precedence (e, tf, tt) ->
+    Fmt.pf ppf "precedence: %s@%d -> %s@%d needs %d cycles" (Dag.show_node e.Dag.e_from) tf
+      (Dag.show_node e.Dag.e_to) tt e.Dag.e_latency
+  | Capacity (kind, residue, n) ->
+    Fmt.pf ppf "%s capacity exceeded at residue %d: %d issues"
+      (match kind with `Match -> "match" | `Action -> "action")
+      residue n
+
+let validate (dag : Dag.t) (t : t) : violation list =
+  let p = t.cfg.processors in
+  let violations = ref [] in
+  List.iter
+    (fun (e : Dag.edge) ->
+      let tf = time_of t e.Dag.e_from and tt = time_of t e.Dag.e_to in
+      if tt - tf < e.Dag.e_latency then violations := Precedence (e, tf, tt) :: !violations)
+    dag.Dag.edges;
+  let count kind pred =
+    let loads = Hashtbl.create 8 in
+    List.iter
+      (fun (node, time) ->
+        if pred node then
+          Hashtbl.replace loads (time mod p) (1 + (try Hashtbl.find loads (time mod p) with Not_found -> 0)))
+      t.times;
+    Hashtbl.iter
+      (fun residue n ->
+        let cap =
+          match kind with `Match -> t.cfg.match_capacity | `Action -> t.cfg.action_capacity
+        in
+        if n > cap then violations := Capacity (kind, residue, n) :: !violations)
+      loads
+  in
+  count `Match is_match;
+  count `Action (fun n -> not (is_match n));
+  List.rev !violations
+
+let pp ppf (t : t) =
+  Fmt.pf ppf "@[<v>schedule (P=%d, makespan=%d):@," t.cfg.processors t.makespan;
+  List.iter
+    (fun (node, time) -> Fmt.pf ppf "  cycle %3d: %s@," time (Dag.show_node node))
+    (List.sort (fun (_, a) (_, b) -> compare a b) t.times);
+  Fmt.pf ppf "@]"

@@ -1,0 +1,283 @@
+(* dRMT dsim (paper §4.2).
+
+   The disaggregated model: a set of match+action processors share
+   centralized match+action tables through a crossbar.  At every tick the
+   traffic generator emits a packet with randomly initialized fields (per the
+   P4 program's header declarations); packets go to processors round robin;
+   each processor runs the program to completion following the static
+   schedule produced by {!Scheduler}; matches consult the table entries
+   loaded from the {!Entries} configuration and actions mutate packet fields
+   and the global stateful registers.
+
+   Execution is event-driven: every (packet, node) pair becomes an event at
+   cycle [arrival + schedule time]; events execute in cycle order, so
+   register accesses from overlapping packets interleave exactly as the
+   hardware's timing dictates.  [run_sequential] provides the P4 sequential
+   reference semantics (one packet at a time) used for differential
+   testing. *)
+
+module Value = Druzhba_util.Value
+module Prng = Druzhba_util.Prng
+
+type packet = {
+  pk_id : int;
+  pk_arrival : int;
+  pk_processor : int;
+  fields : (P4.field_ref, int) Hashtbl.t;
+  mutable selected : (string * string * int list) list; (* table -> matched action *)
+  mutable dropped : bool;
+}
+
+type stats = {
+  st_packets : int;
+  st_cycles : int; (* last event cycle + 1 *)
+  st_matches : int;
+  st_actions : int;
+  st_table_hits : (string * int) list;
+  (* chip-wide concurrency (all processors summed) *)
+  st_peak_match_per_cycle : int;
+  st_peak_action_per_cycle : int;
+  (* per-processor peaks: the scheduler guarantees these stay within the
+     configured per-processor crossbar capacities *)
+  st_peak_match_per_processor : int;
+  st_peak_action_per_processor : int;
+}
+
+type result = {
+  r_packets : packet list; (* in arrival order *)
+  r_registers : (string * int) list;
+  r_stats : stats;
+}
+
+(* --- Shared evaluation ------------------------------------------------------- *)
+
+let field_bits (p : P4.t) r = match P4.field_width p r with Some w -> min w 62 | None -> 32
+
+let read_field (p : P4.t) registers (pk : packet) r =
+  match r with
+  | P4.Reg name -> ( try Hashtbl.find registers name with Not_found -> 0)
+  | P4.Header _ | P4.Meta _ -> ( try Hashtbl.find pk.fields r with Not_found -> 0)
+  |> Value.mask (field_bits p r)
+
+let rec eval (p : P4.t) registers pk params (e : P4.expr) =
+  let bits = 32 in
+  match e with
+  | P4.Int n -> Value.mask bits n
+  | P4.Ref r -> read_field p registers pk r
+  | P4.Param name -> (
+    match List.assoc_opt name params with
+    | Some v -> v
+    | None -> invalid_arg (Printf.sprintf "Drmt.Sim: unbound action parameter '%s'" name))
+  | P4.Binop (op, a, b) ->
+    let x = eval p registers pk params a and y = eval p registers pk params b in
+    (match op with
+    | P4.Add -> Value.add bits x y
+    | P4.Sub -> Value.sub bits x y
+    | P4.Mul -> Value.mul bits x y
+    | P4.Div -> Value.div bits x y
+    | P4.Mod -> Value.rem bits x y
+    | P4.Eq -> Value.eq x y
+    | P4.Neq -> Value.neq x y
+    | P4.Lt -> Value.lt x y
+    | P4.Gt -> Value.gt x y
+    | P4.Le -> Value.le x y
+    | P4.Ge -> Value.ge x y
+    | P4.And -> Value.logical_and x y
+    | P4.Or -> Value.logical_or x y)
+  | P4.Unop (op, a) ->
+    let x = eval p registers pk params a in
+    (match op with P4.Neg -> Value.neg bits x | P4.Not -> Value.logical_not x)
+
+let write_field (p : P4.t) registers (pk : packet) r v =
+  let v = Value.mask (field_bits p r) v in
+  match r with
+  | P4.Reg name -> Hashtbl.replace registers name v
+  | P4.Header _ | P4.Meta _ -> Hashtbl.replace pk.fields r v
+
+let exec_action (p : P4.t) registers pk (a : P4.action) args =
+  let params =
+    try List.combine a.P4.a_params args
+    with Invalid_argument _ ->
+      invalid_arg (Printf.sprintf "Drmt.Sim: action '%s' arity mismatch" a.P4.a_name)
+  in
+  List.iter
+    (fun prim ->
+      match prim with
+      | P4.Assign (r, e) -> write_field p registers pk r (eval p registers pk params e)
+      | P4.Drop -> pk.dropped <- true
+      | P4.Noop -> ())
+    a.P4.a_body
+
+(* Match phase of [table] for [pk]: select the action the entry (or default)
+   dictates.  Returns whether an entry hit. *)
+let do_match (p : P4.t) entries registers (pk : packet) (table : P4.table) =
+  let key_width = field_bits p table.P4.t_key in
+  let key = read_field p registers pk table.P4.t_key in
+  match Entries.lookup entries ~table:table.P4.t_name ~key_width key with
+  | Some entry ->
+    pk.selected <-
+      (table.P4.t_name, entry.Entries.en_action, entry.Entries.en_args) :: pk.selected;
+    true
+  | None ->
+    let name, args = table.P4.t_default in
+    pk.selected <- (table.P4.t_name, name, args) :: pk.selected;
+    false
+
+let do_action (p : P4.t) registers (pk : packet) (table : P4.table) =
+  match
+    List.find_map
+      (fun (t, action, args) -> if t = table.P4.t_name then Some (action, args) else None)
+      pk.selected
+  with
+  | Some (action, args) -> (
+    match P4.find_action p action with
+    | Some a -> exec_action p registers pk a args
+    | None -> invalid_arg (Printf.sprintf "Drmt.Sim: unknown action '%s'" action))
+  | None -> invalid_arg (Printf.sprintf "Drmt.Sim: action before match for table '%s'" table.P4.t_name)
+
+(* --- Traffic ------------------------------------------------------------------ *)
+
+let random_packet (p : P4.t) prng ~id ~arrival ~processor =
+  let fields = Hashtbl.create 16 in
+  List.iter
+    (fun (r, w) -> Hashtbl.replace fields r (Prng.bits prng (min w 62)))
+    (P4.packet_fields p.P4.headers);
+  { pk_id = id; pk_arrival = arrival; pk_processor = processor; fields; selected = []; dropped = false }
+
+(* --- Scheduled (dRMT) execution ------------------------------------------------- *)
+
+let run ?(seed = 0xD52ba) ~(cfg : Scheduler.config) ~entries ~packets (p : P4.t) : result =
+  let dag = Dag.build p in
+  let sched = Scheduler.schedule cfg dag in
+  (match Scheduler.validate dag sched with
+  | [] -> ()
+  | violations ->
+    invalid_arg
+      (Fmt.str "Drmt.Sim: scheduler produced an invalid schedule: %a"
+         Fmt.(list ~sep:(any "; ") Scheduler.pp_violation)
+         violations));
+  let prng = Prng.create seed in
+  let pks =
+    List.init packets (fun k ->
+        random_packet p prng ~id:k ~arrival:k ~processor:(k mod cfg.Scheduler.processors))
+  in
+  (* every (packet, node) pair is an event at arrival + node time *)
+  let events =
+    List.concat_map
+      (fun pk ->
+        List.map (fun (node, time) -> (pk.pk_arrival + time, pk, node)) sched.Scheduler.times)
+      pks
+  in
+  let events =
+    List.stable_sort
+      (fun (c1, pk1, _) (c2, pk2, _) ->
+        match compare c1 c2 with 0 -> compare pk1.pk_id pk2.pk_id | c -> c)
+      events
+  in
+  let registers = Hashtbl.create 16 in
+  let matches = ref 0 and actions = ref 0 in
+  let hits = Hashtbl.create 8 in
+  let per_cycle_match = Hashtbl.create 64 and per_cycle_action = Hashtbl.create 64 in
+  let per_proc_match = Hashtbl.create 64 and per_proc_action = Hashtbl.create 64 in
+  let bump tbl key = Hashtbl.replace tbl key (1 + (try Hashtbl.find tbl key with Not_found -> 0)) in
+  let last_cycle = ref 0 in
+  List.iter
+    (fun (cycle, pk, node) ->
+      last_cycle := max !last_cycle cycle;
+      match node with
+      | Dag.Match name ->
+        incr matches;
+        bump per_cycle_match cycle;
+        bump per_proc_match (cycle, pk.pk_processor);
+        let table = Option.get (P4.find_table p name) in
+        if do_match p entries registers pk table then bump hits name
+      | Dag.Action name ->
+        incr actions;
+        bump per_cycle_action cycle;
+        bump per_proc_action (cycle, pk.pk_processor);
+        do_action p registers pk (Option.get (P4.find_table p name)))
+    events;
+  let peak tbl = Hashtbl.fold (fun _ v acc -> max v acc) tbl 0 in
+  {
+    r_packets = pks;
+    r_registers =
+      Hashtbl.fold (fun k v acc -> (k, v) :: acc) registers []
+      |> List.sort (fun (a, _) (b, _) -> String.compare a b);
+    r_stats =
+      {
+        st_packets = packets;
+        st_cycles = !last_cycle + 1;
+        st_matches = !matches;
+        st_actions = !actions;
+        st_table_hits =
+          Hashtbl.fold (fun k v acc -> (k, v) :: acc) hits []
+          |> List.sort (fun (a, _) (b, _) -> String.compare a b);
+        st_peak_match_per_cycle = peak per_cycle_match;
+        st_peak_action_per_cycle = peak per_cycle_action;
+        st_peak_match_per_processor = peak per_proc_match;
+        st_peak_action_per_processor = peak per_proc_action;
+      };
+  }
+
+(* --- Sequential reference semantics ---------------------------------------------- *)
+
+(* Runs packets one at a time, tables in control order — standard P4
+   semantics, used as the golden model for differential testing of the
+   scheduled execution. *)
+let run_sequential ?(seed = 0xD52ba) ~entries ~packets (p : P4.t) : result =
+  let prng = Prng.create seed in
+  let pks = List.init packets (fun k -> random_packet p prng ~id:k ~arrival:k ~processor:0) in
+  let registers = Hashtbl.create 16 in
+  let matches = ref 0 and actions = ref 0 in
+  let hits = Hashtbl.create 8 in
+  let bump tbl key = Hashtbl.replace tbl key (1 + (try Hashtbl.find tbl key with Not_found -> 0)) in
+  List.iter
+    (fun pk ->
+      List.iter
+        (fun name ->
+          let table = Option.get (P4.find_table p name) in
+          incr matches;
+          if do_match p entries registers pk table then bump hits name;
+          incr actions;
+          do_action p registers pk table)
+        p.P4.control)
+    pks;
+  {
+    r_packets = pks;
+    r_registers =
+      Hashtbl.fold (fun k v acc -> (k, v) :: acc) registers []
+      |> List.sort (fun (a, _) (b, _) -> String.compare a b);
+    r_stats =
+      {
+        st_packets = packets;
+        st_cycles = packets;
+        st_matches = !matches;
+        st_actions = !actions;
+        st_table_hits =
+          Hashtbl.fold (fun k v acc -> (k, v) :: acc) hits []
+          |> List.sort (fun (a, _) (b, _) -> String.compare a b);
+        st_peak_match_per_cycle = 0;
+        st_peak_action_per_cycle = 0;
+        st_peak_match_per_processor = 0;
+        st_peak_action_per_processor = 0;
+      };
+  }
+
+(* Compares packet-local outcomes of two runs (register interleavings may
+   differ when packets overlap; packet fields must not). *)
+let packets_agree (a : result) (b : result) =
+  List.length a.r_packets = List.length b.r_packets
+  && List.for_all2
+       (fun (x : packet) (y : packet) ->
+         x.dropped = y.dropped
+         && Hashtbl.fold (fun r v acc -> acc && Hashtbl.find_opt y.fields r = Some v) x.fields true)
+       a.r_packets b.r_packets
+
+let pp_packet (p : P4.t) ppf (pk : packet) =
+  Fmt.pf ppf "packet %d%s:" pk.pk_id (if pk.dropped then " (dropped)" else "");
+  List.iter
+    (fun (r, _) ->
+      match Hashtbl.find_opt pk.fields r with
+      | Some v -> Fmt.pf ppf " %s=%d" (P4.show_field_ref r) v
+      | None -> ())
+    (P4.packet_fields p.P4.headers)

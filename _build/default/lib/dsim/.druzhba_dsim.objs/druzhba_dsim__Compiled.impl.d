@@ -1,0 +1,1 @@
+lib/dsim/compiled.ml: Array Druzhba_machine_code Druzhba_pipeline List Option Phv Trace

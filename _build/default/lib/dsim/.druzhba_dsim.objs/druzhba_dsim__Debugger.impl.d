@@ -1,0 +1,1 @@
+lib/dsim/debugger.ml: Array Druzhba_machine_code Druzhba_pipeline Engine Fmt List Option Phv

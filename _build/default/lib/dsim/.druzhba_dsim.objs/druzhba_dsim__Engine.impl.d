@@ -1,0 +1,1 @@
+lib/dsim/engine.ml: Array Druzhba_machine_code Druzhba_pipeline List Option Phv Trace

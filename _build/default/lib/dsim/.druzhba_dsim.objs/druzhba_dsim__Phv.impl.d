@@ -1,0 +1,1 @@
+lib/dsim/phv.ml: Array Druzhba_util Fmt

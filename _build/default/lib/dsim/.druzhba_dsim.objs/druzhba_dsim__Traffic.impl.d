@@ -1,0 +1,1 @@
+lib/dsim/traffic.ml: Druzhba_util List Phv

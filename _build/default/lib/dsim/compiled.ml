@@ -1,0 +1,97 @@
+(* dsim over closure-compiled pipeline descriptions (see
+   {!Druzhba_pipeline.Compile}).  Semantics are identical to {!Engine}; only
+   the execution substrate differs — this is the configuration the
+   benchmarks use, mirroring the paper's rustc-compiled pipeline
+   descriptions. *)
+
+module Ir = Druzhba_pipeline.Ir
+module Compile = Druzhba_pipeline.Compile
+module Machine_code = Druzhba_machine_code.Machine_code
+
+type t = {
+  compiled : Compile.t;
+  regs : Phv.t option array;
+  mutable tick : int;
+}
+
+let create (compiled : Compile.t) =
+  { compiled; regs = Array.make (compiled.Compile.c_depth + 1) None; tick = 0 }
+
+let exec_stage t (cs : Compile.compiled_stage) (phv : Phv.t) : Phv.t =
+  let width = t.compiled.Compile.c_width in
+  let run_on (alu : Compile.compiled_alu) =
+    alu.Compile.ca_env.Compile.phv <- phv;
+    alu.Compile.ca_run ()
+  in
+  let stateless_out = Array.map run_on cs.Compile.cs_stateless in
+  let stateful_out = Array.map run_on cs.Compile.cs_stateful in
+  let n = (3 * width) + 1 in
+  let args = Array.make n 0 in
+  Array.blit stateless_out 0 args 0 width;
+  Array.blit stateful_out 0 args width width;
+  Array.iteri
+    (fun j (alu : Compile.compiled_alu) ->
+      args.((2 * width) + j) <- alu.Compile.ca_env.Compile.state.(0))
+    cs.Compile.cs_stateful;
+  Array.init width (fun c ->
+      args.(n - 1) <- phv.(c);
+      cs.Compile.cs_output_muxes.(c) args)
+
+let step t ~input =
+  let depth = t.compiled.Compile.c_depth in
+  t.regs.(0) <- input;
+  for s = depth - 1 downto 0 do
+    t.regs.(s + 1) <- Option.map (exec_stage t t.compiled.Compile.c_stages.(s)) t.regs.(s)
+  done;
+  t.tick <- t.tick + 1;
+  t.regs.(depth)
+
+let current_state t =
+  Array.to_list t.compiled.Compile.c_stages
+  |> List.concat_map (fun (cs : Compile.compiled_stage) ->
+         Array.to_list cs.Compile.cs_stateful
+         |> List.map (fun (alu : Compile.compiled_alu) ->
+                (alu.Compile.ca_name, Array.copy alu.Compile.ca_env.Compile.state)))
+
+(* Zeroes all persistent ALU state, so a compiled pipeline can be reused for
+   independent simulations (e.g. benchmark iterations). *)
+let reset (compiled : Compile.t) =
+  Array.iter
+    (fun (cs : Compile.compiled_stage) ->
+      Array.iter
+        (fun (alu : Compile.compiled_alu) -> Array.fill alu.Compile.ca_env.Compile.state 0 (Array.length alu.Compile.ca_env.Compile.state) 0)
+        cs.Compile.cs_stateful)
+    compiled.Compile.c_stages
+
+(* Preloads stateful-ALU state vectors (keyed by ALU name), modelling
+   control-plane register initialization. *)
+let load_state (compiled : Compile.t) init =
+  Array.iter
+    (fun (cs : Compile.compiled_stage) ->
+      Array.iter
+        (fun (alu : Compile.compiled_alu) ->
+          match List.assoc_opt alu.Compile.ca_name init with
+          | Some values ->
+            let vec = alu.Compile.ca_env.Compile.state in
+            Array.blit values 0 vec 0 (min (Array.length values) (Array.length vec))
+          | None -> ())
+        cs.Compile.cs_stateful)
+    compiled.Compile.c_stages
+
+(* Runs a complete simulation on a pre-compiled pipeline, starting from
+   all-zero (or [init]-preloaded) state. *)
+let run_compiled ?(init = []) (compiled : Compile.t) ~inputs : Trace.t =
+  reset compiled;
+  load_state compiled init;
+  let t = create compiled in
+  let outputs = ref [] in
+  let push = function Some phv -> outputs := phv :: !outputs | None -> () in
+  List.iter (fun phv -> push (step t ~input:(Some phv))) inputs;
+  for _ = 1 to compiled.Compile.c_depth do
+    push (step t ~input:None)
+  done;
+  { Trace.inputs; outputs = List.rev !outputs; final_state = current_state t }
+
+(* Convenience: compile then run. *)
+let run ?init (desc : Ir.t) ~mc ~inputs : Trace.t =
+  run_compiled ?init (Compile.compile desc ~mc) ~inputs

@@ -1,0 +1,170 @@
+(* Time-travel debugger for pipeline simulations (paper §7).
+
+   The paper proposes "a domain specific time travel debugger for Druzhba
+   ... setting breakpoints to observe PHV container and state values at
+   different points of simulation.  Bi-directional traveling ... can allow
+   testers to rewind pipeline simulation ticks to past pipeline states to
+   trace origins of erroneous behavior."
+
+   The debugger wraps {!Engine} and records a full snapshot per tick (the
+   inter-stage registers and every stateful ALU's state vector), so a
+   session can step forward, rewind to any earlier tick in O(1), and scan
+   for the first tick where a predicate fires (breakpoints on container or
+   state values). *)
+
+module Machine_code = Druzhba_machine_code.Machine_code
+module Ir = Druzhba_pipeline.Ir
+
+type snapshot = {
+  snap_tick : int;
+  snap_regs : Phv.t option array; (* PHV at each stage boundary *)
+  snap_state : (string * int array) list; (* per stateful ALU *)
+  snap_output : Phv.t option; (* PHV that exited on this tick *)
+}
+
+type t = {
+  engine : Engine.t;
+  inputs : Phv.t array; (* one per tick; missing ticks inject nothing *)
+  mutable history : snapshot list; (* newest first; index = tick *)
+  mutable cursor : int; (* tick the debugger is looking at *)
+}
+
+let snapshot_of engine ~tick ~output =
+  {
+    snap_tick = tick;
+    snap_regs = Array.map (Option.map Phv.copy) engine.Engine.regs;
+    snap_state = Engine.current_state engine;
+    snap_output = Option.map Phv.copy output;
+  }
+
+(* Starts a session over a fixed input trace (tick t injects [inputs.(t)] if
+   present). *)
+let start ?init (desc : Ir.t) ~mc ~inputs =
+  let engine = Engine.create ?init desc ~mc in
+  {
+    engine;
+    inputs = Array.of_list inputs;
+    history = [ snapshot_of engine ~tick:0 ~output:None ];
+    cursor = 0;
+  }
+
+let ticks_recorded t = List.length t.history
+
+let cursor t = t.cursor
+
+(* The snapshot at the cursor. *)
+let current t : snapshot =
+  let back = ticks_recorded t - 1 - t.cursor in
+  List.nth t.history back
+
+(* Runs the engine one tick past the recorded history. *)
+let extend t =
+  let tick = ticks_recorded t - 1 in
+  let input = if tick < Array.length t.inputs then Some t.inputs.(tick) else None in
+  let output = Engine.step t.engine ~input in
+  t.history <- snapshot_of t.engine ~tick:(tick + 1) ~output :: t.history
+
+(* Moves the cursor forward one tick, simulating on demand. *)
+let step t =
+  if t.cursor + 1 >= ticks_recorded t then extend t;
+  t.cursor <- t.cursor + 1;
+  current t
+
+(* Moves the cursor back one tick (no-op at tick 0): time travel. *)
+let step_back t =
+  if t.cursor > 0 then t.cursor <- t.cursor - 1;
+  current t
+
+(* Jumps to an absolute tick, simulating forward as needed. *)
+let goto t tick =
+  if tick < 0 then invalid_arg "Debugger.goto: negative tick";
+  while ticks_recorded t <= tick do
+    extend t
+  done;
+  t.cursor <- tick;
+  current t
+
+(* --- Inspection ------------------------------------------------------------- *)
+
+(* Value of container [c] of the PHV entering stage [stage] at the cursor
+   (stage = depth is the exiting boundary). *)
+let container t ~stage ~container:c =
+  let snap = current t in
+  if stage < 0 || stage >= Array.length snap.snap_regs then None
+  else Option.map (fun phv -> phv.(c)) snap.snap_regs.(stage)
+
+(* State slot [slot] of the stateful ALU named [alu] at the cursor. *)
+let state t ~alu ~slot =
+  let snap = current t in
+  Option.map (fun vec -> vec.(slot)) (List.assoc_opt alu snap.snap_state)
+
+(* --- Breakpoints ------------------------------------------------------------- *)
+
+type breakpoint = snapshot -> bool
+
+let break_on_state ~alu ~slot ~value : breakpoint =
+ fun snap ->
+  match List.assoc_opt alu snap.snap_state with
+  | Some vec -> slot < Array.length vec && vec.(slot) = value
+  | None -> false
+
+let break_on_output ~container ~pred : breakpoint =
+ fun snap ->
+  match snap.snap_output with Some phv -> pred phv.(container) | None -> false
+
+(* Runs forward (at most [limit] ticks past the cursor) until the breakpoint
+   fires; leaves the cursor on the firing tick.  [None] if it never fired. *)
+let continue_until ?(limit = 100_000) t (bp : breakpoint) =
+  let rec go remaining =
+    if remaining = 0 then None
+    else
+      let snap = step t in
+      if bp snap then Some snap else go (remaining - 1)
+  in
+  go limit
+
+(* Rewinds (towards tick 0) to the most recent earlier tick where the
+   breakpoint fired. *)
+let rewind_until t (bp : breakpoint) =
+  let rec go () =
+    if t.cursor = 0 then None
+    else
+      let snap = step_back t in
+      if bp snap then Some snap else go ()
+  in
+  go ()
+
+(* First tick at which two sessions diverge on [observed] exiting
+   containers — the "trace origins of erroneous behavior" workflow: run the
+   buggy and reference machine code side by side, find the divergence tick,
+   then rewind either session from there. *)
+let first_divergence ?(limit = 100_000) ~observed a b =
+  let rec go remaining =
+    if remaining = 0 then None
+    else
+      let sa = step a and sb = step b in
+      let differs =
+        match (sa.snap_output, sb.snap_output) with
+        | Some x, Some y -> List.exists (fun c -> x.(c) <> y.(c)) observed
+        | None, None -> false
+        | Some _, None | None, Some _ -> true
+      in
+      if differs then Some sa.snap_tick else go (remaining - 1)
+  in
+  go limit
+
+let pp_snapshot ppf snap =
+  Fmt.pf ppf "@[<v>tick %d:@," snap.snap_tick;
+  Array.iteri
+    (fun s phv ->
+      match phv with
+      | Some phv -> Fmt.pf ppf "  stage %d input: %a@," s Phv.pp phv
+      | None -> ())
+    snap.snap_regs;
+  List.iter
+    (fun (alu, vec) -> Fmt.pf ppf "  %s = [%a]@," alu Fmt.(array ~sep:(any "; ") int) vec)
+    snap.snap_state;
+  (match snap.snap_output with
+  | Some phv -> Fmt.pf ppf "  exited: %a@," Phv.pp phv
+  | None -> ());
+  Fmt.pf ppf "@]"

@@ -1,0 +1,109 @@
+(* RMT dsim: the feed-forward tick engine (§3.3).
+
+   At every tick one PHV enters stage 0 and the PHVs occupying later stages
+   advance exactly one stage.  The paper models each PHV as a read half and
+   a write half so a stage cannot read a PHV in the same tick it was written;
+   we obtain the same semantics by computing every stage's result from the
+   registers as they stood at the beginning of the tick (stages are processed
+   last-to-first, so a stage's input register is consumed before the previous
+   stage overwrites it). *)
+
+module Machine_code = Druzhba_machine_code.Machine_code
+module Ir = Druzhba_pipeline.Ir
+module Interp = Druzhba_pipeline.Interp
+
+type t = {
+  desc : Ir.t;
+  ctx : Interp.ctx;
+  (* regs.(s) = PHV waiting at the input of stage s (the "read half");
+     regs.(depth) = PHV that exited the pipeline on the last tick. *)
+  regs : Phv.t option array;
+  (* state.(s).(j) = persistent state vector of stateful ALU j in stage s. *)
+  state : int array array array;
+  mutable tick : int;
+}
+
+(* [init] optionally preloads stateful-ALU state vectors (keyed by ALU
+   name), modelling control-plane register initialization. *)
+let create ?(init = []) (desc : Ir.t) ~mc =
+  let depth = desc.Ir.d_depth in
+  let state =
+    Array.map
+      (fun (st : Ir.stage) ->
+        Array.map
+          (fun (a : Ir.alu) ->
+            let vec = Array.make (max 1 a.Ir.a_state_size) 0 in
+            (match List.assoc_opt a.Ir.a_name init with
+            | Some values -> Array.blit values 0 vec 0 (min (Array.length values) (Array.length vec))
+            | None -> ());
+            vec)
+          st.Ir.s_stateful)
+      desc.Ir.d_stages
+  in
+  { desc; ctx = Interp.ctx_of desc ~mc; regs = Array.make (depth + 1) None; state; tick = 0 }
+
+let no_state : int array = [||]
+
+(* Executes one stage on an incoming PHV: run all stateless and stateful
+   ALUs on the read half, then let each output mux pick the value written to
+   its container of the outgoing PHV. *)
+let exec_stage t (st : Ir.stage) (phv : Phv.t) : Phv.t =
+  let ctx = t.ctx in
+  let width = t.desc.Ir.d_width in
+  let stateless_out =
+    Array.map (fun alu -> Interp.run_alu ctx alu ~phv ~state:no_state) st.Ir.s_stateless
+  in
+  let stateful_out =
+    Array.mapi
+      (fun j alu -> Interp.run_alu ctx alu ~phv ~state:t.state.(st.Ir.s_index).(j))
+      st.Ir.s_stateful
+  in
+  (* Post-execution state_0 of each stateful ALU ("write half" of the state
+     datapath), also selectable by the output muxes. *)
+  let stateful_new = Array.map (fun state -> state.(0)) t.state.(st.Ir.s_index) in
+  Array.init width (fun c ->
+      let args =
+        Array.to_list stateless_out @ Array.to_list stateful_out
+        @ Array.to_list stateful_new @ [ phv.(c) ]
+      in
+      Interp.apply_output_mux ctx st.Ir.s_output_muxes.(c) ~args)
+
+(* Advances the pipeline by one tick.  [input] (if any) enters stage 0 and is
+   executed by it this very tick (§3.3); every in-flight PHV advances exactly
+   one stage.  The result is the PHV exiting the last stage on this tick. *)
+let step t ~input =
+  let depth = t.desc.Ir.d_depth in
+  t.regs.(0) <- input;
+  for s = depth - 1 downto 0 do
+    t.regs.(s + 1) <- Option.map (exec_stage t t.desc.Ir.d_stages.(s)) t.regs.(s)
+  done;
+  t.tick <- t.tick + 1;
+  t.regs.(depth)
+
+let current_state t =
+  let acc = ref [] in
+  Array.iteri
+    (fun s per_stage ->
+      Array.iteri
+        (fun j st ->
+          let name = t.desc.Ir.d_stages.(s).Ir.s_stateful.(j).Ir.a_name in
+          acc := (name, Array.copy st) :: !acc)
+        per_stage)
+    t.state;
+  List.rev !acc
+
+(* Runs a complete simulation: feeds [inputs] one per tick, then drains the
+   pipeline, returning the output trace.
+
+   @raise Machine_code.Missing if the machine code lacks a required pair
+   (only possible on the unoptimized description; optimized descriptions
+   have the machine code compiled in). *)
+let run ?init (desc : Ir.t) ~mc ~inputs : Trace.t =
+  let t = create ?init desc ~mc in
+  let outputs = ref [] in
+  let push = function Some phv -> outputs := phv :: !outputs | None -> () in
+  List.iter (fun phv -> push (step t ~input:(Some phv))) inputs;
+  for _ = 1 to desc.Ir.d_depth do
+    push (step t ~input:None)
+  done;
+  { Trace.inputs; outputs = List.rev !outputs; final_state = current_state t }

@@ -1,0 +1,30 @@
+(* Packet header vectors.
+
+   A PHV is the unit of work flowing through the pipeline: one container per
+   pipeline width, each holding an unsigned integer of the datapath width
+   (§2.2).  Parsing and matching are not modelled (§2.3): the traffic
+   generator fills containers with random values directly. *)
+
+module Value = Druzhba_util.Value
+module Prng = Druzhba_util.Prng
+
+type t = int array
+
+let create ~width : t = Array.make width 0
+
+let of_list vs : t = Array.of_list vs
+
+let copy : t -> t = Array.copy
+
+let width (t : t) = Array.length t
+
+let get (t : t) k = t.(k)
+
+let set (t : t) k v = t.(k) <- v
+
+let random prng ~width ~bits : t = Array.init width (fun _ -> Prng.bits prng bits)
+
+let equal (a : t) (b : t) = a = b
+
+let pp ppf (t : t) =
+  Fmt.pf ppf "[%a]" Fmt.(array ~sep:(any "; ") int) t

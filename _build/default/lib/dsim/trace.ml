@@ -1,0 +1,27 @@
+(* Input/output packet traces (§3.3).
+
+   After a simulation the output trace holds one PHV per input PHV (in
+   order) plus the final per-ALU state vectors; fuzz testing compares these
+   against the trace produced by a high-level specification. *)
+
+type t = {
+  inputs : Phv.t list;
+  outputs : Phv.t list;
+  (* Final state of every stateful ALU, keyed by its position-encoding name
+     ("pipeline_stage_i_stateful_alu_j"). *)
+  final_state : (string * int array) list;
+}
+
+let find_state t name = List.assoc_opt name t.final_state
+
+(* One line per packet, then the state vectors. *)
+let pp ppf t =
+  Fmt.pf ppf "@[<v>";
+  List.iteri
+    (fun i (input, output) -> Fmt.pf ppf "phv %4d: in %a -> out %a@," i Phv.pp input Phv.pp output)
+    (List.combine t.inputs t.outputs);
+  List.iter
+    (fun (name, state) ->
+      Fmt.pf ppf "state %s = [%a]@," name Fmt.(array ~sep:(any "; ") int) state)
+    t.final_state;
+  Fmt.pf ppf "@]"

@@ -1,0 +1,13 @@
+(* Traffic generator (§3.3): produces a sequence of PHVs whose containers are
+   uniform random unsigned integers of the datapath width.  Deterministic in
+   the seed so failing fuzz runs can be replayed. *)
+
+module Prng = Druzhba_util.Prng
+
+type t = { prng : Prng.t; width : int; bits : int }
+
+let create ~seed ~width ~bits = { prng = Prng.create seed; width; bits }
+
+let next t = Phv.random t.prng ~width:t.width ~bits:t.bits
+
+let phvs t n = List.init n (fun _ -> next t)

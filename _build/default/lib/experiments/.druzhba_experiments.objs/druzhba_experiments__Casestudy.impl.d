@@ -1,0 +1,1 @@
+lib/experiments/casestudy.ml: Array Atoms Compiler Druzhba_core Fmt Fuzz Ir List Machine_code Printf Spec

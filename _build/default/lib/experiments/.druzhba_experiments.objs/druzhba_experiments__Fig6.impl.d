@@ -1,0 +1,1 @@
+lib/experiments/fig6.ml: Atoms Dgen Druzhba_core Emit Fmt Fuzz Ir Optimizer Prng

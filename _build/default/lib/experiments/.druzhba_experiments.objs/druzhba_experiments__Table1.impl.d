@@ -1,0 +1,1 @@
+lib/experiments/table1.ml: Compile Compiled Compiler Druzhba_core Engine Fmt List Optimizer Spec Traffic Unix

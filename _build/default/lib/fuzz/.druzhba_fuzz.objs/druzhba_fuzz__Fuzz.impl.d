@@ -1,0 +1,1 @@
+lib/fuzz/fuzz.ml: Array Druzhba_dsim Druzhba_machine_code Druzhba_optimizer Druzhba_pipeline Druzhba_util Fmt List

@@ -1,0 +1,1 @@
+lib/fuzz/fuzz.mli: Druzhba_dsim Druzhba_machine_code Druzhba_optimizer Druzhba_pipeline Druzhba_util Fmt

@@ -1,0 +1,1 @@
+lib/fuzz/verify.ml: Array Druzhba_dsim Druzhba_machine_code Druzhba_pipeline Druzhba_util Fmt Fuzz Hashtbl List Queue

@@ -1,0 +1,1 @@
+lib/machine_code/machine_code.ml: Fmt Hashtbl List Printf String

@@ -1,0 +1,1 @@
+lib/machine_code/machine_code.mli: Fmt

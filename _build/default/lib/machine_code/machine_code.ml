@@ -1,0 +1,95 @@
+(* Machine code for the Druzhba pipeline.
+
+   A machine-code program is a list of (string, integer) pairs (§3.1 of the
+   paper): the string names a hardware primitive and its location in the
+   pipeline (e.g. "pipeline_stage_0_stateful_alu_1_mux3_0"), the integer
+   programs that primitive's behaviour — a mux selector, an opcode, or an
+   immediate.  Pairs that dgen expects but that are missing from the program
+   are a compiler bug that the case study in §5.2 of the paper found twice;
+   [validate] detects exactly that class. *)
+
+type t = (string, int) Hashtbl.t
+
+let empty () : t = Hashtbl.create 64
+
+let of_list pairs : t =
+  let t = Hashtbl.create (max 16 (List.length pairs)) in
+  List.iter (fun (name, v) -> Hashtbl.replace t name v) pairs;
+  t
+
+let to_alist (t : t) =
+  Hashtbl.fold (fun k v acc -> (k, v) :: acc) t []
+  |> List.sort (fun (a, _) (b, _) -> String.compare a b)
+
+let copy = Hashtbl.copy
+
+let set (t : t) name v = Hashtbl.replace t name v
+
+let find_opt (t : t) name = Hashtbl.find_opt t name
+
+exception Missing of string
+
+let find (t : t) name =
+  match Hashtbl.find_opt t name with
+  | Some v -> v
+  | None -> raise (Missing name)
+
+let remove (t : t) name = Hashtbl.remove t name
+
+let mem (t : t) name = Hashtbl.mem t name
+
+let cardinal (t : t) = Hashtbl.length t
+
+(* Adds every pair of [extra], overriding existing names. *)
+let override (t : t) (extra : t) =
+  let r = copy t in
+  Hashtbl.iter (fun k v -> Hashtbl.replace r k v) extra;
+  r
+
+(* --- Text format ---------------------------------------------------------
+
+   One pair per line, "name = value"; blank lines and '#' comments ignored.
+   This is the on-disk format consumed by the druzhba CLI. *)
+
+let parse src =
+  let errors = ref [] in
+  let pairs = ref [] in
+  String.split_on_char '\n' src
+  |> List.iteri (fun lineno line ->
+         let line =
+           match String.index_opt line '#' with
+           | Some i -> String.sub line 0 i
+           | None -> line
+         in
+         let line = String.trim line in
+         if line <> "" then
+           match String.index_opt line '=' with
+           | None -> errors := Printf.sprintf "line %d: expected 'name = value'" (lineno + 1) :: !errors
+           | Some i ->
+             let name = String.trim (String.sub line 0 i) in
+             let value = String.trim (String.sub line (i + 1) (String.length line - i - 1)) in
+             (match int_of_string_opt value with
+             | Some v when name <> "" -> pairs := (name, v) :: !pairs
+             | Some _ -> errors := Printf.sprintf "line %d: empty name" (lineno + 1) :: !errors
+             | None ->
+               errors :=
+                 Printf.sprintf "line %d: invalid integer '%s'" (lineno + 1) value :: !errors));
+  match !errors with
+  | [] -> Ok (of_list (List.rev !pairs))
+  | errs -> Error (String.concat "\n" (List.rev errs))
+
+let pp ppf (t : t) =
+  Fmt.pf ppf "@[<v>";
+  List.iter (fun (k, v) -> Fmt.pf ppf "%s = %d@," k v) (to_alist t);
+  Fmt.pf ppf "@]"
+
+let to_string t = Fmt.str "%a" pp t
+
+(* --- Validation -----------------------------------------------------------
+
+   [validate ~required t] checks that every required name is present; the
+   result lists the missing names (compiler-bug class 1 from §5.2). *)
+
+let validate ~required (t : t) =
+  let missing = List.filter (fun name -> not (mem t name)) required in
+  if missing = [] then Ok () else Error missing

@@ -1,0 +1,57 @@
+(** Machine code for the Druzhba pipeline.
+
+    A machine-code program is a list of [(string, int)] pairs (paper §3.1):
+    the string names a hardware primitive and its location in the pipeline
+    (e.g. ["pipeline_stage_0_stateful_alu_1_mux3_0"]); the integer programs
+    that primitive — a mux selector, an opcode, or an immediate.  Selector
+    values live in control space (they are never truncated to the datapath
+    width); immediates are truncated where they enter the datapath.
+
+    Pairs that the pipeline needs but the program lacks are a compiler bug —
+    the class the paper's case study found twice (§5.2); {!validate} detects
+    exactly that. *)
+
+type t
+(** A mutable machine-code program (name [->] value). *)
+
+val empty : unit -> t
+
+val of_list : (string * int) list -> t
+(** Later bindings of the same name win. *)
+
+val to_alist : t -> (string * int) list
+(** All pairs, sorted by name. *)
+
+val copy : t -> t
+(** An independent copy (mutations do not propagate). *)
+
+val set : t -> string -> int -> unit
+val find_opt : t -> string -> int option
+
+exception Missing of string
+(** Raised by {!find} — and therefore by simulation of an unoptimized
+    description — when a required pair is absent. *)
+
+val find : t -> string -> int
+(** @raise Missing when the name is unbound. *)
+
+val remove : t -> string -> unit
+val mem : t -> string -> bool
+val cardinal : t -> int
+
+val override : t -> t -> t
+(** [override base extra] is a fresh program with every pair of [extra]
+    added to (and overriding) [base]; neither input is modified. *)
+
+val parse : string -> (t, string) result
+(** Parses the on-disk format: one ["name = value"] per line, blank lines
+    and [#] comments ignored. *)
+
+val pp : t Fmt.t
+(** Prints in the {!parse} format, sorted by name. *)
+
+val to_string : t -> string
+
+val validate : required:string list -> t -> (unit, string list) result
+(** [validate ~required t] checks that every required name is present;
+    [Error missing] lists the absent names (§5.2 failure class 1). *)

@@ -1,0 +1,1 @@
+lib/optimizer/optimizer.ml: Array Druzhba_machine_code Druzhba_pipeline Druzhba_util Hashtbl List String

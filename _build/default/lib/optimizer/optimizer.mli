@@ -1,0 +1,53 @@
+(** Pipeline-description optimizations (paper §3.4).
+
+    The two code-generation optimizations the paper applies to dgen's
+    output, reproducing the three versions of its Fig. 6:
+
+    - {!scc_propagate}: sparse conditional constant propagation.  The
+      machine-code program's values become compile-time constants; each
+      helper function is specialized on its now-constant controls; constant
+      folding decides the selector conditionals, eliminating the dead
+      control paths.
+    - {!inline_functions}: function inlining.  Every remaining helper call
+      is replaced by its (post-SCC, tiny) body.  Mostly a readability win —
+      on a compiling backend the runtime gain is nil, as the paper observes.
+
+    Both passes are pure: they build fresh descriptions, so all three
+    versions can be simulated side by side. *)
+
+module Ir = Druzhba_pipeline.Ir
+module Machine_code = Druzhba_machine_code.Machine_code
+
+val fold_expr : Druzhba_util.Value.width -> Ir.expr -> Ir.expr
+(** Constant folding with datapath-width arithmetic and branch pruning
+    (exposed for tests and custom passes). *)
+
+val fold_stmts : Druzhba_util.Value.width -> Ir.stmt list -> Ir.stmt list
+(** Statement-level folding: an [If] on a constant condition is replaced by
+    its live branch (dead-code elimination). *)
+
+val drop_dead_lets : Ir.stmt list -> Ir.stmt list
+(** Removes [Let] bindings whose variable is never read downstream. *)
+
+val scc_propagate : mc:Machine_code.t -> Ir.t -> Ir.t
+(** Version 1 [->] version 2.  The result needs no machine code at
+    simulation time ([Ir.required_names] is empty).
+
+    @raise Machine_code.Missing when [mc] lacks a pair the description
+    uses — the case-study failure class (§5.2). *)
+
+val inline_functions : Ir.t -> Ir.t
+(** Version 2 [->] version 3: replaces helper calls by their bodies.  Call
+    it on SCC-propagated descriptions (as the paper does); output-mux
+    helpers are retained since the simulator invokes them by name. *)
+
+(** The three optimization levels of the paper's Table 1. *)
+type level =
+  | Unoptimized
+  | Scc
+  | Scc_inline
+
+val level_name : level -> string
+
+val apply : level:level -> mc:Machine_code.t -> Ir.t -> Ir.t
+(** Applies the requested level to a freshly generated description. *)

@@ -1,0 +1,1 @@
+lib/pipeline/compile.pp.ml: Array Druzhba_machine_code Druzhba_util Hashtbl Interp Ir List Printf String

@@ -1,0 +1,1 @@
+lib/pipeline/dgen.pp.ml: Array Druzhba_alu_dsl Druzhba_util Hashtbl Ir List Names Printf

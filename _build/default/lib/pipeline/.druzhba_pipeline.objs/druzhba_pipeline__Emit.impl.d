@@ -1,0 +1,1 @@
+lib/pipeline/emit.pp.ml: Array Fmt Hashtbl Ir List String

@@ -1,0 +1,1 @@
+lib/pipeline/interp.pp.ml: Array Druzhba_machine_code Druzhba_util Hashtbl Ir List Printf String

@@ -1,0 +1,1 @@
+lib/pipeline/ir.pp.ml: Array Druzhba_alu_dsl Druzhba_util Hashtbl List Ppx_deriving_runtime Printf String

@@ -1,0 +1,1 @@
+lib/pipeline/names.pp.ml: Printf

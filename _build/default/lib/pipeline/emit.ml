@@ -1,0 +1,92 @@
+(* Source emission for pipeline descriptions.
+
+   The original dgen writes the pipeline description to disk as Rust source
+   that is compiled together with dsim; our dgen produces an in-memory IR
+   that the simulator interprets.  This module renders that IR as readable
+   OCaml-style source, which reproduces the paper's Fig. 6 — the same
+   description can be printed unoptimized (version 1), after SCC propagation
+   (version 2), and after inlining (version 3) — and doubles as a debugging
+   aid (the paper notes inlining was introduced partly to make the generated
+   code legible). *)
+
+let binop_symbol (op : Ir.binop) =
+  match op with
+  | Add -> "+"
+  | Sub -> "-"
+  | Mul -> "*"
+  | Div -> "/"
+  | Mod -> "%"
+  | Eq -> "=="
+  | Neq -> "!="
+  | Lt -> "<"
+  | Gt -> ">"
+  | Le -> "<="
+  | Ge -> ">="
+  | And -> "&&"
+  | Or -> "||"
+
+let rec pp_expr ppf (e : Ir.expr) =
+  match e with
+  | Ir.Const n -> Fmt.int ppf n
+  | Ir.Var v -> Fmt.string ppf v
+  | Ir.Mc name -> Fmt.pf ppf "values[%S]" name
+  | Ir.Trunc a -> Fmt.pf ppf "trunc (%a)" pp_expr a
+  | Ir.Phv k -> Fmt.pf ppf "phv[%d]" k
+  | Ir.State k -> Fmt.pf ppf "state[%d]" k
+  | Ir.Unop (Neg, a) -> Fmt.pf ppf "-(%a)" pp_expr a
+  | Ir.Unop (Not, a) -> Fmt.pf ppf "!(%a)" pp_expr a
+  | Ir.Binop (op, a, b) -> Fmt.pf ppf "(%a %s %a)" pp_expr a (binop_symbol op) pp_expr b
+  | Ir.Cond (c, a, b) -> Fmt.pf ppf "(if %a then %a else %a)" pp_expr c pp_expr a pp_expr b
+  | Ir.Call (name, args) ->
+    Fmt.pf ppf "%s (%a)" name Fmt.(list ~sep:(any ", ") pp_expr) args
+
+let rec pp_stmt ~indent ppf (s : Ir.stmt) =
+  let pad = String.make indent ' ' in
+  match s with
+  | Ir.Let (x, e) -> Fmt.pf ppf "%slet %s = %a in" pad x pp_expr e
+  | Ir.Store (k, e) -> Fmt.pf ppf "%sstate[%d] <- %a;" pad k pp_expr e
+  | Ir.Return e -> Fmt.pf ppf "%sreturn %a" pad pp_expr e
+  | Ir.If (c, a, b) ->
+    Fmt.pf ppf "%sif %a then begin@," pad pp_expr c;
+    List.iter (fun s -> Fmt.pf ppf "%a@," (pp_stmt ~indent:(indent + 2)) s) a;
+    if b = [] then Fmt.pf ppf "%send" pad
+    else begin
+      Fmt.pf ppf "%send else begin@," pad;
+      List.iter (fun s -> Fmt.pf ppf "%a@," (pp_stmt ~indent:(indent + 2)) s) b;
+      Fmt.pf ppf "%send" pad
+    end
+
+let pp_helper ppf (h : Ir.helper) =
+  Fmt.pf ppf "@[<v>let %s %a =@,  %a@]" h.h_name
+    Fmt.(list ~sep:(any " ") string)
+    (if h.h_params = [] then [ "()" ] else h.h_params)
+    pp_expr h.h_body
+
+let pp_alu ppf (a : Ir.alu) =
+  Fmt.pf ppf "@[<v>let %s phv state =@," a.a_name;
+  List.iter (fun s -> Fmt.pf ppf "%a@," (pp_stmt ~indent:2) s) a.a_body;
+  Fmt.pf ppf "  (* default output *) %a@]" pp_expr a.a_default_output
+
+(* Renders the full description: all helpers in name order, then the ALU
+   functions stage by stage, then the output-mux wiring summary. *)
+let pp ppf (d : Ir.t) =
+  let helpers =
+    Hashtbl.fold (fun _ h acc -> h :: acc) d.Ir.d_helpers []
+    |> List.sort (fun (a : Ir.helper) b -> String.compare a.h_name b.h_name)
+  in
+  Fmt.pf ppf "@[<v>(* pipeline description: depth=%d width=%d bits=%d *)@,@," d.Ir.d_depth
+    d.Ir.d_width d.Ir.d_bits;
+  List.iter (fun h -> Fmt.pf ppf "%a@,@," pp_helper h) helpers;
+  Array.iter
+    (fun (st : Ir.stage) ->
+      Fmt.pf ppf "(* ---- stage %d ---- *)@,@," st.Ir.s_index;
+      Array.iter (fun a -> Fmt.pf ppf "%a@,@," pp_alu a) st.Ir.s_stateless;
+      Array.iter (fun a -> Fmt.pf ppf "%a@,@," pp_alu a) st.Ir.s_stateful;
+      Array.iteri
+        (fun c name -> Fmt.pf ppf "(* container %d written by %s *)@," c name)
+        st.Ir.s_output_muxes;
+      Fmt.pf ppf "@,")
+    d.Ir.d_stages;
+  Fmt.pf ppf "@]"
+
+let to_string d = Fmt.str "%a" pp d

@@ -1,0 +1,125 @@
+(* Interpreter for pipeline descriptions.
+
+   This plays the role the Rust compiler + CPU play for the original Druzhba:
+   it executes the generated pipeline description.  Because it interprets the
+   IR directly, the cost of a simulation tick is proportional to the size of
+   the description and to the number of machine-code hash lookups in it —
+   which is precisely what SCC propagation and inlining shrink, so the
+   relative runtimes of the three optimization levels reproduce the shape of
+   the paper's Table 1. *)
+
+module Value = Druzhba_util.Value
+module Machine_code = Druzhba_machine_code.Machine_code
+
+type ctx = {
+  bits : Value.width;
+  mc : Machine_code.t;
+  helpers : (string, Ir.helper) Hashtbl.t;
+}
+
+let ctx_of (d : Ir.t) ~mc = { bits = d.Ir.d_bits; mc; helpers = d.Ir.d_helpers }
+
+exception Unbound_variable of string
+
+let lookup env name =
+  let rec go = function
+    | [] -> raise (Unbound_variable name)
+    | (n, v) :: rest -> if String.equal n name then v else go rest
+  in
+  go env
+
+let apply_unop bits (op : Ir.unop) v =
+  match op with Ir.Neg -> Value.neg bits v | Ir.Not -> Value.logical_not v
+
+let apply_binop bits (op : Ir.binop) a b =
+  match op with
+  | Ir.Add -> Value.add bits a b
+  | Ir.Sub -> Value.sub bits a b
+  | Ir.Mul -> Value.mul bits a b
+  | Ir.Div -> Value.div bits a b
+  | Ir.Mod -> Value.rem bits a b
+  | Ir.Eq -> Value.eq a b
+  | Ir.Neq -> Value.neq a b
+  | Ir.Lt -> Value.lt a b
+  | Ir.Gt -> Value.gt a b
+  | Ir.Le -> Value.le a b
+  | Ir.Ge -> Value.ge a b
+  | Ir.And -> Value.logical_and a b
+  | Ir.Or -> Value.logical_or a b
+
+let rec eval ctx ~phv ~state env (e : Ir.expr) =
+  match e with
+  | Ir.Const n -> n
+  | Ir.Var name -> lookup env name
+  | Ir.Mc name -> Machine_code.find ctx.mc name
+  | Ir.Trunc a -> Value.mask ctx.bits (eval ctx ~phv ~state env a)
+  | Ir.Phv k -> Array.unsafe_get phv k
+  | Ir.State k -> Array.unsafe_get state k
+  | Ir.Unop (op, a) -> apply_unop ctx.bits op (eval ctx ~phv ~state env a)
+  | Ir.Binop (op, a, b) ->
+    apply_binop ctx.bits op (eval ctx ~phv ~state env a) (eval ctx ~phv ~state env b)
+  | Ir.Cond (c, a, b) ->
+    if Value.is_true (eval ctx ~phv ~state env c) then eval ctx ~phv ~state env a
+    else eval ctx ~phv ~state env b
+  | Ir.Call (name, args) ->
+    let h =
+      match Hashtbl.find_opt ctx.helpers name with
+      | Some h -> h
+      | None -> invalid_arg (Printf.sprintf "Interp: unknown helper '%s'" name)
+    in
+    let call_env =
+      List.fold_left2 (fun acc p a -> (p, eval ctx ~phv ~state env a) :: acc) [] h.h_params args
+    in
+    eval ctx ~phv ~state call_env h.h_body
+
+(* Statement execution: returns [Some v] as soon as a [Return] runs.
+   Expressions read state from [read] while [Store] writes to [write]
+   (latched state semantics; the two coincide for stateless ALUs). *)
+let rec exec_latched ctx ~phv ~read ~write env (stmts : Ir.stmt list) =
+  match stmts with
+  | [] -> None
+  | s :: rest -> (
+    match s with
+    | Ir.Let (x, e) ->
+      let v = eval ctx ~phv ~state:read env e in
+      exec_latched ctx ~phv ~read ~write ((x, v) :: env) rest
+    | Ir.Store (k, e) ->
+      write.(k) <- eval ctx ~phv ~state:read env e;
+      exec_latched ctx ~phv ~read ~write env rest
+    | Ir.If (c, a, b) -> (
+      let branch = if Value.is_true (eval ctx ~phv ~state:read env c) then a else b in
+      match exec_latched ctx ~phv ~read ~write env branch with
+      | Some _ as r -> r
+      | None -> exec_latched ctx ~phv ~read ~write env rest)
+    | Ir.Return e -> Some (eval ctx ~phv ~state:read env e))
+
+(* Executes one ALU on the incoming PHV.  [state] is the ALU's persistent
+   state vector, mutated in place; the result is the ALU's output value
+   (explicit [Return], or the pre-execution state_0 for stateful ALUs).
+
+   State reads are *latched*: an ALU is a combinational block whose state
+   operands are the registered (pre-execution) values, so e.g. both updates
+   of the pair atom read the same snapshot regardless of statement order.
+   Reads go through a snapshot while writes land in the live vector. *)
+let run_alu ctx (alu : Ir.alu) ~phv ~state =
+  let snapshot = if Array.length state = 0 then state else Array.copy state in
+  let default = eval ctx ~phv ~state:snapshot [] alu.Ir.a_default_output in
+  match exec_latched ctx ~phv ~read:snapshot ~write:state [] alu.Ir.a_body with
+  | Some v -> v
+  | None -> default
+
+(* Applies a named helper to already-evaluated argument values.  If the
+   helper still has a trailing "ctrl" parameter (unoptimized description),
+   the control value is fetched from machine code under the helper's own
+   name.  Used by the simulator to run output muxes. *)
+let apply_output_mux ctx name ~args =
+  let h =
+    match Hashtbl.find_opt ctx.helpers name with
+    | Some h -> h
+    | None -> invalid_arg (Printf.sprintf "Interp: unknown output mux '%s'" name)
+  in
+  let args =
+    if List.mem "ctrl" h.h_params then args @ [ Machine_code.find ctx.mc name ] else args
+  in
+  let env = List.fold_left2 (fun acc p v -> (p, v) :: acc) [] h.h_params args in
+  eval ctx ~phv:[||] ~state:[||] env h.h_body

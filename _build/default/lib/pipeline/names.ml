@@ -1,0 +1,30 @@
+(* Machine-code naming scheme.
+
+   The paper requires machine-code strings to "succinctly denote the
+   primitive that the pair corresponds to and the primitive's location within
+   the pipeline" (§3.1).  Every name is built from a stage prefix, an ALU
+   position, and the slot name produced by {!Druzhba_alu_dsl.Analysis}. *)
+
+let stage i = Printf.sprintf "pipeline_stage_%d" i
+
+let stateful_alu ~stage:i ~alu:j = Printf.sprintf "%s_stateful_alu_%d" (stage i) j
+let stateless_alu ~stage:i ~alu:j = Printf.sprintf "%s_stateless_alu_%d" (stage i) j
+
+(* Control of the input mux feeding operand [operand] of an ALU. *)
+let input_mux ~alu_prefix ~operand = Printf.sprintf "%s_input_mux_%d" alu_prefix operand
+
+(* Control of the output mux writing PHV container [container] of a stage. *)
+let output_mux ~stage:i ~container = Printf.sprintf "%s_output_mux_%d" (stage i) container
+
+(* Control of a machine-code slot inside an ALU body (mux/opt/const/opcode or
+   a declared hole variable). *)
+let slot ~alu_prefix ~slot_name = Printf.sprintf "%s_%s" alu_prefix slot_name
+
+(* Output-mux selector values (must match the choice order built by
+   [Dgen.output_mux_helper]). *)
+module Select = struct
+  let stateless_output ~width:_ j = j
+  let stateful_output ~width j = width + j
+  let stateful_new_state ~width j = (2 * width) + j
+  let passthrough ~width = 3 * width
+end

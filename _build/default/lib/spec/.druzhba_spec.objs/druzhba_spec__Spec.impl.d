@@ -1,0 +1,1 @@
+lib/spec/spec.ml: Array Druzhba_atoms Druzhba_compiler Druzhba_util List Printf

@@ -1,0 +1,460 @@
+(* The twelve packet-processing programs of the paper's Table 1.
+
+   Each benchmark carries: the Domino-subset source (the high-level program
+   of Fig. 1/Fig. 5), the pipeline dimensions and Banzai atom the paper lists
+   for it, and an independently hand-written OCaml reference used to
+   cross-validate the Domino interpreter itself.
+
+   The exact Domino sources used by the paper are not published; these are
+   reconstructions of the well-known algorithms (BLUE, flowlet switching,
+   Marple queries, SNAP/RCP/CONGA kernels, ...) written against the atom and
+   dimensions Table 1 reports.  Hash values that the real programs compute in
+   dedicated hash units arrive here as packet input fields, the standard
+   Domino benchmark convention. *)
+
+module Value = Druzhba_util.Value
+module Atoms = Druzhba_atoms.Atoms
+module Frontend = Druzhba_compiler.Frontend
+module Codegen = Druzhba_compiler.Codegen
+
+type benchmark = {
+  bm_name : string;
+  bm_description : string;
+  bm_source : string;
+  bm_depth : int; (* pipeline depth from Table 1 *)
+  bm_width : int; (* pipeline width from Table 1 *)
+  bm_stateful : string; (* Banzai atom from Table 1 *)
+  (* Hand-written reference: mutates [state] (indexed in state-declaration
+     order) and maps input fields to output fields. *)
+  bm_reference : bits:int -> int array -> (string * int) list -> (string * int) list;
+  (* Parameterized source for programs with a natural tuning constant
+     (sampling rate, threshold, freeze window, ...): used by the case-study
+     harness to generate many distinct machine-code programs per benchmark. *)
+  bm_variant : (int -> string) option;
+}
+
+(* --- 1. BLUE (decrease) ------------------------------------------------------- *)
+
+let blue_decrease_src dec =
+  Printf.sprintf
+    {|
+state p_mark = 0;
+transaction blue_decrease {
+  pkt.mark = pkt.rand <= p_mark;
+  p_mark = p_mark - %d;
+}
+|}
+    dec
+
+let blue_decrease =
+  {
+    bm_name = "blue_decrease";
+    bm_description = "BLUE AQM: decrease the marking probability on idle events";
+    bm_depth = 4;
+    bm_width = 2;
+    bm_stateful = "sub";
+    bm_source = blue_decrease_src 2;
+    bm_reference =
+      (fun ~bits state inputs ->
+        let rand = List.assoc "rand" inputs in
+        let mark = Value.le rand state.(0) in
+        state.(0) <- Value.sub bits state.(0) 2;
+        [ ("mark", mark) ]);
+    bm_variant = Some blue_decrease_src;
+  }
+
+(* --- 2. BLUE (increase) ------------------------------------------------------- *)
+
+let blue_increase_src freeze =
+  Printf.sprintf
+    {|
+state p_mark = 0;
+state last_update = 0;
+transaction blue_increase {
+  if (last_update <= pkt.now - %d) {
+    p_mark = p_mark + 2;
+    last_update = pkt.now;
+  }
+}
+|}
+    freeze
+
+let blue_increase =
+  {
+    bm_name = "blue_increase";
+    bm_description = "BLUE AQM: increase the marking probability, rate-limited by a freeze window";
+    bm_depth = 4;
+    bm_width = 2;
+    bm_stateful = "pair";
+    bm_source = blue_increase_src 10;
+    bm_reference =
+      (fun ~bits state inputs ->
+        let now = List.assoc "now" inputs in
+        if state.(1) <= Value.sub bits now 10 then begin
+          state.(0) <- Value.add bits state.(0) 2;
+          state.(1) <- now
+        end;
+        []);
+    bm_variant = Some blue_increase_src;
+  }
+
+(* --- 3. Sampling --------------------------------------------------------------- *)
+
+let sampling_src n =
+  Printf.sprintf
+    {|
+state count = 0;
+transaction sampling {
+  if (count == %d) {
+    count = 0;
+    pkt.sample = 1;
+  } else {
+    count = count + 1;
+    pkt.sample = 0;
+  }
+}
+|}
+    (n - 1)
+
+let sampling =
+  {
+    bm_name = "sampling";
+    bm_description = "Mark every 10th packet for sampling";
+    bm_depth = 2;
+    bm_width = 1;
+    bm_stateful = "if_else_raw";
+    bm_source = sampling_src 10;
+    bm_reference =
+      (fun ~bits state _inputs ->
+        if state.(0) = 9 then begin
+          state.(0) <- 0;
+          [ ("sample", 1) ]
+        end
+        else begin
+          state.(0) <- Value.add bits state.(0) 1;
+          [ ("sample", 0) ]
+        end);
+    bm_variant = Some sampling_src;
+  }
+
+(* --- 4. Marple new flow --------------------------------------------------------- *)
+
+let marple_new_flow =
+  {
+    bm_name = "marple_new_flow";
+    bm_description = "Marple query: flag packets that start a new flow";
+    bm_depth = 2;
+    bm_width = 2;
+    bm_stateful = "pred_raw";
+    bm_source =
+      {|
+state last_seen = 0;
+transaction marple_new_flow {
+  if (last_seen != pkt.flow_id) {
+    pkt.new_flow = 1;
+  } else {
+    pkt.new_flow = 0;
+  }
+  last_seen = pkt.flow_id;
+}
+|};
+    bm_reference =
+      (fun ~bits:_ state inputs ->
+        let flow_id = List.assoc "flow_id" inputs in
+        let new_flow = if state.(0) <> flow_id then 1 else 0 in
+        state.(0) <- flow_id;
+        [ ("new_flow", new_flow) ]);
+    bm_variant = None;
+  }
+
+(* --- 5. Marple TCP non-monotonic ------------------------------------------------- *)
+
+let marple_tcp_nmo =
+  {
+    bm_name = "marple_tcp_nmo";
+    bm_description = "Marple query: count TCP segments with non-monotonic sequence numbers";
+    bm_depth = 3;
+    bm_width = 2;
+    bm_stateful = "pred_raw";
+    bm_source =
+      {|
+state max_seq = 0;
+state nm_count = 0;
+transaction marple_tcp_nmo {
+  if (max_seq <= pkt.seq) {
+    max_seq = pkt.seq;
+  } else {
+    nm_count = nm_count + 1;
+  }
+}
+|};
+    bm_reference =
+      (fun ~bits state inputs ->
+        let seq = List.assoc "seq" inputs in
+        if state.(0) <= seq then state.(0) <- seq
+        else state.(1) <- Value.add bits state.(1) 1;
+        []);
+    bm_variant = None;
+  }
+
+(* --- 6. SNAP heavy hitter --------------------------------------------------------- *)
+
+let snap_heavy_hitter_src threshold =
+  Printf.sprintf
+    {|
+state count = 0;
+transaction snap_heavy_hitter {
+  if (pkt.size >= %d) {
+    count = count + pkt.size;
+  }
+}
+|}
+    threshold
+
+let snap_heavy_hitter =
+  {
+    bm_name = "snap_heavy_hitter";
+    bm_description = "SNAP kernel: accumulate bytes of large packets";
+    bm_depth = 1;
+    bm_width = 1;
+    bm_stateful = "pair";
+    bm_source = snap_heavy_hitter_src 100;
+    bm_reference =
+      (fun ~bits state inputs ->
+        let size = List.assoc "size" inputs in
+        if size >= 100 then state.(0) <- Value.add bits state.(0) size;
+        []);
+    bm_variant = Some snap_heavy_hitter_src;
+  }
+
+(* --- 7. Stateful firewall ----------------------------------------------------------- *)
+
+let stateful_firewall =
+  {
+    bm_name = "stateful_firewall";
+    bm_description = "Stateful firewall: outbound traffic opens the hole inbound traffic needs";
+    bm_depth = 4;
+    bm_width = 5;
+    bm_stateful = "pred_raw";
+    bm_source =
+      {|
+state established = 0;
+transaction stateful_firewall {
+  if (pkt.dir == 0) {
+    established = 1;
+  }
+  pkt.allow = !(pkt.dir && !established);
+}
+|};
+    bm_reference =
+      (fun ~bits:_ state inputs ->
+        let dir = List.assoc "dir" inputs in
+        if dir = 0 then state.(0) <- 1;
+        let allow = if dir <> 0 && state.(0) = 0 then 0 else 1 in
+        [ ("allow", allow) ]);
+    bm_variant = None;
+  }
+
+(* --- 8. Flowlets --------------------------------------------------------------------- *)
+
+let flowlets_src gap =
+  Printf.sprintf
+    {|
+state saved_hop = 0;
+state last_time = 0;
+transaction flowlets {
+  if (pkt.arrival - last_time >= %d) {
+    saved_hop = pkt.new_hop;
+  }
+  last_time = pkt.arrival;
+  pkt.next_hop = saved_hop;
+}
+|}
+    gap
+
+let flowlets =
+  {
+    bm_name = "flowlets";
+    bm_description = "Flowlet switching: pick a new next hop when the inter-packet gap is large";
+    bm_depth = 4;
+    bm_width = 5;
+    bm_stateful = "pred_raw";
+    bm_source = flowlets_src 5;
+    bm_reference =
+      (fun ~bits state inputs ->
+        let arrival = List.assoc "arrival" inputs in
+        let new_hop = List.assoc "new_hop" inputs in
+        if Value.sub bits arrival state.(1) >= 5 then state.(0) <- new_hop;
+        state.(1) <- arrival;
+        [ ("next_hop", state.(0)) ]);
+    bm_variant = Some flowlets_src;
+  }
+
+(* --- 9. Learn filter ------------------------------------------------------------------ *)
+
+let learn_filter =
+  {
+    bm_name = "learn_filter";
+    bm_description = "Counting Bloom filter: query membership on the old state, then insert";
+    bm_depth = 3;
+    bm_width = 5;
+    bm_stateful = "raw";
+    bm_source =
+      {|
+state f1 = 0;
+state f2 = 0;
+state f3 = 0;
+transaction learn_filter {
+  pkt.member = f1 && f2 && f3;
+  f1 = f1 + pkt.b1;
+  f2 = f2 + pkt.b2;
+  f3 = f3 + pkt.b3;
+}
+|};
+    bm_reference =
+      (fun ~bits state inputs ->
+        let member = if state.(0) <> 0 && state.(1) <> 0 && state.(2) <> 0 then 1 else 0 in
+        state.(0) <- Value.add bits state.(0) (List.assoc "b1" inputs);
+        state.(1) <- Value.add bits state.(1) (List.assoc "b2" inputs);
+        state.(2) <- Value.add bits state.(2) (List.assoc "b3" inputs);
+        [ ("member", member) ]);
+    bm_variant = None;
+  }
+
+(* --- 10. RCP ----------------------------------------------------------------------------- *)
+
+let rcp_src ceiling =
+  Printf.sprintf
+    {|
+state sum_rtt = 0;
+state num_pkts = 0;
+transaction rcp {
+  if (pkt.rtt <= %d) {
+    sum_rtt = sum_rtt + pkt.rtt;
+    num_pkts = num_pkts + 1;
+  }
+}
+|}
+    ceiling
+
+let rcp =
+  {
+    bm_name = "rcp";
+    bm_description = "RCP kernel: accumulate RTT sum and packet count below an RTT ceiling";
+    bm_depth = 3;
+    bm_width = 3;
+    bm_stateful = "pred_raw";
+    bm_source = rcp_src 30;
+    bm_reference =
+      (fun ~bits state inputs ->
+        let rtt = List.assoc "rtt" inputs in
+        if rtt <= 30 then begin
+          state.(0) <- Value.add bits state.(0) rtt;
+          state.(1) <- Value.add bits state.(1) 1
+        end;
+        []);
+    bm_variant = Some rcp_src;
+  }
+
+(* --- 11. CONGA ----------------------------------------------------------------------------- *)
+
+let conga =
+  {
+    bm_name = "conga";
+    bm_description = "CONGA kernel: remember the best path and its utilization";
+    bm_depth = 1;
+    bm_width = 5;
+    bm_stateful = "pair";
+    bm_source =
+      {|
+state best_util = 0;
+state best_path = 0;
+transaction conga {
+  if (pkt.util >= best_util) {
+    best_util = pkt.util;
+    best_path = pkt.path;
+  }
+}
+|};
+    bm_reference =
+      (fun ~bits:_ state inputs ->
+        let util = List.assoc "util" inputs in
+        let path = List.assoc "path" inputs in
+        if util >= state.(0) then begin
+          state.(0) <- util;
+          state.(1) <- path
+        end;
+        []);
+    bm_variant = None;
+  }
+
+(* --- 12. Spam detection ------------------------------------------------------------------- *)
+
+let spam_detection_src increment =
+  Printf.sprintf
+    {|
+state score = 0;
+transaction spam_detection {
+  if (pkt.flagged == 1) {
+    score = score + %d;
+  }
+}
+|}
+    increment
+
+let spam_detection =
+  {
+    bm_name = "spam_detection";
+    bm_description = "Spam detection kernel: accumulate a sender score on flagged packets";
+    bm_depth = 1;
+    bm_width = 1;
+    bm_stateful = "pair";
+    bm_source = spam_detection_src 5;
+    bm_reference =
+      (fun ~bits state inputs ->
+        if List.assoc "flagged" inputs = 1 then state.(0) <- Value.add bits state.(0) 5;
+        []);
+    bm_variant = Some spam_detection_src;
+  }
+
+(* --- Registry -------------------------------------------------------------------------------- *)
+
+let all =
+  [
+    blue_decrease;
+    blue_increase;
+    sampling;
+    marple_new_flow;
+    marple_tcp_nmo;
+    snap_heavy_hitter;
+    stateful_firewall;
+    flowlets;
+    learn_filter;
+    rcp;
+    conga;
+    spam_detection;
+  ]
+
+let find name = List.find_opt (fun bm -> bm.bm_name = name) all
+
+let find_exn name =
+  match find name with
+  | Some bm -> bm
+  | None -> invalid_arg (Printf.sprintf "Spec.find_exn: unknown benchmark '%s'" name)
+
+let program bm = Frontend.parse ~name:bm.bm_name bm.bm_source
+
+(* Table-1 compilation target for a benchmark. *)
+let target ?(bits = 32) bm =
+  Codegen.target ~depth:bm.bm_depth ~width:bm.bm_width ~bits
+    ~stateful:(Atoms.find_exn bm.bm_stateful)
+    ~stateless:(Atoms.find_exn "stateless_full") ()
+
+(* Compiles a benchmark at its Table-1 dimensions. *)
+let compile ?bits bm = Codegen.compile ~target:(target ?bits bm) (program bm)
+
+let compile_exn ?bits bm =
+  match compile ?bits bm with
+  | Ok c -> c
+  | Error e -> invalid_arg (Printf.sprintf "Spec.compile_exn: %s" e)
+

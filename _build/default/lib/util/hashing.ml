@@ -1,0 +1,31 @@
+(* Small integer hash functions.
+
+   Several of the Table-1 packet programs (flowlets, CONGA, learn filter)
+   hash packet fields.  A switch would use hardware hash units; we model them
+   with cheap multiplicative mixers that both the specification and the
+   compiled pipeline share, so equivalence testing is meaningful. *)
+
+let mix_factor = 0x2545F4914F6CDD1D
+
+(* 64-bit finalizer-style mixer truncated to the requested width. *)
+let hash1 ~bits x =
+  let h = x * mix_factor in
+  let h = h lxor (h lsr 29) in
+  Value.mask bits h
+
+let hash2 ~bits x y =
+  let h = (x * 0x9E3779B1 + y) * mix_factor in
+  let h = h lxor (h lsr 31) in
+  Value.mask bits h
+
+let hash3 ~bits x y z =
+  let h = ((x * 0x9E3779B1 + y) * 0x85EBCA77 + z) * mix_factor in
+  let h = h lxor (h lsr 27) in
+  Value.mask bits h
+
+(* A family of independent hash functions indexed by [i], used by the learn
+   filter's Bloom-style stages. *)
+let indexed ~bits i x =
+  let h = (x + (i + 1) * 0xC2B2AE3D) * mix_factor in
+  let h = h lxor (h lsr 33) in
+  Value.mask bits h

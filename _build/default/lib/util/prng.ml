@@ -1,0 +1,36 @@
+(* Deterministic pseudo-random number generator (splitmix64).
+
+   The traffic generator must be reproducible across runs so that fuzzing
+   failures can be replayed from a seed; OCaml's [Random] state is neither
+   stable across versions nor easily snapshotted, so we carry our own
+   splitmix64, the standard 64-bit mixing generator. *)
+
+type t = { mutable state : int64 }
+
+let create seed = { state = Int64.of_int seed }
+
+let copy t = { state = t.state }
+
+let golden_gamma = 0x9E3779B97F4A7C15L
+
+let next_int64 t =
+  t.state <- Int64.add t.state golden_gamma;
+  let z = t.state in
+  let z = Int64.mul (Int64.logxor z (Int64.shift_right_logical z 30)) 0xBF58476D1CE4E5B9L in
+  let z = Int64.mul (Int64.logxor z (Int64.shift_right_logical z 27)) 0x94D049BB133111EBL in
+  Int64.logxor z (Int64.shift_right_logical z 31)
+
+let bits t bits =
+  if bits < 1 || bits > 62 then invalid_arg "Prng.bits: width not in 1..62";
+  Int64.to_int (Int64.shift_right_logical (next_int64 t) (64 - bits))
+
+let int t bound =
+  if bound <= 0 then invalid_arg "Prng.int: bound must be positive";
+  (* Rejection-free modulo is fine here: bounds are tiny relative to 2^62 so
+     the bias is negligible for fuzzing purposes. *)
+  let v = Int64.to_int (Int64.shift_right_logical (next_int64 t) 2) in
+  v mod bound
+
+let bool t = Int64.logand (next_int64 t) 1L = 1L
+
+let split t = create (Int64.to_int (next_int64 t))

@@ -1,0 +1,26 @@
+(** Deterministic splitmix64 pseudo-random generator.
+
+    Used by the traffic generators so fuzzing runs are reproducible from a
+    seed (a failing trace can be replayed exactly). *)
+
+type t
+
+val create : int -> t
+(** [create seed] makes a fresh generator. Equal seeds yield equal streams. *)
+
+val copy : t -> t
+(** Snapshot of the generator state. *)
+
+val next_int64 : t -> int64
+(** Raw 64-bit output. *)
+
+val bits : t -> int -> int
+(** [bits t w] draws a uniform value in [0, 2{^w}); [w] in [1..62]. *)
+
+val int : t -> int -> int
+(** [int t bound] draws a value in [0, bound). *)
+
+val bool : t -> bool
+
+val split : t -> t
+(** Derive an independent generator (for parallel streams). *)

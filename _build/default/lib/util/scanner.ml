@@ -1,0 +1,102 @@
+(* Character-stream scanner shared by the three front ends (ALU DSL, Domino
+   subset, P4 subset).  Tracks line/column for error reporting and provides
+   the common lexical building blocks: whitespace and comment skipping,
+   identifier and integer scanning. *)
+
+type position = { line : int; column : int }
+
+type t = {
+  src : string;
+  mutable pos : int;
+  mutable line : int;
+  mutable bol : int; (* offset of beginning of current line *)
+}
+
+exception Error of position * string
+
+let create src = { src; pos = 0; line = 1; bol = 0 }
+
+let position t = { line = t.line; column = t.pos - t.bol + 1 }
+
+let error t msg = raise (Error (position t, msg))
+
+let pp_position ppf { line; column } = Fmt.pf ppf "line %d, column %d" line column
+
+let at_end t = t.pos >= String.length t.src
+
+let peek t = if at_end t then None else Some t.src.[t.pos]
+
+let peek2 t =
+  if t.pos + 1 >= String.length t.src then None else Some t.src.[t.pos + 1]
+
+let advance t =
+  (match peek t with
+  | Some '\n' ->
+    t.line <- t.line + 1;
+    t.bol <- t.pos + 1
+  | Some _ | None -> ());
+  t.pos <- t.pos + 1
+
+let is_digit c = c >= '0' && c <= '9'
+let is_alpha c = (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') || c = '_'
+let is_alnum c = is_alpha c || is_digit c
+
+(* Skips spaces, tabs, newlines, and comments.  Both comment styles used by
+   our inputs are supported: [//] and [#] to end of line. *)
+let rec skip_trivia t =
+  match peek t with
+  | Some (' ' | '\t' | '\r' | '\n') ->
+    advance t;
+    skip_trivia t
+  | Some '#' ->
+    skip_line t;
+    skip_trivia t
+  | Some '/' when peek2 t = Some '/' ->
+    skip_line t;
+    skip_trivia t
+  | Some _ | None -> ()
+
+and skip_line t =
+  match peek t with
+  | Some '\n' -> advance t
+  | Some _ ->
+    advance t;
+    skip_line t
+  | None -> ()
+
+let scan_while t pred =
+  let start = t.pos in
+  let rec go () =
+    match peek t with
+    | Some c when pred c ->
+      advance t;
+      go ()
+    | Some _ | None -> ()
+  in
+  go ();
+  String.sub t.src start (t.pos - start)
+
+let scan_ident t =
+  match peek t with
+  | Some c when is_alpha c -> scan_while t is_alnum
+  | Some c -> error t (Printf.sprintf "expected identifier, found %C" c)
+  | None -> error t "expected identifier, found end of input"
+
+let scan_int t =
+  match peek t with
+  | Some c when is_digit c ->
+    let digits = scan_while t is_digit in
+    (try int_of_string digits with Failure _ -> error t "integer literal too large")
+  | Some c -> error t (Printf.sprintf "expected integer, found %C" c)
+  | None -> error t "expected integer, found end of input"
+
+(* Consumes [s] if it is next in the stream; returns whether it did. *)
+let try_string t s =
+  let n = String.length s in
+  if t.pos + n <= String.length t.src && String.sub t.src t.pos n = s then begin
+    for _ = 1 to n do
+      advance t
+    done;
+    true
+  end
+  else false

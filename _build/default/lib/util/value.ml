@@ -1,0 +1,46 @@
+(* Fixed-width unsigned integer algebra.
+
+   PHV containers, switch state, and ALU datapaths in Druzhba are unsigned
+   integers of a configurable bit width (the paper's case study hinges on the
+   difference between narrow synthesis widths and wider verification widths).
+   All arithmetic wraps modulo [2^bits]; division and modulo by zero return 0,
+   the usual hardware convention.  Widths are limited to 1..62 so every value
+   fits in a native OCaml [int]. *)
+
+type width = int
+
+let max_width = 62
+
+let width bits =
+  if bits < 1 || bits > max_width then
+    invalid_arg (Printf.sprintf "Value.width: %d not in 1..%d" bits max_width)
+  else bits
+
+let mask bits v = v land ((1 lsl bits) - 1)
+
+let truncate = mask
+
+let max_value bits = (1 lsl bits) - 1
+
+let add bits a b = mask bits (a + b)
+let sub bits a b = mask bits (a - b)
+let mul bits a b = mask bits (a * b)
+let div bits a b = if b = 0 then 0 else mask bits (a / b)
+let rem bits a b = if b = 0 then 0 else mask bits (a mod b)
+let neg bits a = mask bits (- a)
+
+let of_bool b = if b then 1 else 0
+let is_true v = v <> 0
+
+let logical_not v = of_bool (v = 0)
+let logical_and a b = of_bool (a <> 0 && b <> 0)
+let logical_or a b = of_bool (a <> 0 || b <> 0)
+
+let eq a b = of_bool (a = b)
+let neq a b = of_bool (a <> b)
+let lt a b = of_bool (a < b)
+let gt a b = of_bool (a > b)
+let le a b = of_bool (a <= b)
+let ge a b = of_bool (a >= b)
+
+let pp = Fmt.int

@@ -1,0 +1,53 @@
+(** Fixed-width unsigned integer algebra.
+
+    Every datapath value in the simulator — PHV containers, ALU state,
+    immediates — is an unsigned integer of a configurable bit width.
+    Arithmetic wraps modulo [2{^bits}]; division and modulo by zero return 0
+    (hardware convention).  Booleans are encoded as 0/1 as in the ALU DSL. *)
+
+type width = int
+(** A bit width in [1..62] (so values fit a native [int]). *)
+
+val max_width : int
+
+val width : int -> width
+(** [width bits] validates a bit width. @raise Invalid_argument if outside
+    [1..max_width]. *)
+
+val mask : width -> int -> int
+(** [mask bits v] truncates [v] to its low [bits] bits. *)
+
+val truncate : width -> int -> int
+(** Alias of {!mask}. *)
+
+val max_value : width -> int
+(** Largest representable value, [2{^bits} - 1]. *)
+
+val add : width -> int -> int -> int
+val sub : width -> int -> int -> int
+val mul : width -> int -> int -> int
+
+val div : width -> int -> int -> int
+(** Unsigned division; division by zero yields 0. *)
+
+val rem : width -> int -> int -> int
+(** Unsigned remainder; modulo by zero yields 0. *)
+
+val neg : width -> int -> int
+(** Two's-complement negation truncated to the width. *)
+
+val of_bool : bool -> int
+val is_true : int -> bool
+
+val logical_not : int -> int
+val logical_and : int -> int -> int
+val logical_or : int -> int -> int
+
+val eq : int -> int -> int
+val neq : int -> int -> int
+val lt : int -> int -> int
+val gt : int -> int -> int
+val le : int -> int -> int
+val ge : int -> int -> int
+
+val pp : int Fmt.t

@@ -1,0 +1,1 @@
+test/test_alu_dsl.ml: Alcotest Druzhba_alu_dsl Druzhba_atoms Fmt List QCheck QCheck_alcotest String

@@ -1,0 +1,1 @@
+test/test_core.ml: Alcotest Atoms Compiler Dgen Druzhba_core Druzhba_experiments Fmt Fuzz Ir List Machine_code Names Optimizer Prng Spec String Trace

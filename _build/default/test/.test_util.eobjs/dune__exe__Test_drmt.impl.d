@@ -1,0 +1,1 @@
+test/test_drmt.ml: Alcotest Druzhba_drmt Fmt Hashtbl List Option Printf QCheck QCheck_alcotest

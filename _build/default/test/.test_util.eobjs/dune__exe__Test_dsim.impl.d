@@ -1,0 +1,1 @@
+test/test_dsim.ml: Alcotest Array Druzhba_atoms Druzhba_compiler Druzhba_dsim Druzhba_fuzz Druzhba_machine_code Druzhba_pipeline Druzhba_spec Druzhba_util Fmt List Option String

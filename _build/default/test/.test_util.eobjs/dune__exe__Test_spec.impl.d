@@ -1,0 +1,1 @@
+test/test_spec.ml: Alcotest Druzhba_compiler Druzhba_fuzz Druzhba_spec List String

@@ -1,0 +1,1 @@
+test/test_util.ml: Alcotest Druzhba_util List QCheck QCheck_alcotest

@@ -1,0 +1,403 @@
+(* Tests for the ALU DSL front end: lexer, parser, analysis, printer. *)
+
+module Ast = Druzhba_alu_dsl.Ast
+module Lexer = Druzhba_alu_dsl.Lexer
+module Parser = Druzhba_alu_dsl.Parser
+module Analysis = Druzhba_alu_dsl.Analysis
+module Printer = Druzhba_alu_dsl.Printer
+module Atoms = Druzhba_atoms.Atoms
+
+let alu_testable = Alcotest.testable Ast.pp Ast.equal
+
+let parse ?(name = "test") src = Parser.parse ~name src
+
+(* --- Lexer ------------------------------------------------------------------ *)
+
+let tokens src = List.map (fun (t : Lexer.located) -> t.token) (Lexer.tokenize src)
+
+let test_lexer_operators () =
+  Alcotest.(check bool)
+    "all operators" true
+    (tokens "== != <= >= < > && || + - * / % ! ="
+    = Lexer.
+        [
+          EQEQ; NEQ; LE; GE; LT; GT; ANDAND; OROR; PLUS; MINUS; STAR; SLASH; PERCENT; BANG; ASSIGN; EOF;
+        ])
+
+let test_lexer_mixed () =
+  Alcotest.(check bool)
+    "header line" true
+    (tokens "state variables : {state_0}"
+    = Lexer.[ IDENT "state"; IDENT "variables"; COLON; LBRACE; IDENT "state_0"; RBRACE; EOF ])
+
+let test_lexer_error () =
+  match Lexer.tokenize "a @ b" with
+  | _ -> Alcotest.fail "expected lexer error"
+  | exception Lexer.Error (_, _) -> ()
+
+(* --- Parser ------------------------------------------------------------------ *)
+
+let minimal_stateful =
+  {|
+type : stateful
+state variables : {s}
+hole variables : {}
+packet fields : {p}
+s = s + p;
+|}
+
+let test_parse_minimal () =
+  let alu = parse minimal_stateful in
+  Alcotest.(check bool) "stateful" true (Ast.is_stateful alu);
+  Alcotest.(check (list string)) "state vars" [ "s" ] alu.Ast.state_vars;
+  Alcotest.(check (list string)) "packet fields" [ "p" ] alu.Ast.packet_fields;
+  Alcotest.(check int) "arity" 1 (Ast.arity alu)
+
+let test_parse_fig4 () =
+  (* The paper's Fig. 4 If-Else-RAW atom parses and has the expected shape. *)
+  let alu = Atoms.find_exn "if_else_raw" in
+  match alu.Ast.body with
+  | [ Ast.If ([ (Ast.Rel_op (0, _, _), [ Ast.Assign ("state_0", _) ]) ], [ Ast.Assign ("state_0", _) ]) ]
+    -> ()
+  | _ -> Alcotest.fail "unexpected Fig. 4 structure"
+
+let test_instance_numbering () =
+  let alu =
+    parse
+      {|
+type : stateful
+state variables : {s}
+hole variables : {}
+packet fields : {p, q}
+s = Mux2(p, C()) + Mux3(p, q, C());
+|}
+  in
+  match alu.Ast.body with
+  | [ Ast.Assign (_, Ast.Binop (Ast.Add, Ast.Mux (0, [ _; Ast.Hole_const 0 ]), Ast.Mux (1, [ _; _; Ast.Hole_const 1 ]))) ]
+    -> ()
+  | _ -> Alcotest.fail "instances not numbered in order of appearance"
+
+let test_precedence () =
+  let alu =
+    parse
+      {|
+type : stateful
+state variables : {s}
+hole variables : {}
+packet fields : {p, q}
+s = p + q * 2 == p && q != 0 || s == 1;
+|}
+  in
+  (* || at top, && under it, comparisons under that, * under +. *)
+  match alu.Ast.body with
+  | [
+   Ast.Assign
+     ( _,
+       Ast.Binop
+         ( Ast.Or,
+           Ast.Binop
+             ( Ast.And,
+               Ast.Binop (Ast.Eq, Ast.Binop (Ast.Add, _, Ast.Binop (Ast.Mul, _, _)), _),
+               Ast.Binop (Ast.Neq, _, _) ),
+           Ast.Binop (Ast.Eq, _, _) ) );
+  ] ->
+    ()
+  | _ -> Alcotest.fail "unexpected precedence parse"
+
+let test_unary () =
+  let alu =
+    parse
+      {|
+type : stateful
+state variables : {s}
+hole variables : {}
+packet fields : {p}
+s = -p + !s;
+|}
+  in
+  match alu.Ast.body with
+  | [ Ast.Assign (_, Ast.Binop (Ast.Add, Ast.Unop (Ast.Neg, _), Ast.Unop (Ast.Not, _))) ] -> ()
+  | _ -> Alcotest.fail "unexpected unary parse"
+
+let test_elif_chain () =
+  let alu =
+    parse
+      {|
+type : stateless
+state variables : {}
+hole variables : {}
+packet fields : {p}
+if (p == 0) { return 1; }
+elif (p == 1) { return 2; }
+elif (p == 2) { return 3; }
+else { return 4; }
+|}
+  in
+  match alu.Ast.body with
+  | [ Ast.If (branches, els) ] ->
+    Alcotest.(check int) "three branches" 3 (List.length branches);
+    Alcotest.(check int) "else" 1 (List.length els)
+  | _ -> Alcotest.fail "unexpected elif parse"
+
+let test_parse_errors () =
+  let expect_error src =
+    match Parser.parse_result ~name:"bad" src with
+    | Ok _ -> Alcotest.fail ("expected parse error for: " ^ src)
+    | Error _ -> ()
+  in
+  expect_error "type : bogus\nstate variables : {}\nhole variables : {}\npacket fields : {}";
+  expect_error "type : stateful\nstate variables : {s}\nhole variables : {}\npacket fields : {p}\ns = C(1);";
+  expect_error "type : stateful\nstate variables : {s}\nhole variables : {}\npacket fields : {p}\ns = Mux2(p);";
+  expect_error "type : stateful\nstate variables : {s}\nhole variables : {}\npacket fields : {p}\ns = Unknown(p);";
+  expect_error "type : stateful\nstate variables : {s}\nhole variables : {}\npacket fields : {p}\ns = p";
+  expect_error "type : stateful\nstate variables : {s}\nhole variables : {}";
+  expect_error
+    "type : stateful\nstate variables : {s}\nhole variables : {}\npacket fields : {p}\nif p { s = 1; }"
+
+let test_all_atoms_parse () =
+  List.iter
+    (fun name ->
+      match Atoms.find name with
+      | Some alu -> Alcotest.(check string) "name" name alu.Ast.name
+      | None -> Alcotest.fail ("atom did not parse: " ^ name))
+    Atoms.all_names
+
+(* --- Analysis ----------------------------------------------------------------- *)
+
+let test_slots_if_else_raw () =
+  let alu = Atoms.find_exn "if_else_raw" in
+  let slots = Analysis.slots alu in
+  let names = List.map (fun (s : Analysis.slot) -> s.slot_name) slots in
+  (* 1 rel_op, 3 opts, 3 mux3s, 3 consts *)
+  Alcotest.(check (list string))
+    "slot names"
+    [
+      "rel_op_0"; "opt_0"; "mux3_0"; "const_0"; "opt_1"; "mux3_1"; "const_1"; "opt_2"; "mux3_2"; "const_2";
+    ]
+    names
+
+let test_slot_domains () =
+  let alu = Atoms.find_exn "sub" in
+  let slots = Analysis.slots alu in
+  let find n = (List.find (fun (s : Analysis.slot) -> s.slot_name = n) slots).Analysis.domain in
+  Alcotest.(check bool) "arith domain" true (find "arith_op_0" = Analysis.Range 2);
+  Alcotest.(check bool) "mux3 domain" true (find "mux3_0" = Analysis.Range 3);
+  Alcotest.(check bool) "const domain" true (find "const_0" = Analysis.Immediate)
+
+let test_hole_var_slots () =
+  let alu = Atoms.find_exn "stateless_full" in
+  let slots = Analysis.slots alu in
+  match slots with
+  | { slot_name = "opcode"; domain = Analysis.Immediate } :: _ -> ()
+  | _ -> Alcotest.fail "hole variable should be the first slot"
+
+let test_validate_atoms () =
+  List.iter
+    (fun name ->
+      match Analysis.validate (Atoms.find_exn name) with
+      | Ok () -> ()
+      | Error errs -> Alcotest.fail (name ^ ": " ^ String.concat "; " errs))
+    Atoms.all_names
+
+let test_validate_rejects () =
+  let expect_invalid src =
+    match Analysis.validate (parse src) with
+    | Ok () -> Alcotest.fail "expected validation error"
+    | Error _ -> ()
+  in
+  (* undeclared variable *)
+  expect_invalid
+    "type : stateful\nstate variables : {s}\nhole variables : {}\npacket fields : {p}\ns = bogus;";
+  (* assignment to packet field *)
+  expect_invalid
+    "type : stateful\nstate variables : {s}\nhole variables : {}\npacket fields : {p}\np = s;";
+  (* stateless with state vars *)
+  expect_invalid
+    "type : stateless\nstate variables : {s}\nhole variables : {}\npacket fields : {p}\nreturn p;";
+  (* stateful without state vars *)
+  expect_invalid
+    "type : stateful\nstate variables : {}\nhole variables : {}\npacket fields : {p}\nreturn p;";
+  (* stateless missing return on some path *)
+  expect_invalid
+    "type : stateless\nstate variables : {}\nhole variables : {}\npacket fields : {p}\nif (p == 0) { return 1; }";
+  (* duplicate declaration *)
+  expect_invalid
+    "type : stateful\nstate variables : {s}\nhole variables : {s}\npacket fields : {p}\ns = p;"
+
+let test_validate_if_without_else_returns () =
+  (* A stateless ALU whose if lacks an else but has a trailing return is fine. *)
+  let alu =
+    parse
+      {|
+type : stateless
+state variables : {}
+hole variables : {}
+packet fields : {p}
+if (p == 0) { return 1; }
+return 0;
+|}
+  in
+  match Analysis.validate alu with
+  | Ok () -> ()
+  | Error errs -> Alcotest.fail (String.concat "; " errs)
+
+(* --- Printer ------------------------------------------------------------------ *)
+
+let test_roundtrip_atoms () =
+  List.iter
+    (fun name ->
+      let alu = Atoms.find_exn name in
+      let printed = Printer.to_string alu in
+      let reparsed = Parser.parse ~name printed in
+      Alcotest.check alu_testable ("roundtrip " ^ name) alu reparsed)
+    Atoms.all_names
+
+(* Random ALU generator for the parse/print roundtrip property. *)
+let gen_alu : Ast.t QCheck.Gen.t =
+  let open QCheck.Gen in
+  let var_pool = [ "s"; "p"; "q" ] in
+  let rec gen_expr depth =
+    if depth = 0 then
+      oneof [ map (fun n -> Ast.Const n) (int_bound 100); oneofl (List.map (fun v -> Ast.Var v) var_pool) ]
+    else
+      frequency
+        [
+          (2, gen_expr 0);
+          (2, map2 (fun op (a, b) -> Ast.Binop (op, a, b))
+               (oneofl Ast.[ Add; Sub; Mul; Div; Mod; Eq; Neq; Lt; Gt; Le; Ge; And; Or ])
+               (pair (gen_expr (depth - 1)) (gen_expr (depth - 1))));
+          (1, map2 (fun op a -> Ast.Unop (op, a)) (oneofl Ast.[ Neg; Not ]) (gen_expr (depth - 1)));
+          (1, map (fun a -> Ast.Opt (0, a)) (gen_expr (depth - 1)));
+          (1, map2 (fun a b -> Ast.Mux (0, [ a; b ])) (gen_expr (depth - 1)) (gen_expr (depth - 1)));
+          (1, map2 (fun a b -> Ast.Rel_op (0, a, b)) (gen_expr (depth - 1)) (gen_expr (depth - 1)));
+          (1, return (Ast.Hole_const 0));
+        ]
+  in
+  let gen_stmt depth =
+    if depth = 0 then map (fun e -> Ast.Assign ("s", e)) (gen_expr 2)
+    else
+      frequency
+        [
+          (3, map (fun e -> Ast.Assign ("s", e)) (gen_expr 2));
+          ( 1,
+            map2
+              (fun c body -> Ast.If ([ (c, [ body ]) ], [ Ast.Assign ("s", Ast.Const 0) ]))
+              (gen_expr 1)
+              (map (fun e -> Ast.Assign ("s", e)) (gen_expr 1)) );
+        ]
+  in
+  let* body = list_size (int_range 1 4) (gen_stmt 1) in
+  return
+    {
+      Ast.name = "gen";
+      kind = Ast.Stateful;
+      state_vars = [ "s" ];
+      hole_vars = [];
+      packet_fields = [ "p"; "q" ];
+      body;
+    }
+
+(* Renumbers machine-code construct instances in textual order, as the parser
+   would assign them. *)
+let renumber (alu : Ast.t) : Ast.t =
+  let c = ref (0, 0, 0, 0, 0) in
+  let next sel =
+    let m, o, k, r, a = !c in
+    match sel with
+    | `Mux ->
+      c := (m + 1, o, k, r, a);
+      m
+    | `Opt ->
+      c := (m, o + 1, k, r, a);
+      o
+    | `Const ->
+      c := (m, o, k + 1, r, a);
+      k
+    | `Rel ->
+      c := (m, o, k, r + 1, a);
+      r
+    | `Arith ->
+      c := (m, o, k, r, a + 1);
+      a
+  in
+  let rec expr (e : Ast.expr) =
+    match e with
+    | Ast.Const _ | Ast.Var _ -> e
+    | Ast.Unop (op, x) -> Ast.Unop (op, expr x)
+    | Ast.Binop (op, x, y) ->
+      let x = expr x in
+      let y = expr y in
+      Ast.Binop (op, x, y)
+    | Ast.Hole_const _ -> Ast.Hole_const (next `Const)
+    | Ast.Opt (_, x) ->
+      let i = next `Opt in
+      Ast.Opt (i, expr x)
+    | Ast.Mux (_, xs) ->
+      let i = next `Mux in
+      Ast.Mux (i, List.map expr xs)
+    | Ast.Rel_op (_, x, y) ->
+      let i = next `Rel in
+      let x = expr x in
+      let y = expr y in
+      Ast.Rel_op (i, x, y)
+    | Ast.Arith_op (_, x, y) ->
+      let i = next `Arith in
+      let x = expr x in
+      let y = expr y in
+      Ast.Arith_op (i, x, y)
+  in
+  let rec stmt (s : Ast.stmt) =
+    match s with
+    | Ast.Assign (v, e) -> Ast.Assign (v, expr e)
+    | Ast.Return e -> Ast.Return (expr e)
+    | Ast.If (branches, els) ->
+      let branches = List.map (fun (c, b) -> let c = expr c in (c, List.map stmt b)) branches in
+      Ast.If (branches, List.map stmt els)
+  in
+  { alu with body = List.map stmt alu.body }
+
+let prop_print_parse_roundtrip =
+  QCheck.Test.make ~name:"parse (print alu) = renumber alu" ~count:200
+    (QCheck.make ~print:(fun alu -> Printer.to_string alu ^ "\n" ^ Ast.show alu) gen_alu)
+    (fun alu ->
+      let printed = Fmt.str "%a" Printer.pp alu in
+      match Parser.parse_result ~name:"gen" printed with
+      | Error e -> QCheck.Test.fail_reportf "reparse failed: %s@.source:@.%s" e printed
+      | Ok reparsed -> Ast.equal reparsed (renumber { alu with name = "gen" }))
+
+let qsuite = List.map QCheck_alcotest.to_alcotest
+
+let () =
+  Alcotest.run "alu_dsl"
+    [
+      ( "lexer",
+        [
+          Alcotest.test_case "operators" `Quick test_lexer_operators;
+          Alcotest.test_case "mixed" `Quick test_lexer_mixed;
+          Alcotest.test_case "error" `Quick test_lexer_error;
+        ] );
+      ( "parser",
+        [
+          Alcotest.test_case "minimal stateful" `Quick test_parse_minimal;
+          Alcotest.test_case "fig4 if_else_raw" `Quick test_parse_fig4;
+          Alcotest.test_case "instance numbering" `Quick test_instance_numbering;
+          Alcotest.test_case "precedence" `Quick test_precedence;
+          Alcotest.test_case "unary" `Quick test_unary;
+          Alcotest.test_case "elif chain" `Quick test_elif_chain;
+          Alcotest.test_case "parse errors" `Quick test_parse_errors;
+          Alcotest.test_case "all atoms parse" `Quick test_all_atoms_parse;
+        ] );
+      ( "analysis",
+        [
+          Alcotest.test_case "if_else_raw slots" `Quick test_slots_if_else_raw;
+          Alcotest.test_case "slot domains" `Quick test_slot_domains;
+          Alcotest.test_case "hole var slots" `Quick test_hole_var_slots;
+          Alcotest.test_case "atoms validate" `Quick test_validate_atoms;
+          Alcotest.test_case "validation rejects" `Quick test_validate_rejects;
+          Alcotest.test_case "if without else + trailing return" `Quick
+            test_validate_if_without_else_returns;
+        ] );
+      ( "printer",
+        [ Alcotest.test_case "atom roundtrip" `Quick test_roundtrip_atoms ]
+        @ qsuite [ prop_print_parse_roundtrip ] );
+    ]

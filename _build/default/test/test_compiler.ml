@@ -1,0 +1,605 @@
+(* Tests for the Domino-subset compiler: frontend, checker, reference
+   semantics, predication, atom matching, the rule-based backend, and the
+   synthesis backend. *)
+
+module Value = Druzhba_util.Value
+module Prng = Druzhba_util.Prng
+module Machine_code = Druzhba_machine_code.Machine_code
+module Atoms = Druzhba_atoms.Atoms
+module Fuzz = Druzhba_fuzz.Fuzz
+module Ast = Druzhba_compiler.Ast
+module Frontend = Druzhba_compiler.Frontend
+module Checker = Druzhba_compiler.Checker
+module Semantics = Druzhba_compiler.Semantics
+module Predicate = Druzhba_compiler.Predicate
+module Match_atom = Druzhba_compiler.Match_atom
+module Codegen = Druzhba_compiler.Codegen
+module Synth = Druzhba_compiler.Synth
+module Testing = Druzhba_compiler.Testing
+module Spec = Druzhba_spec.Spec
+
+let parse = Frontend.parse
+
+(* --- Frontend ----------------------------------------------------------------- *)
+
+let test_parse_basic () =
+  let p =
+    parse
+      {|
+state x = 3;
+state y = 0;
+transaction demo {
+  local t = pkt.a + x;
+  if (t >= 10) { y = y + 1; } else { pkt.b = t; }
+}
+|}
+  in
+  Alcotest.(check string) "name" "demo" p.Ast.name;
+  Alcotest.(check (list (pair string int))) "states" [ ("x", 3); ("y", 0) ] p.Ast.states;
+  Alcotest.(check int) "stmts" 2 (List.length p.Ast.body)
+
+let test_parse_name_precedence () =
+  let p = parse ~name:"forced" "transaction declared { pkt.a = 1; }" in
+  Alcotest.(check string) "caller name wins" "forced" p.Ast.name;
+  let p = parse "transaction declared { pkt.a = 1; }" in
+  Alcotest.(check string) "declared name" "declared" p.Ast.name
+
+let test_parse_errors () =
+  let expect_error src =
+    match Frontend.parse_result src with
+    | Ok _ -> Alcotest.fail ("expected parse error: " ^ src)
+    | Error _ -> ()
+  in
+  expect_error "state x 3; transaction t { }";
+  expect_error "transaction t { pkt.a = ; }";
+  expect_error "transaction t { pkt.a = 1 }";
+  expect_error "transaction t { if pkt.a { } }";
+  expect_error "transaction t { } trailing";
+  expect_error "state x = 1;"
+
+(* --- Checker -------------------------------------------------------------------- *)
+
+let test_checker_info () =
+  let p =
+    parse
+      {|
+state s = 0;
+transaction t {
+  pkt.out = pkt.a + 7;
+  if (pkt.b == 1) { s = s + pkt.out; }
+}
+|}
+  in
+  let info = Checker.analyze_exn p in
+  Alcotest.(check (list string)) "inputs" [ "a"; "b" ] info.Checker.input_fields;
+  Alcotest.(check (list string)) "outputs" [ "out" ] info.Checker.output_fields;
+  Alcotest.(check bool) "constants include 7" true (List.mem 7 info.Checker.constants);
+  Alcotest.(check bool) "constants include 0 and 1" true
+    (List.mem 0 info.Checker.constants && List.mem 1 info.Checker.constants)
+
+let test_checker_rejects () =
+  let expect_invalid src =
+    match Checker.analyze (parse src) with
+    | Ok _ -> Alcotest.fail ("expected checker error: " ^ src)
+    | Error _ -> ()
+  in
+  expect_invalid "transaction t { x = 1; }";
+  expect_invalid "transaction t { pkt.a = undeclared; }";
+  expect_invalid "state s = 0; transaction t { local s = 1; pkt.a = s; }";
+  expect_invalid "transaction t { local l = 1; local l = 2; pkt.a = l; }"
+
+let test_field_written_then_read_not_input () =
+  let p = parse "transaction t { pkt.a = 1; pkt.b = pkt.a; }" in
+  let info = Checker.analyze_exn p in
+  Alcotest.(check (list string)) "no inputs" [] info.Checker.input_fields
+
+(* --- Semantics vs hand-written references ----------------------------------------- *)
+
+(* Cross-validation of the Domino interpreter against the independently
+   written OCaml references, for every Table-1 benchmark, over random
+   packet sequences. *)
+let test_semantics_vs_reference () =
+  let bits = 32 in
+  List.iter
+    (fun (bm : Spec.benchmark) ->
+      let program = Spec.program bm in
+      let info = Checker.analyze_exn program in
+      let prng = Prng.create 99 in
+      let state_tbl = Semantics.initial_state ~bits program in
+      let ref_state =
+        Array.of_list (List.map (fun (_, init) -> Value.mask bits init) program.Ast.states)
+      in
+      for _ = 1 to 500 do
+        let inputs =
+          List.map (fun f -> (f, Prng.bits prng bits)) info.Checker.input_fields
+        in
+        (* interpreter *)
+        let fields = Hashtbl.create 8 in
+        List.iter (fun (f, v) -> Hashtbl.replace fields f v) inputs;
+        Semantics.run_transaction ~bits program ~state:state_tbl ~fields;
+        (* reference *)
+        let ref_outputs = bm.Spec.bm_reference ~bits ref_state inputs in
+        List.iter
+          (fun (f, expected) ->
+            Alcotest.(check int)
+              (Printf.sprintf "%s: output %s" bm.Spec.bm_name f)
+              expected (Hashtbl.find fields f))
+          ref_outputs;
+        List.iteri
+          (fun i (v, _) ->
+            Alcotest.(check int)
+              (Printf.sprintf "%s: state %s" bm.Spec.bm_name v)
+              ref_state.(i) (Hashtbl.find state_tbl v))
+          program.Ast.states
+      done)
+    Spec.all
+
+(* --- Predication -------------------------------------------------------------------- *)
+
+let predicate src = Predicate.predicate ~bits:32 (parse src)
+
+let test_predicate_unconditional () =
+  let p = predicate "state s = 0; transaction t { s = s + 1; }" in
+  match p.Predicate.state_updates with
+  | [ ("s", Predicate.SBin (Ast.Add, Predicate.SState "s", Predicate.SInt 1)) ] -> ()
+  | _ -> Alcotest.fail "unexpected update"
+
+let test_predicate_conditional () =
+  let p =
+    predicate "state s = 0; transaction t { if (pkt.a == 1) { s = s + 1; } }"
+  in
+  match p.Predicate.state_updates with
+  | [
+   ( "s",
+     Predicate.SCond
+       ( Predicate.SBin (Ast.Eq, Predicate.SIn "a", Predicate.SInt 1),
+         Predicate.SBin (Ast.Add, Predicate.SState "s", Predicate.SInt 1),
+         Predicate.SState "s" ) );
+  ] ->
+    ()
+  | _ -> Alcotest.fail "unexpected conditional update"
+
+let test_predicate_sequencing () =
+  (* reads after writes see the written value *)
+  let p = predicate "state s = 0; transaction t { s = s + 1; pkt.out = s; }" in
+  let update = List.assoc "s" p.Predicate.state_updates in
+  let out = List.assoc "out" p.Predicate.field_updates in
+  Alcotest.(check bool) "pkt.out sees the new state" true (Predicate.equal_sexpr update out)
+
+let test_predicate_lt_normalization () =
+  (* strict comparisons in guards are rewritten by swapping arms *)
+  let p =
+    predicate "state s = 0; transaction t { if (pkt.a < 5) { s = 1; } else { s = 2; } }"
+  in
+  match List.assoc "s" p.Predicate.state_updates with
+  | Predicate.SCond (Predicate.SBin (Ast.Ge, Predicate.SIn "a", Predicate.SInt 5), Predicate.SInt 2, Predicate.SInt 1)
+    -> ()
+  | e -> Alcotest.failf "unexpected guard normalization: %s" (Predicate.show_sexpr e)
+
+let test_predicate_folding () =
+  let p = predicate "state s = 0; transaction t { if (1 == 1) { s = 2 + 3; } }" in
+  match p.Predicate.state_updates with
+  | [ ("s", Predicate.SInt 5) ] -> ()
+  | _ -> Alcotest.fail "constant folding failed"
+
+let test_predicate_elif () =
+  let p =
+    predicate
+      {|
+state s = 0;
+transaction t {
+  if (pkt.a == 0) { s = 1; }
+  elif (pkt.a == 1) { s = 2; }
+  else { s = 3; }
+}
+|}
+  in
+  match List.assoc "s" p.Predicate.state_updates with
+  | Predicate.SCond (_, Predicate.SInt 1, Predicate.SCond (_, Predicate.SInt 2, Predicate.SInt 3))
+    -> ()
+  | e -> Alcotest.failf "unexpected elif lowering: %s" (Predicate.show_sexpr e)
+
+(* --- Atom matching -------------------------------------------------------------------- *)
+
+let match_on atom src =
+  let p = predicate src in
+  Match_atom.match_group ~bits:32 ~atom:(Atoms.find_exn atom) ~updates:p.Predicate.state_updates
+
+let test_match_raw_accumulator () =
+  match match_on "raw" "state s = 0; transaction t { s = s + pkt.a; }" with
+  | Some { Match_atom.r_binding; r_slots } ->
+    Alcotest.(check (list (pair string int))) "slots" [ ("s", 0) ] r_slots;
+    Alcotest.(check bool) "pkt_0 bound to input a" true
+      (List.mem_assoc "pkt_0" r_binding.Match_atom.b_fields)
+  | None -> Alcotest.fail "raw should accumulate"
+
+let test_match_raw_immediate () =
+  match match_on "raw" "state s = 0; transaction t { s = s + 3; }" with
+  | Some { Match_atom.r_binding; _ } ->
+    Alcotest.(check (option int)) "mux selects C()" (Some 1)
+      (List.assoc_opt "mux2_0" r_binding.Match_atom.b_slots);
+    Alcotest.(check (option int)) "const is 3" (Some 3)
+      (List.assoc_opt "const_0" r_binding.Match_atom.b_slots)
+  | None -> Alcotest.fail "raw should add an immediate"
+
+let test_match_raw_rejects_conditional () =
+  match match_on "raw" "state s = 0; transaction t { if (pkt.a == 1) { s = s + 1; } }" with
+  | Some _ -> Alcotest.fail "raw has no predication"
+  | None -> ()
+
+let test_match_pred_raw_identity_else () =
+  match
+    match_on "pred_raw" "state s = 0; transaction t { if (s <= pkt.a) { s = s + pkt.a; } }"
+  with
+  | Some _ -> ()
+  | None -> Alcotest.fail "pred_raw should match a guarded accumulate"
+
+let test_match_if_else_raw_two_arms () =
+  match
+    match_on "if_else_raw"
+      "state s = 0; transaction t { if (s == 9) { s = 0; } else { s = s + 1; } }"
+  with
+  | Some _ -> ()
+  | None -> Alcotest.fail "if_else_raw should match the sampling update"
+
+let test_match_pair_two_states () =
+  match
+    match_on "pair"
+      {|
+state hi = 0;
+state cnt = 0;
+transaction t {
+  if (pkt.v >= hi) { hi = pkt.v; cnt = cnt + 1; }
+}
+|}
+  with
+  | Some { Match_atom.r_slots; _ } ->
+    Alcotest.(check int) "two slots" 2 (List.length r_slots)
+  | None -> Alcotest.fail "pair should hold two interdependent states"
+
+let test_match_sub_direction () =
+  (match match_on "sub" "state s = 0; transaction t { s = s - pkt.a; }" with
+  | Some { Match_atom.r_binding; _ } ->
+    Alcotest.(check (option int)) "subtract opcode" (Some 1)
+      (List.assoc_opt "arith_op_0" r_binding.Match_atom.b_slots)
+  | None -> Alcotest.fail "sub should subtract");
+  match match_on "sub" "state s = 0; transaction t { s = s + pkt.a; }" with
+  | Some { Match_atom.r_binding; _ } ->
+    Alcotest.(check (option int)) "add opcode" (Some 0)
+      (List.assoc_opt "arith_op_0" r_binding.Match_atom.b_slots)
+  | None -> Alcotest.fail "sub should add"
+
+let test_match_cross_group_guard () =
+  (* the guard reads another group's state: legal as a packet operand *)
+  match
+    match_on "pred_raw"
+      {|
+state a = 0;
+state b = 0;
+transaction t {
+  if (pkt.x >= 1) { a = a + 1; }
+  if (a == 0) { b = b + 1; }
+}
+|}
+  with
+  | Some _ -> Alcotest.fail "two separate groups cannot share one single-state match call"
+  | None -> () (* match_group is per group; joint matching must fail on 1-state atom *)
+
+(* --- Rule-based backend ------------------------------------------------------------------ *)
+
+let compile_bm (bm : Spec.benchmark) = Spec.compile bm
+
+let test_all_benchmarks_compile () =
+  List.iter
+    (fun (bm : Spec.benchmark) ->
+      match compile_bm bm with
+      | Ok _ -> ()
+      | Error e -> Alcotest.failf "%s failed to compile: %s" bm.Spec.bm_name e)
+    Spec.all
+
+let test_all_benchmarks_fuzz_pass () =
+  List.iter
+    (fun (bm : Spec.benchmark) ->
+      let compiled = Spec.compile_exn bm in
+      match Testing.check ~n:500 compiled with
+      | Fuzz.Pass _ -> ()
+      | o -> Alcotest.failf "%s: %a" bm.Spec.bm_name Fuzz.pp_outcome o)
+    Spec.all
+
+let test_fuzz_pass_all_levels () =
+  let compiled = Spec.compile_exn (Spec.find_exn "sampling") in
+  List.iter
+    (fun level ->
+      match Testing.check ~level ~n:300 compiled with
+      | Fuzz.Pass _ -> ()
+      | o -> Alcotest.failf "sampling at %s: %a" (Druzhba_optimizer.Optimizer.level_name level) Fuzz.pp_outcome o)
+    Druzhba_optimizer.Optimizer.[ Unoptimized; Scc; Scc_inline ]
+
+let small_target ?(depth = 2) ?(width = 2) ?(bits = 32) ?(atom = "if_else_raw") () =
+  Codegen.target ~depth ~width ~bits ~stateful:(Atoms.find_exn atom)
+    ~stateless:(Atoms.find_exn "stateless_full") ()
+
+let test_compile_does_not_fit_depth () =
+  (* needs a stateless stage after the stateful one; depth 1 cannot *)
+  let src = "state s = 0; transaction t { s = s + 1; pkt.out = s == 3; }" in
+  match Codegen.compile ~target:(small_target ~depth:1 ~width:2 ()) (parse src) with
+  | Error e ->
+    Alcotest.(check bool) "mentions fit" true
+      (String.length e > 0 && String.length e < 500)
+  | Ok _ -> Alcotest.fail "expected depth overflow"
+
+let test_compile_rejects_multiplication () =
+  let src = "state s = 0; transaction t { pkt.out = pkt.a * 2; s = s + 1; }" in
+  match Codegen.compile ~target:(small_target ()) (parse src) with
+  | Error _ -> ()
+  | Ok _ -> Alcotest.fail "expected multiply rejection"
+
+let test_compile_rejects_general_conditional_value () =
+  let src =
+    "state s = 0; transaction t { if (pkt.a == 1) { pkt.out = 7; } else { pkt.out = 3; } s = s \
+     + 1; }"
+  in
+  match Codegen.compile ~target:(small_target ()) (parse src) with
+  | Error _ -> ()
+  | Ok _ -> Alcotest.fail "expected conditional-value rejection"
+
+let test_compile_too_many_live_values () =
+  (* width 1 cannot hold two inputs *)
+  let src = "state s = 0; transaction t { s = s + 1; pkt.out = pkt.a + pkt.b; }" in
+  match Codegen.compile ~target:(small_target ~depth:3 ~width:1 ()) (parse src) with
+  | Error _ -> ()
+  | Ok _ -> Alcotest.fail "expected container overflow"
+
+let test_layout_consistency () =
+  let compiled = Spec.compile_exn (Spec.find_exn "flowlets") in
+  let l = compiled.Codegen.c_layout in
+  (* input and output containers are within the width *)
+  let width = compiled.Codegen.c_target.Codegen.t_width in
+  List.iter
+    (fun (_, c) -> Alcotest.(check bool) "input container in range" true (c >= 0 && c < width))
+    l.Codegen.l_inputs;
+  List.iter
+    (fun (_, c) -> Alcotest.(check bool) "output container in range" true (c >= 0 && c < width))
+    l.Codegen.l_outputs;
+  (* every state var is mapped and has an init vector *)
+  List.iter
+    (fun (v, (alu, _)) ->
+      Alcotest.(check bool) ("init for " ^ v) true (List.mem_assoc alu l.Codegen.l_init))
+    l.Codegen.l_state
+
+let test_machine_code_is_complete () =
+  (* the rule-based backend always emits every pair the pipeline needs *)
+  List.iter
+    (fun (bm : Spec.benchmark) ->
+      let compiled = Spec.compile_exn bm in
+      match
+        Machine_code.validate
+          ~required:(Druzhba_pipeline.Ir.required_names compiled.Codegen.c_desc)
+          compiled.Codegen.c_mc
+      with
+      | Ok () -> ()
+      | Error missing ->
+        Alcotest.failf "%s misses %d pairs" bm.Spec.bm_name (List.length missing))
+    Spec.all
+
+(* qcheck: compiled pipelines agree with the reference on random variants *)
+let prop_variants_pass =
+  QCheck.Test.make ~name:"benchmark variants pass fuzzing" ~count:12
+    QCheck.(pair (int_range 2 60) (int_range 0 6))
+    (fun (param, which) ->
+      let with_variant =
+        List.filter (fun (bm : Spec.benchmark) -> bm.Spec.bm_variant <> None) Spec.all
+      in
+      let bm = List.nth with_variant (which mod List.length with_variant) in
+      let source = (Option.get bm.Spec.bm_variant) param in
+      match Codegen.compile ~target:(Spec.target bm) (parse source) with
+      | Error e -> QCheck.Test.fail_reportf "%s[%d]: %s" bm.Spec.bm_name param e
+      | Ok compiled -> (
+        match Testing.check ~n:300 compiled with
+        | Fuzz.Pass _ -> true
+        | o -> QCheck.Test.fail_reportf "%s[%d]: %a" bm.Spec.bm_name param Fuzz.pp_outcome o))
+
+(* --- Printer --------------------------------------------------------------------------------- *)
+
+module Printer = Druzhba_compiler.Printer
+
+let test_printer_roundtrip_benchmarks () =
+  List.iter
+    (fun (bm : Spec.benchmark) ->
+      let program = Spec.program bm in
+      let printed = Printer.to_string program in
+      match Frontend.parse_result printed with
+      | Error e -> Alcotest.failf "%s: reparse failed: %s" bm.Spec.bm_name e
+      | Ok reparsed ->
+        Alcotest.(check bool) (bm.Spec.bm_name ^ " roundtrips") true (Ast.equal_program program reparsed))
+    Spec.all
+
+(* Random programs for the print/parse roundtrip property. *)
+let gen_domino : Ast.program QCheck.Gen.t =
+  let open QCheck.Gen in
+  let field = oneofl [ "a"; "b"; "c" ] in
+  let state_var = oneofl [ "s"; "t" ] in
+  let rec gen_expr depth =
+    if depth = 0 then
+      oneof
+        [
+          map (fun n -> Ast.Int n) (int_bound 100);
+          map (fun f -> Ast.Field f) field;
+          map (fun v -> Ast.Var v) state_var;
+        ]
+    else
+      frequency
+        [
+          (2, gen_expr 0);
+          ( 3,
+            map2
+              (fun op (a, b) -> Ast.Binop (op, a, b))
+              (oneofl Ast.[ Add; Sub; Mul; Div; Mod; Eq; Neq; Lt; Gt; Le; Ge; And; Or ])
+              (pair (gen_expr (depth - 1)) (gen_expr (depth - 1))) );
+          (1, map2 (fun op a -> Ast.Unop (op, a)) (oneofl Ast.[ Neg; Not ]) (gen_expr (depth - 1)));
+        ]
+  in
+  let gen_assign =
+    oneof
+      [
+        map2 (fun f e -> Ast.Assign (Ast.Lfield f, e)) (oneofl [ "x"; "y" ]) (gen_expr 2);
+        map2 (fun v e -> Ast.Assign (Ast.Lvar v, e)) state_var (gen_expr 2);
+      ]
+  in
+  let gen_stmt =
+    frequency
+      [
+        (3, gen_assign);
+        ( 1,
+          map2
+            (fun c (a, b) -> Ast.If ([ (c, [ a ]) ], [ b ]))
+            (gen_expr 1) (pair gen_assign gen_assign) );
+      ]
+  in
+  let* body = list_size (int_range 1 5) gen_stmt in
+  return { Ast.name = "gen"; states = [ ("s", 0); ("t", 3) ]; body }
+
+let prop_domino_roundtrip =
+  QCheck.Test.make ~name:"parse (print program) = program" ~count:300
+    (QCheck.make ~print:Printer.to_string gen_domino)
+    (fun program ->
+      match Frontend.parse_result (Printer.to_string program) with
+      | Error e -> QCheck.Test.fail_reportf "reparse failed: %s" e
+      | Ok reparsed -> Ast.equal_program program reparsed)
+
+(* Printing then recompiling produces equivalent machine code behaviour. *)
+let test_printer_preserves_compilation () =
+  List.iter
+    (fun name ->
+      let bm = Spec.find_exn name in
+      let reparsed = Frontend.parse ~name (Printer.to_string (Spec.program bm)) in
+      match Codegen.compile ~target:(Spec.target bm) reparsed with
+      | Error e -> Alcotest.failf "%s: %s" name e
+      | Ok compiled -> (
+        match Testing.check ~n:300 compiled with
+        | Fuzz.Pass _ -> ()
+        | o -> Alcotest.failf "%s: %a" name Fuzz.pp_outcome o))
+    [ "sampling"; "flowlets"; "conga" ]
+
+(* --- Synthesis backend ---------------------------------------------------------------------- *)
+
+let synth_problem ?(bits = 10) ?(synth_bits = 10) ?(budget = 200_000) src =
+  {
+    Synth.p_program = parse src;
+    p_target =
+      Codegen.target ~depth:1 ~width:1 ~bits ~stateful:(Atoms.find_exn "pair")
+        ~stateless:(Atoms.find_exn "stateless_full") ();
+    p_synth_bits = synth_bits;
+    p_examples = 16;
+    p_budget = budget;
+    p_seed = 42;
+  }
+
+let test_synth_finds_accumulator () =
+  match Synth.synthesize (synth_problem "state s = 0; transaction t { s = s + pkt.a; }") with
+  | Synth.Synthesized compiled -> (
+    match Testing.check ~n:1000 compiled with
+    | Fuzz.Pass _ -> ()
+    | o -> Alcotest.failf "synthesized accumulator wrong: %a" Fuzz.pp_outcome o)
+  | Synth.Budget_exhausted { candidates } ->
+    Alcotest.failf "accumulator not found in %d candidates" candidates
+
+let test_synth_narrow_width_range_failure () =
+  (* synthesize at 4 bits a kernel whose threshold needs more bits; Druzhba's
+     wide verification must catch it (case-study failure class 2) *)
+  let p =
+    synth_problem ~synth_bits:4
+      "state s = 0; transaction t { if (pkt.a >= 100) { s = s + 1; } }"
+  in
+  match Synth.synthesize p with
+  | Synth.Synthesized compiled -> (
+    match Testing.check ~n:3000 compiled with
+    | Fuzz.Mismatch _ -> () (* the expected range failure *)
+    | Fuzz.Pass _ -> Alcotest.fail "4-bit machine code cannot be right at 10 bits"
+    | o -> Alcotest.failf "unexpected: %a" Fuzz.pp_outcome o)
+  | Synth.Budget_exhausted { candidates } ->
+    Alcotest.failf "narrow synthesis should succeed, gave up after %d" candidates
+
+let test_synth_wide_width_correct () =
+  (* at full width the same kernel synthesizes correctly or honestly gives up *)
+  let p =
+    synth_problem ~synth_bits:10 ~budget:400_000
+      "state s = 0; transaction t { if (pkt.a >= 100) { s = s + 1; } }"
+  in
+  match Synth.synthesize p with
+  | Synth.Synthesized compiled -> (
+    match Testing.check ~n:2000 compiled with
+    | Fuzz.Pass _ -> ()
+    | o -> Alcotest.failf "verified synthesis wrong: %a" Fuzz.pp_outcome o)
+  | Synth.Budget_exhausted _ -> () (* allotted-time failure, as in the paper *)
+
+let qsuite = List.map QCheck_alcotest.to_alcotest
+
+let () =
+  Alcotest.run "compiler"
+    [
+      ( "frontend",
+        [
+          Alcotest.test_case "basic program" `Quick test_parse_basic;
+          Alcotest.test_case "name precedence" `Quick test_parse_name_precedence;
+          Alcotest.test_case "parse errors" `Quick test_parse_errors;
+        ] );
+      ( "checker",
+        [
+          Alcotest.test_case "info" `Quick test_checker_info;
+          Alcotest.test_case "rejects" `Quick test_checker_rejects;
+          Alcotest.test_case "written-then-read is not input" `Quick
+            test_field_written_then_read_not_input;
+        ] );
+      ( "semantics",
+        [ Alcotest.test_case "matches hand references (all 12)" `Quick test_semantics_vs_reference ]
+      );
+      ( "predication",
+        [
+          Alcotest.test_case "unconditional" `Quick test_predicate_unconditional;
+          Alcotest.test_case "conditional" `Quick test_predicate_conditional;
+          Alcotest.test_case "sequencing" `Quick test_predicate_sequencing;
+          Alcotest.test_case "strict-comparison normalization" `Quick
+            test_predicate_lt_normalization;
+          Alcotest.test_case "constant folding" `Quick test_predicate_folding;
+          Alcotest.test_case "elif lowering" `Quick test_predicate_elif;
+        ] );
+      ( "atom matching",
+        [
+          Alcotest.test_case "raw accumulator" `Quick test_match_raw_accumulator;
+          Alcotest.test_case "raw immediate" `Quick test_match_raw_immediate;
+          Alcotest.test_case "raw rejects conditional" `Quick test_match_raw_rejects_conditional;
+          Alcotest.test_case "pred_raw guarded" `Quick test_match_pred_raw_identity_else;
+          Alcotest.test_case "if_else_raw sampling" `Quick test_match_if_else_raw_two_arms;
+          Alcotest.test_case "pair two states" `Quick test_match_pair_two_states;
+          Alcotest.test_case "sub direction" `Quick test_match_sub_direction;
+          Alcotest.test_case "cross-group guard" `Quick test_match_cross_group_guard;
+        ] );
+      ( "codegen",
+        [
+          Alcotest.test_case "all 12 compile at paper dims" `Quick test_all_benchmarks_compile;
+          Alcotest.test_case "all 12 pass fuzzing" `Quick test_all_benchmarks_fuzz_pass;
+          Alcotest.test_case "all optimization levels pass" `Quick test_fuzz_pass_all_levels;
+          Alcotest.test_case "depth overflow rejected" `Quick test_compile_does_not_fit_depth;
+          Alcotest.test_case "multiply rejected" `Quick test_compile_rejects_multiplication;
+          Alcotest.test_case "conditional value rejected" `Quick
+            test_compile_rejects_general_conditional_value;
+          Alcotest.test_case "container overflow rejected" `Quick test_compile_too_many_live_values;
+          Alcotest.test_case "layout consistency" `Quick test_layout_consistency;
+          Alcotest.test_case "machine code complete" `Quick test_machine_code_is_complete;
+        ]
+        @ qsuite [ prop_variants_pass ] );
+      ( "printer",
+        [
+          Alcotest.test_case "benchmark roundtrips" `Quick test_printer_roundtrip_benchmarks;
+          Alcotest.test_case "print-compile equivalence" `Quick test_printer_preserves_compilation;
+        ]
+        @ qsuite [ prop_domino_roundtrip ] );
+      ( "synthesis",
+        [
+          Alcotest.test_case "finds accumulator" `Quick test_synth_finds_accumulator;
+          Alcotest.test_case "narrow-width range failure" `Quick
+            test_synth_narrow_width_range_failure;
+          Alcotest.test_case "wide-width correct" `Slow test_synth_wide_width_correct;
+        ] );
+    ]

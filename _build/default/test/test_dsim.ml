@@ -1,0 +1,284 @@
+(* Tests for the dsim extras: traffic determinism, trace rendering, the
+   time-travel debugger (paper §7), and bounded-exhaustive verification. *)
+
+module Prng = Druzhba_util.Prng
+module Machine_code = Druzhba_machine_code.Machine_code
+module Ir = Druzhba_pipeline.Ir
+module Dgen = Druzhba_pipeline.Dgen
+module Names = Druzhba_pipeline.Names
+module Engine = Druzhba_dsim.Engine
+module Phv = Druzhba_dsim.Phv
+module Traffic = Druzhba_dsim.Traffic
+module Trace = Druzhba_dsim.Trace
+module Debugger = Druzhba_dsim.Debugger
+module Atoms = Druzhba_atoms.Atoms
+module Fuzz = Druzhba_fuzz.Fuzz
+module Verify = Druzhba_fuzz.Verify
+
+let gen ~depth ~width ?(bits = 32) ?(stateful = "raw") () =
+  Dgen.generate
+    (Dgen.config ~depth ~width ~bits ())
+    ~stateful:(Atoms.find_exn stateful) ~stateless:(Atoms.find_exn "stateless_full")
+
+let neutral_mc (desc : Ir.t) =
+  let mc = Machine_code.empty () in
+  List.iter (fun (name, _) -> Machine_code.set mc name 0) (Ir.control_domains desc);
+  Array.iter
+    (fun (st : Ir.stage) ->
+      Array.iter
+        (fun name -> Machine_code.set mc name (Names.Select.passthrough ~width:desc.Ir.d_width))
+        st.Ir.s_output_muxes)
+    desc.Ir.d_stages;
+  mc
+
+(* accumulator: state += pkt_0, output mux exposes old state *)
+let accumulator () =
+  let desc = gen ~depth:1 ~width:1 () in
+  let mc = neutral_mc desc in
+  Machine_code.set mc
+    (Names.output_mux ~stage:0 ~container:0)
+    (Names.Select.stateful_output ~width:1 0);
+  (desc, mc)
+
+(* --- Traffic ------------------------------------------------------------------ *)
+
+let test_traffic_deterministic () =
+  let a = Traffic.phvs (Traffic.create ~seed:5 ~width:3 ~bits:16) 50 in
+  let b = Traffic.phvs (Traffic.create ~seed:5 ~width:3 ~bits:16) 50 in
+  Alcotest.(check bool) "same trace" true (List.for_all2 Phv.equal a b);
+  let c = Traffic.phvs (Traffic.create ~seed:6 ~width:3 ~bits:16) 50 in
+  Alcotest.(check bool) "different seed differs" false (List.for_all2 Phv.equal a c)
+
+let test_traffic_width_and_bits () =
+  let phvs = Traffic.phvs (Traffic.create ~seed:1 ~width:4 ~bits:6) 100 in
+  List.iter
+    (fun phv ->
+      Alcotest.(check int) "width" 4 (Phv.width phv);
+      Array.iter (fun v -> Alcotest.(check bool) "in range" true (v >= 0 && v < 64)) phv)
+    phvs
+
+(* --- Trace ---------------------------------------------------------------------- *)
+
+let test_trace_pp_smoke () =
+  let desc, mc = accumulator () in
+  let trace = Engine.run desc ~mc ~inputs:[ [| 1 |]; [| 2 |] ] in
+  let rendered = Fmt.str "%a" Trace.pp trace in
+  Alcotest.(check bool) "mentions phv lines" true (String.length rendered > 20)
+
+let test_engine_init_state () =
+  let desc, mc = accumulator () in
+  let init = [ (Names.stateful_alu ~stage:0 ~alu:0, [| 100 |]) ] in
+  let trace = Engine.run ~init desc ~mc ~inputs:[ [| 5 |] ] in
+  Alcotest.(check (option (list int)))
+    "state starts at 100" (Some [ 105 ])
+    (Option.map Array.to_list (Trace.find_state trace (Names.stateful_alu ~stage:0 ~alu:0)))
+
+(* --- Debugger -------------------------------------------------------------------- *)
+
+let session () =
+  let desc, mc = accumulator () in
+  Debugger.start desc ~mc ~inputs:(List.init 20 (fun i -> [| i + 1 |]))
+
+let test_debugger_step_and_inspect () =
+  let d = session () in
+  let snap1 = Debugger.step d in
+  Alcotest.(check int) "tick 1" 1 snap1.Debugger.snap_tick;
+  (* after tick 1 the accumulator holds input 1 *)
+  Alcotest.(check (option int))
+    "state after tick 1" (Some 1)
+    (Debugger.state d ~alu:(Names.stateful_alu ~stage:0 ~alu:0) ~slot:0);
+  let _ = Debugger.step d in
+  Alcotest.(check (option int))
+    "state after tick 2" (Some 3)
+    (Debugger.state d ~alu:(Names.stateful_alu ~stage:0 ~alu:0) ~slot:0)
+
+let test_debugger_rewind () =
+  let d = session () in
+  let _ = Debugger.goto d 10 in
+  Alcotest.(check (option int))
+    "state at tick 10" (Some 55)
+    (Debugger.state d ~alu:(Names.stateful_alu ~stage:0 ~alu:0) ~slot:0);
+  (* rewind: tick 3 = 1+2+3 *)
+  let snap = Debugger.goto d 3 in
+  Alcotest.(check int) "cursor" 3 (Debugger.cursor d);
+  Alcotest.(check int) "snapshot tick" 3 snap.Debugger.snap_tick;
+  Alcotest.(check (option int))
+    "state at tick 3" (Some 6)
+    (Debugger.state d ~alu:(Names.stateful_alu ~stage:0 ~alu:0) ~slot:0);
+  (* step_back one more *)
+  let _ = Debugger.step_back d in
+  Alcotest.(check (option int))
+    "state at tick 2" (Some 3)
+    (Debugger.state d ~alu:(Names.stateful_alu ~stage:0 ~alu:0) ~slot:0);
+  (* and forward again: the history is replayed, not recomputed differently *)
+  let _ = Debugger.step d in
+  Alcotest.(check (option int))
+    "state back at tick 3" (Some 6)
+    (Debugger.state d ~alu:(Names.stateful_alu ~stage:0 ~alu:0) ~slot:0)
+
+let test_debugger_breakpoint () =
+  let d = session () in
+  (* break when the accumulator reaches exactly 15 = 1+2+3+4+5 *)
+  let bp = Debugger.break_on_state ~alu:(Names.stateful_alu ~stage:0 ~alu:0) ~slot:0 ~value:15 in
+  (match Debugger.continue_until ~limit:50 d bp with
+  | Some snap -> Alcotest.(check int) "fires at tick 5" 5 snap.Debugger.snap_tick
+  | None -> Alcotest.fail "breakpoint never fired");
+  (* rewind to where state was 6 *)
+  match
+    Debugger.rewind_until d
+      (Debugger.break_on_state ~alu:(Names.stateful_alu ~stage:0 ~alu:0) ~slot:0 ~value:6)
+  with
+  | Some snap -> Alcotest.(check int) "rewinds to tick 3" 3 snap.Debugger.snap_tick
+  | None -> Alcotest.fail "rewind never fired"
+
+let test_debugger_first_divergence () =
+  let desc, mc = accumulator () in
+  let buggy = Machine_code.copy mc in
+  (* flip the raw atom's mux to C() = 0: the accumulator stops accumulating *)
+  Machine_code.set buggy
+    (Names.slot ~alu_prefix:(Names.stateful_alu ~stage:0 ~alu:0) ~slot_name:"mux2_0")
+    1;
+  let inputs = List.init 20 (fun i -> [| i + 1 |]) in
+  let a = Debugger.start desc ~mc ~inputs in
+  let b = Debugger.start desc ~mc:buggy ~inputs in
+  match Debugger.first_divergence ~observed:[ 0 ] a b with
+  | Some tick ->
+    (* tick 1 outputs old state 0 for both; tick 2 differs (1 vs 0) *)
+    Alcotest.(check int) "diverges at tick 2" 2 tick
+  | None -> Alcotest.fail "no divergence found"
+
+let test_debugger_output_breakpoint () =
+  let d = session () in
+  let bp = Debugger.break_on_output ~container:0 ~pred:(fun v -> v >= 10) in
+  match Debugger.continue_until ~limit:50 d bp with
+  | Some snap -> (
+    match snap.Debugger.snap_output with
+    | Some phv -> Alcotest.(check bool) "output >= 10" true (phv.(0) >= 10)
+    | None -> Alcotest.fail "no output at firing tick")
+  | None -> Alcotest.fail "output breakpoint never fired"
+
+(* --- Bounded-exhaustive verification ----------------------------------------------- *)
+
+(* the accumulator at 3 bits: prove equivalence over all inputs and states *)
+let test_verify_proves_accumulator () =
+  let desc = gen ~depth:1 ~width:1 ~bits:3 () in
+  let mc = neutral_mc desc in
+  Machine_code.set mc
+    (Names.output_mux ~stage:0 ~container:0)
+    (Names.Select.stateful_output ~width:1 0);
+  let spec =
+    {
+      Fuzz.spec_init = (fun () -> [| 0 |]);
+      spec_step =
+        (fun st phv ->
+          let out = [| st.(0) |] in
+          st.(0) <- (st.(0) + phv.(0)) land 7;
+          out);
+    }
+  in
+  match
+    Verify.exhaustive_check ~desc ~mc ~spec ~observed:[ 0 ]
+      ~state_layout:[ (Names.stateful_alu ~stage:0 ~alu:0, 0, 0) ]
+      ~init:[] ()
+  with
+  | Verify.Proved { states; inputs_per_state } ->
+    Alcotest.(check int) "8 reachable states" 8 states;
+    Alcotest.(check int) "8 inputs each" 8 inputs_per_state
+  | r -> Alcotest.failf "expected proof, got %a" Verify.pp_result r
+
+let test_verify_finds_counterexample () =
+  let desc = gen ~depth:1 ~width:1 ~bits:3 () in
+  let mc = neutral_mc desc in
+  Machine_code.set mc
+    (Names.output_mux ~stage:0 ~container:0)
+    (Names.Select.stateful_output ~width:1 0);
+  (* spec wrongly claims saturation at 7 instead of wraparound *)
+  let spec =
+    {
+      Fuzz.spec_init = (fun () -> [| 0 |]);
+      spec_step =
+        (fun st phv ->
+          let out = [| st.(0) |] in
+          st.(0) <- min 7 (st.(0) + phv.(0));
+          out);
+    }
+  in
+  match
+    Verify.exhaustive_check ~desc ~mc ~spec ~observed:[ 0 ]
+      ~state_layout:[ (Names.stateful_alu ~stage:0 ~alu:0, 0, 0) ]
+      ~init:[] ()
+  with
+  | Verify.Counterexample cx ->
+    Alcotest.(check bool) "state divergence" true (cx.Verify.cx_kind = `State 0)
+  | r -> Alcotest.failf "expected counterexample, got %a" Verify.pp_result r
+
+let test_verify_budget () =
+  let desc = gen ~depth:1 ~width:1 ~bits:3 () in
+  let mc = neutral_mc desc in
+  Machine_code.set mc
+    (Names.output_mux ~stage:0 ~container:0)
+    (Names.Select.stateful_output ~width:1 0);
+  let spec =
+    {
+      Fuzz.spec_init = (fun () -> [| 0 |]);
+      spec_step =
+        (fun st phv ->
+          let out = [| st.(0) |] in
+          st.(0) <- (st.(0) + phv.(0)) land 7;
+          out);
+    }
+  in
+  match
+    Verify.exhaustive_check ~max_states:3 ~desc ~mc ~spec ~observed:[ 0 ]
+      ~state_layout:[ (Names.stateful_alu ~stage:0 ~alu:0, 0, 0) ]
+      ~init:[] ()
+  with
+  | Verify.Inconclusive { explored } -> Alcotest.(check bool) "honest" true (explored >= 3)
+  | r -> Alcotest.failf "expected inconclusive, got %a" Verify.pp_result r
+
+(* verify a real compiled benchmark at tiny width: sampling at 4 bits *)
+let test_verify_compiled_sampling () =
+  let bm = Druzhba_spec.Spec.find_exn "sampling" in
+  let bits = 4 in
+  let compiled = Druzhba_spec.Spec.compile_exn ~bits bm in
+  let module Codegen = Druzhba_compiler.Codegen in
+  let module Testing = Druzhba_compiler.Testing in
+  match
+    Verify.exhaustive_check ~desc:compiled.Codegen.c_desc ~mc:compiled.Codegen.c_mc
+      ~spec:(Testing.spec_of compiled) ~observed:(Testing.observed compiled)
+      ~state_layout:(Testing.state_layout compiled)
+      ~init:compiled.Codegen.c_layout.Codegen.l_init ()
+  with
+  | Verify.Proved { states; _ } -> Alcotest.(check bool) "some states" true (states >= 10)
+  | r -> Alcotest.failf "expected proof, got %a" Verify.pp_result r
+
+let () =
+  Alcotest.run "dsim"
+    [
+      ( "traffic",
+        [
+          Alcotest.test_case "deterministic" `Quick test_traffic_deterministic;
+          Alcotest.test_case "width and bits" `Quick test_traffic_width_and_bits;
+        ] );
+      ( "trace",
+        [
+          Alcotest.test_case "pp smoke" `Quick test_trace_pp_smoke;
+          Alcotest.test_case "init state" `Quick test_engine_init_state;
+        ] );
+      ( "debugger",
+        [
+          Alcotest.test_case "step and inspect" `Quick test_debugger_step_and_inspect;
+          Alcotest.test_case "rewind (time travel)" `Quick test_debugger_rewind;
+          Alcotest.test_case "breakpoints" `Quick test_debugger_breakpoint;
+          Alcotest.test_case "first divergence" `Quick test_debugger_first_divergence;
+          Alcotest.test_case "output breakpoint" `Quick test_debugger_output_breakpoint;
+        ] );
+      ( "verification",
+        [
+          Alcotest.test_case "proves the accumulator" `Quick test_verify_proves_accumulator;
+          Alcotest.test_case "finds a counterexample" `Quick test_verify_finds_counterexample;
+          Alcotest.test_case "honest on budget" `Quick test_verify_budget;
+          Alcotest.test_case "proves compiled sampling at 4 bits" `Quick
+            test_verify_compiled_sampling;
+        ] );
+    ]

@@ -1,0 +1,107 @@
+(* Tests for the machine-code representation, text format, and validator. *)
+
+module Machine_code = Druzhba_machine_code.Machine_code
+
+let test_of_list_find () =
+  let mc = Machine_code.of_list [ ("a", 1); ("b", 2) ] in
+  Alcotest.(check int) "find a" 1 (Machine_code.find mc "a");
+  Alcotest.(check int) "find b" 2 (Machine_code.find mc "b");
+  Alcotest.(check (option int)) "find_opt missing" None (Machine_code.find_opt mc "c");
+  Alcotest.(check int) "cardinal" 2 (Machine_code.cardinal mc)
+
+let test_find_missing_raises () =
+  let mc = Machine_code.empty () in
+  match Machine_code.find mc "nope" with
+  | _ -> Alcotest.fail "expected Missing"
+  | exception Machine_code.Missing "nope" -> ()
+
+let test_replace_semantics () =
+  let mc = Machine_code.of_list [ ("a", 1); ("a", 9) ] in
+  Alcotest.(check int) "last wins" 9 (Machine_code.find mc "a")
+
+let test_to_alist_sorted () =
+  let mc = Machine_code.of_list [ ("z", 1); ("a", 2); ("m", 3) ] in
+  Alcotest.(check (list (pair string int)))
+    "sorted"
+    [ ("a", 2); ("m", 3); ("z", 1) ]
+    (Machine_code.to_alist mc)
+
+let test_copy_isolated () =
+  let mc = Machine_code.of_list [ ("a", 1) ] in
+  let c = Machine_code.copy mc in
+  Machine_code.set c "a" 5;
+  Alcotest.(check int) "original untouched" 1 (Machine_code.find mc "a");
+  Alcotest.(check int) "copy changed" 5 (Machine_code.find c "a")
+
+let test_override () =
+  let base = Machine_code.of_list [ ("a", 1); ("b", 2) ] in
+  let extra = Machine_code.of_list [ ("b", 9); ("c", 3) ] in
+  let merged = Machine_code.override base extra in
+  Alcotest.(check int) "kept" 1 (Machine_code.find merged "a");
+  Alcotest.(check int) "overridden" 9 (Machine_code.find merged "b");
+  Alcotest.(check int) "added" 3 (Machine_code.find merged "c");
+  (* inputs untouched *)
+  Alcotest.(check int) "base untouched" 2 (Machine_code.find base "b")
+
+let test_parse_ok () =
+  let src = {|
+# a comment
+alu_0_mux2_0 = 1
+alu_0_const_0 = 42   # trailing comment
+
+alu_1_opt_0 = 0
+|} in
+  match Machine_code.parse src with
+  | Error e -> Alcotest.fail e
+  | Ok mc ->
+    Alcotest.(check int) "pairs" 3 (Machine_code.cardinal mc);
+    Alcotest.(check int) "value" 42 (Machine_code.find mc "alu_0_const_0")
+
+let test_parse_errors () =
+  (match Machine_code.parse "novalue" with
+  | Ok _ -> Alcotest.fail "expected error"
+  | Error _ -> ());
+  (match Machine_code.parse "a = xyz" with
+  | Ok _ -> Alcotest.fail "expected error"
+  | Error _ -> ());
+  match Machine_code.parse " = 3" with
+  | Ok _ -> Alcotest.fail "expected error"
+  | Error _ -> ()
+
+let test_print_parse_roundtrip () =
+  let mc = Machine_code.of_list [ ("x_1", 3); ("y_2", 0); ("z", 100) ] in
+  match Machine_code.parse (Machine_code.to_string mc) with
+  | Error e -> Alcotest.fail e
+  | Ok mc' ->
+    Alcotest.(check (list (pair string int)))
+      "roundtrip" (Machine_code.to_alist mc) (Machine_code.to_alist mc')
+
+let test_validate () =
+  let mc = Machine_code.of_list [ ("a", 1); ("b", 2) ] in
+  (match Machine_code.validate ~required:[ "a"; "b" ] mc with
+  | Ok () -> ()
+  | Error _ -> Alcotest.fail "expected ok");
+  match Machine_code.validate ~required:[ "a"; "b"; "c"; "d" ] mc with
+  | Ok () -> Alcotest.fail "expected missing"
+  | Error missing -> Alcotest.(check (list string)) "missing names" [ "c"; "d" ] missing
+
+let () =
+  Alcotest.run "machine_code"
+    [
+      ( "basics",
+        [
+          Alcotest.test_case "of_list / find" `Quick test_of_list_find;
+          Alcotest.test_case "missing raises" `Quick test_find_missing_raises;
+          Alcotest.test_case "replace semantics" `Quick test_replace_semantics;
+          Alcotest.test_case "to_alist sorted" `Quick test_to_alist_sorted;
+          Alcotest.test_case "copy isolation" `Quick test_copy_isolated;
+          Alcotest.test_case "override" `Quick test_override;
+        ] );
+      ( "text format",
+        [
+          Alcotest.test_case "parse ok" `Quick test_parse_ok;
+          Alcotest.test_case "parse errors" `Quick test_parse_errors;
+          Alcotest.test_case "print/parse roundtrip" `Quick test_print_parse_roundtrip;
+        ] );
+      ("validation", [ Alcotest.test_case "validate" `Quick test_validate ]);
+    ]

@@ -1,0 +1,136 @@
+(* Tests for the benchmark registry: Table-1 metadata, source validity,
+   variants, and exhaustive small-width verification of compiled benchmarks
+   (the future-work extension applied to the paper's own programs). *)
+
+module Spec = Druzhba_spec.Spec
+module Codegen = Druzhba_compiler.Codegen
+module Testing = Druzhba_compiler.Testing
+module Checker = Druzhba_compiler.Checker
+module Frontend = Druzhba_compiler.Frontend
+module Verify = Druzhba_fuzz.Verify
+module Fuzz = Druzhba_fuzz.Fuzz
+
+(* The exact Table-1 rows from the paper. *)
+let table1_rows =
+  [
+    ("blue_decrease", 4, 2, "sub");
+    ("blue_increase", 4, 2, "pair");
+    ("sampling", 2, 1, "if_else_raw");
+    ("marple_new_flow", 2, 2, "pred_raw");
+    ("marple_tcp_nmo", 3, 2, "pred_raw");
+    ("snap_heavy_hitter", 1, 1, "pair");
+    ("stateful_firewall", 4, 5, "pred_raw");
+    ("flowlets", 4, 5, "pred_raw");
+    ("learn_filter", 3, 5, "raw");
+    ("rcp", 3, 3, "pred_raw");
+    ("conga", 1, 5, "pair");
+    ("spam_detection", 1, 1, "pair");
+  ]
+
+let test_registry_matches_table1 () =
+  Alcotest.(check int) "12 benchmarks" 12 (List.length Spec.all);
+  List.iter
+    (fun (name, depth, width, alu) ->
+      match Spec.find name with
+      | None -> Alcotest.fail ("missing benchmark: " ^ name)
+      | Some bm ->
+        Alcotest.(check int) (name ^ " depth") depth bm.Spec.bm_depth;
+        Alcotest.(check int) (name ^ " width") width bm.Spec.bm_width;
+        Alcotest.(check string) (name ^ " atom") alu bm.Spec.bm_stateful)
+    table1_rows
+
+let test_sources_parse_and_check () =
+  List.iter
+    (fun (bm : Spec.benchmark) ->
+      let program = Spec.program bm in
+      Alcotest.(check string) "program name" bm.Spec.bm_name program.Druzhba_compiler.Ast.name;
+      match Checker.analyze program with
+      | Ok _ -> ()
+      | Error errs -> Alcotest.failf "%s: %s" bm.Spec.bm_name (String.concat "; " errs))
+    Spec.all
+
+let test_find_exn () =
+  Alcotest.check_raises "unknown benchmark"
+    (Invalid_argument "Spec.find_exn: unknown benchmark 'nope'") (fun () ->
+      ignore (Spec.find_exn "nope"))
+
+let test_variants_parse () =
+  List.iter
+    (fun (bm : Spec.benchmark) ->
+      match bm.Spec.bm_variant with
+      | None -> ()
+      | Some variant ->
+        List.iter
+          (fun param ->
+            match Frontend.parse_result (variant param) with
+            | Ok _ -> ()
+            | Error e -> Alcotest.failf "%s[%d]: %s" bm.Spec.bm_name param e)
+          [ 1; 7; 63; 4095 ])
+    Spec.all
+
+let test_default_source_is_variant_default () =
+  (* the canonical source of parameterized benchmarks equals one variant
+     instantiation, so corpus results cover the canonical program *)
+  List.iter
+    (fun (bm : Spec.benchmark) ->
+      match bm.Spec.bm_variant with
+      | None -> ()
+      | Some variant ->
+        Alcotest.(check bool)
+          (bm.Spec.bm_name ^ " default is an instance")
+          true
+          (List.exists (fun p -> variant p = bm.Spec.bm_source) [ 2; 5; 10; 30; 100 ]))
+    Spec.all
+
+(* Exhaustive small-width verification of compiled benchmarks whose state
+   space stays tractable at 2 bits. *)
+let test_exhaustive_verification_small_width () =
+  let verify name =
+    let bm = Spec.find_exn name in
+    let compiled = Spec.compile_exn ~bits:2 bm in
+    Verify.exhaustive_check ~max_states:60_000 ~desc:compiled.Codegen.c_desc
+      ~mc:compiled.Codegen.c_mc ~spec:(Testing.spec_of compiled)
+      ~observed:(Testing.observed compiled) ~state_layout:(Testing.state_layout compiled)
+      ~init:compiled.Codegen.c_layout.Codegen.l_init ()
+  in
+  List.iter
+    (fun name ->
+      match verify name with
+      | Verify.Proved _ -> ()
+      | r -> Alcotest.failf "%s at 2 bits: %a" name Verify.pp_result r)
+    [ "sampling"; "marple_new_flow"; "snap_heavy_hitter"; "spam_detection"; "conga" ]
+
+let test_compile_at_other_widths () =
+  (* benchmarks compile at 8 and 16 bits too (constants are masked) *)
+  List.iter
+    (fun bits ->
+      List.iter
+        (fun (bm : Spec.benchmark) ->
+          match Spec.compile ~bits bm with
+          | Ok compiled -> (
+            match Testing.check ~n:200 compiled with
+            | Fuzz.Pass _ -> ()
+            | o -> Alcotest.failf "%s at %d bits: %a" bm.Spec.bm_name bits Fuzz.pp_outcome o)
+          | Error e -> Alcotest.failf "%s at %d bits: %s" bm.Spec.bm_name bits e)
+        Spec.all)
+    [ 8; 16 ]
+
+let () =
+  Alcotest.run "spec"
+    [
+      ( "registry",
+        [
+          Alcotest.test_case "matches Table 1" `Quick test_registry_matches_table1;
+          Alcotest.test_case "sources parse and check" `Quick test_sources_parse_and_check;
+          Alcotest.test_case "find_exn" `Quick test_find_exn;
+          Alcotest.test_case "variants parse" `Quick test_variants_parse;
+          Alcotest.test_case "default is a variant instance" `Quick
+            test_default_source_is_variant_default;
+        ] );
+      ( "verification",
+        [
+          Alcotest.test_case "exhaustive proof at 2 bits" `Quick
+            test_exhaustive_verification_small_width;
+          Alcotest.test_case "other datapath widths" `Quick test_compile_at_other_widths;
+        ] );
+    ]
