@@ -11,6 +11,8 @@
      3. Ablation: the same sweep on the interpreted descriptions — shows
         what explicit inlining is worth without a compiling backend.
      4. Fig. 6 — generated-description sizes across the three versions.
+        Plus the dead-ALU elimination ablation: description sizes after
+        the liveness-based dead_elim pass, per Table-1 program.
      5. Case study (§5.2) — the compiler-testing campaign: 120+ programs,
         injected missing-pairs failures, narrow-width synthesis failures.
      6. dRMT (§4) — schedule quality and simulated throughput for the
@@ -69,6 +71,24 @@ let run_bechamel () =
            let ms = est /. 1_000_000. in
            Printf.printf "%-36s %11.3f ms\n" name ms
          | _ -> Printf.printf "%-36s %14s\n" name "n/a")
+
+(* --- 4b. dead_elim size ablation --------------------------------------------------- *)
+
+(* For each Table-1 program: description size after SCC propagation alone vs
+   after the liveness-based dead-ALU elimination pass that follows it.  The
+   delta is the number of IR nodes the machine code can never select. *)
+let run_dead_elim_ablation () =
+  Printf.printf "%-16s %12s %14s %10s\n" "program" "scc size" "scc+dead size" "removed";
+  List.iter
+    (fun (bm : Spec.benchmark) ->
+      let compiled = Spec.compile_exn bm in
+      let mc = compiled.Compiler.Codegen.c_mc in
+      let desc = compiled.Compiler.Codegen.c_desc in
+      let scc = Optimizer.scc_propagate ~mc desc in
+      let pruned = Optimizer.dead_elim ~mc scc in
+      let a = Ir.size scc and b = Ir.size pruned in
+      Printf.printf "%-16s %12d %14d %10d\n" bm.Spec.bm_name a b (a - b))
+    Spec.all
 
 (* --- 6. dRMT ------------------------------------------------------------------------ *)
 
@@ -152,6 +172,9 @@ let () =
   Fmt.pr "%a@." Fig6.pp_summary v;
   let v45 = Fig6.render ~depth:4 ~width:5 ~stateful:"pred_raw" () in
   Fmt.pr "4x5 pred_raw pipeline: %a@." Fig6.pp_summary v45;
+
+  section "4b. Dead-ALU elimination: description sizes after liveness pruning";
+  run_dead_elim_ablation ();
 
   section "5. Case study (Sec 5.2): testing the compilers";
   let report = Casestudy.run ~phvs:(if quick then 300 else 1000) () in

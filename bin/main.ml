@@ -5,6 +5,7 @@
      druzhba dgen       generate and print a pipeline description (Fig. 6)
      druzhba dsim       simulate machine code on a pipeline (RMT dsim)
      druzhba compile    compile a packet program to machine code
+     druzhba lint       static checks on a pipeline + machine code
      druzhba fuzz       compiler-testing workflow of Fig. 5
      druzhba synth      synthesis backend + wide-width verification (§5.2)
      druzhba drmt       dRMT schedule + simulation (§4)
@@ -187,7 +188,107 @@ let compile_cmd =
     Term.(
       const run $ program_arg $ depth_arg $ width_arg $ bits_arg $ stateful_arg $ stateless_arg)
 
+(* --- lint -------------------------------------------------------------------------- *)
+
+let lint_cmd =
+  let run depth width bits stateful stateless mc_file program benchmarks json strict =
+    let parse_mc path =
+      match Machine_code.parse (read_file path) with Ok mc -> mc | Error e -> failwith e
+    in
+    let targets =
+      if benchmarks then
+        (* every Table-1 program, compiled by the rule-based backend *)
+        List.map
+          (fun (bm : Spec.benchmark) ->
+            let compiled = Spec.compile_exn bm in
+            ( bm.Spec.bm_name,
+              Lint.check ~mc:compiled.Compiler.Codegen.c_mc compiled.Compiler.Codegen.c_desc ))
+          Spec.all
+      else
+        match program with
+        | Some p -> (
+          let program, target = load_program_and_target p depth width bits stateful stateless in
+          match Compiler.Codegen.compile ~target program with
+          | Error e ->
+            Printf.eprintf "compile error: %s\n" e;
+            exit 2
+          | Ok compiled ->
+            (* --machine-code replaces the compiler's own output, so a
+               third-party program can be checked against this pipeline *)
+            let mc =
+              match mc_file with
+              | Some path -> parse_mc path
+              | None -> compiled.Compiler.Codegen.c_mc
+            in
+            [ (program.Compiler.Ast.name, Lint.check ~mc compiled.Compiler.Codegen.c_desc) ])
+        | None ->
+          let stateful = resolve_alu stateful and stateless = resolve_alu stateless in
+          let desc = Dgen.generate (Dgen.config ~depth ~width ~bits ()) ~stateful ~stateless in
+          let findings =
+            match mc_file with
+            | Some path -> Lint.check ~mc:(parse_mc path) desc
+            | None -> Lint.check desc (* description-only rules *)
+          in
+          [ ("pipeline", findings) ]
+    in
+    if json then begin
+      let parts =
+        List.map
+          (fun (name, findings) ->
+            Printf.sprintf "{\"name\":\"%s\",\"report\":%s}" (Lint.json_escape name)
+              (Lint.to_json findings))
+          targets
+      in
+      print_string ("[" ^ String.concat "," parts ^ "]\n")
+    end
+    else
+      List.iter (fun (name, findings) -> Fmt.pr "@[<v>%s:@,%a@]@." name Lint.pp findings) targets;
+    let failed =
+      List.exists (fun (_, fs) -> Lint.has_errors fs || (strict && fs <> [])) targets
+    in
+    if failed then exit 1
+  in
+  let doc =
+    "Statically check a pipeline description and machine code: missing and out-of-range \
+     machine-code pairs, dead ALUs, write-only state slots, unreachable branches, helper-call \
+     defects, unused ALU-DSL declarations.  Exits non-zero on errors."
+  in
+  Cmd.v
+    (Cmd.info "lint" ~doc)
+    Term.(
+      const run $ depth_arg $ width_arg $ bits_arg $ stateful_arg $ stateless_arg
+      $ Arg.(
+          value
+          & opt (some file) None
+          & info [ "machine-code" ] ~docv:"FILE" ~doc:"Machine-code program to check.")
+      $ Arg.(
+          value
+          & opt (some string) None
+          & info [ "program" ] ~docv:"FILE|BENCHMARK"
+              ~doc:"Compile this packet program and lint the result.")
+      $ Arg.(
+          value & flag
+          & info [ "benchmarks" ] ~doc:"Lint every Table-1 benchmark program (used by CI).")
+      $ Arg.(value & flag & info [ "json" ] ~doc:"Machine-readable JSON output.")
+      $ Arg.(value & flag & info [ "strict" ] ~doc:"Treat warnings as failures."))
+
 (* --- fuzz -------------------------------------------------------------------------- *)
+
+(* On a divergence, backward-slice the provenance graph from the diverging
+   observable so the report names the ALUs / controls involved.  A spec
+   state index is mapped back to its (ALU, slot) through the layout. *)
+let print_triage ~desc ~mc ~state_layout kind =
+  let kind =
+    match kind with
+    | `Output c -> Some (`Output c)
+    | `State idx -> (
+      match List.find_opt (fun (_, _, i) -> i = idx) state_layout with
+      | Some (alu, slot, _) -> Some (`State (alu, slot))
+      | None -> None)
+  in
+  match kind with
+  | None -> ()
+  | Some kind -> Fmt.pr "%a@." Verify.pp_triage (Verify.triage ~desc ~mc kind)
 
 let fuzz_cmd =
   let run program depth width bits stateful stateless phvs seed level =
@@ -199,6 +300,11 @@ let fuzz_cmd =
     | Ok compiled ->
       let outcome = Compiler.Testing.check ~level ~seed ~n:phvs compiled in
       Fmt.pr "%s: %a@." program.Compiler.Ast.name Fuzz.pp_outcome outcome;
+      (match outcome with
+      | Fuzz.Mismatch mm ->
+        print_triage ~desc:compiled.Compiler.Codegen.c_desc ~mc:compiled.Compiler.Codegen.c_mc
+          ~state_layout:(Compiler.Testing.state_layout compiled) mm.Fuzz.mm_kind
+      | _ -> ());
       if not (Fuzz.outcome_is_pass outcome) then exit 1
   in
   let doc = "Run the compiler-testing workflow of Fig. 5: compile, simulate, compare traces." in
@@ -267,7 +373,12 @@ let verify_cmd =
       in
       Fmt.pr "%s at %d bits: %a@." program.Compiler.Ast.name bits Druzhba_fuzz.Verify.pp_result
         result;
-      (match result with Druzhba_fuzz.Verify.Counterexample _ -> exit 1 | _ -> ())
+      (match result with
+      | Druzhba_fuzz.Verify.Counterexample cx ->
+        print_triage ~desc:compiled.Compiler.Codegen.c_desc ~mc:compiled.Compiler.Codegen.c_mc
+          ~state_layout:(Compiler.Testing.state_layout compiled) cx.Druzhba_fuzz.Verify.cx_kind;
+        exit 1
+      | _ -> ())
   in
   let doc =
     "Exhaustively verify a compiled program against its specification at a small datapath width \
@@ -373,6 +484,7 @@ let () =
             dgen_cmd;
             dsim_cmd;
             compile_cmd;
+            lint_cmd;
             fuzz_cmd;
             verify_cmd;
             synth_cmd;

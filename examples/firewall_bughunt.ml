@@ -41,7 +41,7 @@ let () =
         Machine_code.set mutant name ((Machine_code.find mc name + 1) mod bound);
         match (Druzhba.Workflow.test_machine_code ~phvs:2000 compiled ~mc:mutant).outcome with
         | Fuzz.Pass _ -> incr survived
-        | Fuzz.Mismatch _ | Fuzz.Missing_pairs _ -> incr killed
+        | Fuzz.Mismatch _ | Fuzz.Missing_pairs _ | Fuzz.Out_of_range_selectors _ -> incr killed
       end)
     domains;
   Fmt.pr "mutation campaign: %d single-value mutants, %d killed by fuzzing, %d benign@." !tried

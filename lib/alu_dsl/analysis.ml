@@ -66,6 +66,32 @@ let rec expr_vars acc (e : Ast.expr) =
     expr_vars (expr_vars acc a) b
   | Ast.Mux (_, es) -> List.fold_left expr_vars acc es
 
+(* --- Unused declarations --------------------------------------------------
+
+   Declared names (state variables, hole variables, packet fields) that the
+   body never mentions.  They are legal — [validate] accepts them — but each
+   one costs hardware: an unused packet field still instantiates an input
+   mux per ALU, and an unused hole variable still demands a machine-code
+   pair.  The lint surfaces them as warnings. *)
+
+let unused_decls (alu : Ast.t) =
+  let rec stmt_names acc (s : Ast.stmt) =
+    match s with
+    | Ast.Assign (v, e) -> expr_vars (v :: acc) e
+    | Ast.Return e -> expr_vars acc e
+    | Ast.If (branches, els) ->
+      let acc =
+        List.fold_left
+          (fun acc (cond, body) -> List.fold_left stmt_names (expr_vars acc cond) body)
+          acc branches
+      in
+      List.fold_left stmt_names acc els
+  in
+  let used = List.fold_left stmt_names [] alu.body in
+  List.filter
+    (fun v -> not (List.mem v used))
+    (alu.state_vars @ alu.hole_vars @ alu.packet_fields)
+
 (* Whether every control path through [body] executes a [Return]. *)
 let rec always_returns body =
   List.exists

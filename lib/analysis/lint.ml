@@ -1,0 +1,320 @@
+(* Rule-based lint over pipeline descriptions and machine code.
+
+   Trace-diff testing (paper §3.3) only catches a mis-compilation when a
+   random PHV happens to exercise it; the rules here catch whole defect
+   classes statically, before any simulation runs — the approach Gauntlet
+   applies to P4 compilers.  Each rule produces {!finding}s with a stable
+   rule identifier so output is scriptable ([druzhba lint --json]).
+
+   Severity encodes actionability:
+
+   - [Error]: the machine code cannot mean what its author intended —
+     a required pair is missing, a selector is outside its domain (it
+     silently falls through to the mux's default arm), or the description
+     itself is malformed (helper arity).  [druzhba lint] exits non-zero.
+
+   - [Warning]: legal but suspicious — dead ALUs, write-only state slots,
+     unreachable branches, machine-code pairs nothing consumes, unused DSL
+     declarations.  Rule-based compilers routinely leave unused ALUs
+     behind (every Table-1 benchmark does), so warnings do not fail the
+     lint unless the caller opts in ([--strict]). *)
+
+module Machine_code = Druzhba_machine_code.Machine_code
+module Ir = Druzhba_pipeline.Ir
+module Alu_analysis = Druzhba_alu_dsl.Analysis
+
+type severity = Error | Warning
+
+type finding = {
+  f_rule : string;  (* stable kebab-case rule id *)
+  f_severity : severity;
+  f_subject : string;  (* machine-code name, ALU name, or spec name *)
+  f_message : string;
+}
+
+let severity_name = function Error -> "error" | Warning -> "warning"
+
+let pp_finding ppf f =
+  Fmt.pf ppf "%s[%s] %s: %s" (severity_name f.f_severity) f.f_rule f.f_subject f.f_message
+
+let has_errors findings = List.exists (fun f -> f.f_severity = Error) findings
+
+let summary findings =
+  let count s = List.length (List.filter (fun f -> f.f_severity = s) findings) in
+  (count Error, count Warning)
+
+(* --- Rules ----------------------------------------------------------------- *)
+
+(* missing-pair / selector-out-of-range: Machine_code.validate against the
+   description's control domains. *)
+let check_machine_code ~domains mc =
+  match Machine_code.validate ~domains mc with
+  | Ok () -> []
+  | Error violations ->
+    List.map
+      (function
+        | Machine_code.Missing_pair name ->
+          {
+            f_rule = "missing-pair";
+            f_severity = Error;
+            f_subject = name;
+            f_message = "required machine-code pair is missing";
+          }
+        | Machine_code.Out_of_range { vi_name; vi_value; vi_bound } ->
+          {
+            f_rule = "selector-out-of-range";
+            f_severity = Error;
+            f_subject = vi_name;
+            f_message =
+              Printf.sprintf
+                "selector value %d is outside its domain [0, %d); it falls through to the mux's \
+                 default arm"
+                vi_value vi_bound;
+          })
+      violations
+
+(* unknown-pair: pairs in the program that no control of the description
+   consumes — usually a misspelled name or machine code generated for a
+   different pipeline geometry. *)
+let check_unknown_pairs ~domains mc =
+  List.filter_map
+    (fun (name, _) ->
+      if List.mem_assoc name domains then None
+      else
+        Some
+          {
+            f_rule = "unknown-pair";
+            f_severity = Warning;
+            f_subject = name;
+            f_message = "machine-code pair matches no control of this pipeline";
+          })
+    (Machine_code.to_alist mc)
+
+(* dead-alu: with machine code in hand each output mux selects exactly one
+   arm, so an ALU whose output (and, for stateful ALUs, new state) no mux in
+   its stage selects cannot influence any output PHV. *)
+let check_dead_alus (an : Dataflow.analysis) =
+  let findings = ref [] in
+  Array.iteri
+    (fun s (st : Ir.stage) ->
+      Array.iteri
+        (fun j (a : Ir.alu) ->
+          if not an.Dataflow.an_liveness.Dataflow.lv_stateless.(s).(j) then
+            findings :=
+              {
+                f_rule = "dead-alu";
+                f_severity = Warning;
+                f_subject = a.Ir.a_name;
+                f_message =
+                  Printf.sprintf "dead ALU: no output mux of stage %d selects its output" s;
+              }
+              :: !findings)
+        st.Ir.s_stateless;
+      Array.iteri
+        (fun j (a : Ir.alu) ->
+          if not an.Dataflow.an_liveness.Dataflow.lv_stateful.(s).(j) then
+            findings :=
+              {
+                f_rule = "dead-alu";
+                f_severity = Warning;
+                f_subject = a.Ir.a_name;
+                f_message =
+                  Printf.sprintf
+                    "dead ALU: no output mux of stage %d selects its output or new state (its \
+                     state updates remain observable only in the final-state dump)"
+                    s;
+              }
+              :: !findings)
+        st.Ir.s_stateful)
+    an.Dataflow.an_desc.Ir.d_stages;
+  List.rev !findings
+
+(* write-only-state: a state slot with a reachable [Store] that no
+   expression of the same ALU ever reads.  Slot 0 is exempt — the output
+   muxes can observe it directly through the new-state arm, and stateful
+   ALUs output it by default (Banzai read-modify-write convention). *)
+let check_write_only_state (an : Dataflow.analysis) =
+  let findings = ref [] in
+  Array.iteri
+    (fun s (st : Ir.stage) ->
+      Array.iteri
+        (fun j (a : Ir.alu) ->
+          let f = an.Dataflow.an_stateful.(s).(j) in
+          List.iter
+            (fun (slot, _) ->
+              if slot <> 0 && not (List.mem slot f.Dataflow.fa_state_reads) then
+                findings :=
+                  {
+                    f_rule = "write-only-state";
+                    f_severity = Warning;
+                    f_subject = a.Ir.a_name;
+                    f_message =
+                      Printf.sprintf "state slot %d is written but never read" slot;
+                  }
+                  :: !findings)
+            f.Dataflow.fa_stores)
+        st.Ir.s_stateful)
+    an.Dataflow.an_desc.Ir.d_stages;
+  List.rev !findings
+
+(* unreachable-branch: an [If] arm the abstract interpreter proves can never
+   execute under the analysed machine code. *)
+let check_unreachable_branches (an : Dataflow.analysis) =
+  let findings = ref [] in
+  let one (facts : Dataflow.facts array) (alus : Ir.alu array) =
+    Array.iteri
+      (fun j (a : Ir.alu) ->
+        List.iter
+          (fun (db : Dataflow.dead_branch) ->
+            let arm =
+              match db.Dataflow.db_dead with
+              | Dataflow.Then_branch -> "then"
+              | Dataflow.Else_branch -> "else"
+            in
+            findings :=
+              {
+                f_rule = "unreachable-branch";
+                f_severity = Warning;
+                f_subject = a.Ir.a_name;
+                f_message =
+                  Printf.sprintf "the %s-branch of if #%d can never execute" arm
+                    db.Dataflow.db_if_index;
+              }
+              :: !findings)
+          facts.(j).Dataflow.fa_dead_branches)
+      alus
+  in
+  Array.iteri
+    (fun s (st : Ir.stage) ->
+      one an.Dataflow.an_stateless.(s) st.Ir.s_stateless;
+      one an.Dataflow.an_stateful.(s) st.Ir.s_stateful)
+    an.Dataflow.an_desc.Ir.d_stages;
+  List.rev !findings
+
+(* helper-arity / unknown-helper: every call site must name a registered
+   helper and pass exactly its parameter count.  A violation makes the
+   interpreter raise mid-simulation, so it is an error. *)
+let check_helper_calls (d : Ir.t) =
+  let findings = ref [] in
+  let seen = Hashtbl.create 32 in
+  let check_call subject name args =
+    let key = (subject, name) in
+    if not (Hashtbl.mem seen key) then begin
+      Hashtbl.add seen key ();
+      match Hashtbl.find_opt d.Ir.d_helpers name with
+      | None ->
+        findings :=
+          {
+            f_rule = "unknown-helper";
+            f_severity = Error;
+            f_subject = subject;
+            f_message = Printf.sprintf "call to unknown helper '%s'" name;
+          }
+          :: !findings
+      | Some h ->
+        let expected = List.length h.Ir.h_params and got = List.length args in
+        if expected <> got then
+          findings :=
+            {
+              f_rule = "helper-arity";
+              f_severity = Error;
+              f_subject = subject;
+              f_message =
+                Printf.sprintf "call to helper '%s' passes %d argument(s), expected %d" name got
+                  expected;
+            }
+            :: !findings
+    end
+  in
+  let collect subject () e =
+    match e with Ir.Call (name, args) -> check_call subject name args | _ -> ()
+  in
+  let check_alu (a : Ir.alu) =
+    List.iter (fun s -> Ir.fold_stmt (collect a.Ir.a_name) () s) a.Ir.a_body;
+    Ir.fold_expr (collect a.Ir.a_name) () a.Ir.a_default_output
+  in
+  Array.iter
+    (fun (st : Ir.stage) ->
+      Array.iter check_alu st.Ir.s_stateless;
+      Array.iter check_alu st.Ir.s_stateful)
+    d.Ir.d_stages;
+  Ir.iter_helpers d (fun h -> Ir.fold_expr (collect h.Ir.h_name) () h.Ir.h_body);
+  List.rev !findings
+
+(* unused-decl: DSL-level declarations the ALU body never mentions (each one
+   still costs input muxes or machine-code pairs at every instance). *)
+let check_unused_decls (d : Ir.t) =
+  List.concat_map
+    (fun (spec : Druzhba_alu_dsl.Ast.t) ->
+      List.map
+        (fun v ->
+          {
+            f_rule = "unused-decl";
+            f_severity = Warning;
+            f_subject = spec.Druzhba_alu_dsl.Ast.name;
+            f_message = Printf.sprintf "declared variable '%s' is never used" v;
+          })
+        (Alu_analysis.unused_decls spec))
+    [ d.Ir.d_stateful_spec; d.Ir.d_stateless_spec ]
+
+(* --- Entry point ----------------------------------------------------------- *)
+
+(* Runs every rule; machine-code rules are skipped when no program is given
+   (and liveness degrades to "everything live", so dead-alu stays silent).
+   Errors sort before warnings; relative order within a severity is the rule
+   order above. *)
+let check ?mc (d : Ir.t) : finding list =
+  let domains = Ir.control_domains d in
+  let an = Dataflow.analyse ?mc d in
+  let mc_findings =
+    match mc with
+    | None -> []
+    | Some mc -> check_machine_code ~domains mc @ check_unknown_pairs ~domains mc
+  in
+  let findings =
+    mc_findings
+    @ check_dead_alus an
+    @ check_write_only_state an
+    @ check_unreachable_branches an
+    @ check_helper_calls d
+    @ check_unused_decls d
+  in
+  let errors, warnings = List.partition (fun f -> f.f_severity = Error) findings in
+  errors @ warnings
+
+(* --- Rendering ------------------------------------------------------------- *)
+
+let pp ppf findings =
+  let errors, warnings = summary findings in
+  Fmt.pf ppf "@[<v>";
+  List.iter (fun f -> Fmt.pf ppf "%a@," pp_finding f) findings;
+  Fmt.pf ppf "%d error(s), %d warning(s)@]" errors warnings
+
+let json_escape s =
+  let b = Buffer.create (String.length s + 8) in
+  String.iter
+    (fun c ->
+      match c with
+      | '"' -> Buffer.add_string b "\\\""
+      | '\\' -> Buffer.add_string b "\\\\"
+      | '\n' -> Buffer.add_string b "\\n"
+      | '\t' -> Buffer.add_string b "\\t"
+      | c when Char.code c < 0x20 -> Buffer.add_string b (Printf.sprintf "\\u%04x" (Char.code c))
+      | c -> Buffer.add_char b c)
+    s;
+  Buffer.contents b
+
+let to_json findings =
+  let errors, warnings = summary findings in
+  let b = Buffer.create 1024 in
+  Buffer.add_string b "{\"findings\":[";
+  List.iteri
+    (fun i f ->
+      if i > 0 then Buffer.add_char b ',';
+      Buffer.add_string b
+        (Printf.sprintf "{\"rule\":\"%s\",\"severity\":\"%s\",\"subject\":\"%s\",\"message\":\"%s\"}"
+           (json_escape f.f_rule) (severity_name f.f_severity) (json_escape f.f_subject)
+           (json_escape f.f_message)))
+    findings;
+  Buffer.add_string b (Printf.sprintf "],\"errors\":%d,\"warnings\":%d}" errors warnings);
+  Buffer.contents b

@@ -43,6 +43,9 @@ module Engine = Druzhba_dsim.Engine
 module Compiled = Druzhba_dsim.Compiled
 module Atoms = Druzhba_atoms.Atoms
 module Fuzz = Druzhba_fuzz.Fuzz
+module Verify = Druzhba_fuzz.Verify
+module Dataflow = Druzhba_analysis.Dataflow
+module Lint = Druzhba_analysis.Lint
 
 module Compiler = struct
   module Ast = Druzhba_compiler.Ast

@@ -45,6 +45,7 @@ type report = {
 let class_of_outcome = function
   | Fuzz.Pass _ -> Correct
   | Fuzz.Missing_pairs _ -> Missing_pairs
+  | Fuzz.Out_of_range_selectors _ -> Other_mismatch
   | Fuzz.Mismatch _ -> Other_mismatch
 
 (* --- Corpus of correct programs ----------------------------------------------- *)
@@ -161,6 +162,7 @@ let synth_range_failure ?(synth_bits = 4) ?(verify_bits = 10) ?(phvs = 2000) ?(b
       match outcome with
       | Fuzz.Pass _ -> Correct
       | Fuzz.Missing_pairs _ -> Missing_pairs
+      | Fuzz.Out_of_range_selectors _ -> Other_mismatch
       | Fuzz.Mismatch _ -> Range_failure (* narrow-width machine code caught wide *)
     in
     { e_program = name; e_class; e_detail = detail }

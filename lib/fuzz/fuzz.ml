@@ -65,12 +65,19 @@ type mismatch = {
 type outcome =
   | Pass of { phvs : int }
   | Missing_pairs of string list (* §5.2 failure class 1 *)
+  | Out_of_range_selectors of (string * int * int) list (* (name, value, bound) *)
   | Mismatch of mismatch (* §5.2 failure class 2 shows up here *)
 
 let pp_outcome ppf = function
   | Pass { phvs } -> Fmt.pf ppf "pass (%d PHVs)" phvs
   | Missing_pairs names ->
     Fmt.pf ppf "missing machine code pairs: %a" Fmt.(list ~sep:(any ", ") string) names
+  | Out_of_range_selectors sels ->
+    Fmt.pf ppf "out-of-range selectors: %a"
+      Fmt.(
+        list ~sep:(any ", ") (fun ppf (name, v, bound) ->
+            pf ppf "%s = %d (domain [0, %d))" name v bound))
+      sels
   | Mismatch { mm_kind; mm_index; mm_expected; mm_actual; mm_input } -> (
     match mm_kind with
     | `Output c ->
@@ -80,7 +87,9 @@ let pp_outcome ppf = function
       Fmt.pf ppf "final state mismatch at spec slot %d: expected %d, got %d" i mm_expected
         mm_actual)
 
-let outcome_is_pass = function Pass _ -> true | Missing_pairs _ | Mismatch _ -> false
+let outcome_is_pass = function
+  | Pass _ -> true
+  | Missing_pairs _ | Out_of_range_selectors _ | Mismatch _ -> false
 
 (* --- Equivalence testing --------------------------------------------------- *)
 
@@ -144,8 +153,23 @@ let compare_traces ~observed ~(spec : spec) ~state_layout ~(trace : Trace.t) =
    and [state_layout] state) against the specification. *)
 let run_equivalence ?(level = Optimizer.Scc) ?(seed = 0xD52ba) ?init ~desc ~mc ~spec ~observed
     ~state_layout ~n () =
-  match Machine_code.validate ~required:(Ir.required_names desc) mc with
-  | Error missing -> Missing_pairs missing
+  match Machine_code.validate ~domains:(Ir.control_domains desc) mc with
+  | Error violations -> (
+    let missing =
+      List.filter_map
+        (function Machine_code.Missing_pair n -> Some n | Machine_code.Out_of_range _ -> None)
+        violations
+    in
+    match missing with
+    | _ :: _ -> Missing_pairs missing
+    | [] ->
+      Out_of_range_selectors
+        (List.filter_map
+           (function
+             | Machine_code.Out_of_range { vi_name; vi_value; vi_bound } ->
+               Some (vi_name, vi_value, vi_bound)
+             | Machine_code.Missing_pair _ -> None)
+           violations))
   | Ok () -> (
     let optimized = Optimizer.apply ~level ~mc desc in
     let traffic =

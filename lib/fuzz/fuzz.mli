@@ -45,6 +45,9 @@ type mismatch = {
 type outcome =
   | Pass of { phvs : int }
   | Missing_pairs of string list  (** §5.2 failure class 1 *)
+  | Out_of_range_selectors of (string * int * int) list
+      (** selector values outside their control domain:
+          [(name, value, bound)] with valid range [[0, bound)] *)
   | Mismatch of mismatch  (** §5.2 failure class 2 shows up here *)
 
 val pp_outcome : outcome Fmt.t

@@ -26,6 +26,7 @@
 module Value = Druzhba_util.Value
 module Machine_code = Druzhba_machine_code.Machine_code
 module Ir = Druzhba_pipeline.Ir
+module Dataflow = Druzhba_analysis.Dataflow
 module Engine = Druzhba_dsim.Engine
 module Phv = Druzhba_dsim.Phv
 module Trace = Druzhba_dsim.Trace
@@ -154,3 +155,56 @@ let exhaustive_check ?(max_states = 200_000) ~(desc : Ir.t) ~mc ~(spec : Fuzz.sp
   match !result with
   | Some r -> r
   | None -> Proved { states = Hashtbl.length seen; inputs_per_state }
+
+(* --- Mismatch triage --------------------------------------------------------
+
+   When fuzzing or exhaustive checking reports a divergence, the interesting
+   question is *which part of the pipeline it flows through*: on a pipeline
+   with dozens of ALUs and hundreds of machine-code pairs, the backward
+   slice from the diverging output usually implicates a handful of each —
+   the Gauntlet-style localization step that turns "trace mismatch at PHV
+   517" into "look at these two ALUs and their selectors". *)
+
+type triage = {
+  tr_start : Dataflow.node;  (* the diverging observable *)
+  tr_alus : string list;  (* ALUs the value can have flowed through *)
+  tr_state : (string * int) list;  (* state slots involved *)
+  tr_controls : string list;  (* machine-code pairs that steer the slice *)
+  tr_containers : (int * int) list;  (* (stage boundary, container) *)
+}
+
+(* Backward-slices the provenance graph from a diverging output container or
+   state slot.  The machine code makes the slice sharp: each output mux
+   contributes only its selected arm. *)
+let triage ~(desc : Ir.t) ~mc (kind : [ `Output of int | `State of string * int ]) : triage =
+  let pv = Dataflow.provenance ~mc desc in
+  let start =
+    match kind with
+    | `Output c -> Dataflow.output_node pv c
+    | `State (alu, slot) -> Dataflow.Nstate (alu, slot)
+  in
+  let nodes = Dataflow.slice pv start in
+  let alus = List.filter_map (function Dataflow.Nalu n -> Some n | _ -> None) nodes in
+  let state = List.filter_map (function Dataflow.Nstate (n, k) -> Some (n, k) | _ -> None) nodes in
+  let controls = List.filter_map (function Dataflow.Ncontrol n -> Some n | _ -> None) nodes in
+  let containers =
+    List.filter_map (function Dataflow.Ncontainer (s, c) -> Some (s, c) | _ -> None) nodes
+  in
+  { tr_start = start; tr_alus = alus; tr_state = state; tr_controls = controls; tr_containers = containers }
+
+let pp_triage ppf (t : triage) =
+  let pp_capped pp_item ppf items =
+    let n = List.length items in
+    let shown = if n > 24 then List.filteri (fun i _ -> i < 24) items else items in
+    Fmt.pf ppf "%a" Fmt.(list ~sep:(any ", ") pp_item) shown;
+    if n > 24 then Fmt.pf ppf ", ... (%d total)" n
+  in
+  Fmt.pf ppf "@[<v>divergence slice from %a:@," Dataflow.pp_node t.tr_start;
+  Fmt.pf ppf "  ALUs:       %a@," (pp_capped Fmt.string) t.tr_alus;
+  Fmt.pf ppf "  state:      %a@,"
+    (pp_capped (fun ppf (n, k) -> Fmt.pf ppf "%s[%d]" n k))
+    t.tr_state;
+  Fmt.pf ppf "  controls:   %a@," (pp_capped Fmt.string) t.tr_controls;
+  Fmt.pf ppf "  containers: %a@]"
+    (pp_capped (fun ppf (s, c) -> Fmt.pf ppf "phv%d@@%d" c s))
+    t.tr_containers

@@ -87,9 +87,35 @@ let to_string t = Fmt.str "%a" pp t
 
 (* --- Validation -----------------------------------------------------------
 
-   [validate ~required t] checks that every required name is present; the
-   result lists the missing names (compiler-bug class 1 from §5.2). *)
+   [validate ~domains t] checks the program against the pipeline's control
+   domains ([Ir.control_domains]): every control the pipeline requires must
+   be present (compiler-bug class 1 from §5.2), and every selector value
+   must lie inside its domain [0, n) — an out-of-range selector silently
+   falls through to a mux's default arm at simulation time, which is exactly
+   the kind of mis-compilation that random-input fuzzing can miss. *)
 
-let validate ~required (t : t) =
-  let missing = List.filter (fun name -> not (mem t name)) required in
-  if missing = [] then Ok () else Error missing
+type domain =
+  | Selector of int (* valid values are [0, n) *)
+  | Immediate (* any value of the datapath width *)
+
+type violation =
+  | Missing_pair of string
+  | Out_of_range of { vi_name : string; vi_value : int; vi_bound : int }
+
+let pp_violation ppf = function
+  | Missing_pair name -> Fmt.pf ppf "missing pair: %s" name
+  | Out_of_range { vi_name; vi_value; vi_bound } ->
+    Fmt.pf ppf "selector out of range: %s = %d (domain [0, %d))" vi_name vi_value vi_bound
+
+let validate ~domains (t : t) =
+  let violations =
+    List.filter_map
+      (fun (name, domain) ->
+        match (find_opt t name, domain) with
+        | None, _ -> Some (Missing_pair name)
+        | Some v, Selector n when v < 0 || v >= n ->
+          Some (Out_of_range { vi_name = name; vi_value = v; vi_bound = n })
+        | Some _, (Selector _ | Immediate) -> None)
+      domains
+  in
+  if violations = [] then Ok () else Error violations

@@ -52,6 +52,23 @@ val pp : t Fmt.t
 
 val to_string : t -> string
 
-val validate : required:string list -> t -> (unit, string list) result
-(** [validate ~required t] checks that every required name is present;
-    [Error missing] lists the absent names (§5.2 failure class 1). *)
+(** Domain of one machine-code control, as reported by the pipeline
+    description ([Ir.control_domains] re-exports this type). *)
+type domain =
+  | Selector of int  (** valid values are [[0, n)] *)
+  | Immediate  (** any value of the datapath width *)
+
+type violation =
+  | Missing_pair of string  (** a required pair is absent (§5.2 class 1) *)
+  | Out_of_range of { vi_name : string; vi_value : int; vi_bound : int }
+      (** a selector value lies outside its domain [[0, vi_bound)]; at
+          simulation time it silently falls through to the mux's default
+          arm, so fuzzing alone may not catch it *)
+
+val pp_violation : violation Fmt.t
+
+val validate : domains:(string * domain) list -> t -> (unit, violation list) result
+(** [validate ~domains t] checks the program against the pipeline's control
+    domains: every listed name must be present, and selector values must lie
+    inside [[0, n)].  [Error violations] lists every defect, in domain
+    order. *)

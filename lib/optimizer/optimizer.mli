@@ -41,6 +41,16 @@ val inline_functions : Ir.t -> Ir.t
     it on SCC-propagated descriptions (as the paper does); output-mux
     helpers are retained since the simulator invokes them by name. *)
 
+val dead_elim : mc:Machine_code.t -> ?drop_stores:bool -> Ir.t -> Ir.t
+(** Liveness-based dead-ALU elimination.  Uses the dataflow analysis to
+    find ALUs no output mux can select under [mc], empties their bodies,
+    and garbage-collects helpers that are no longer referenced.
+
+    Dead {e stateful} ALUs keep their state updates by default, because
+    final state is observable in a {!Druzhba_dsim.Trace.t}; pass
+    [~drop_stores:true] to empty them too (output traces are unchanged
+    either way). *)
+
 (** The three optimization levels of the paper's Table 1. *)
 type level =
   | Unoptimized

@@ -155,7 +155,9 @@ let required_names t =
     t.d_stages;
   List.sort_uniq String.compare !acc
 
-type control_domain =
+(* Re-export of {!Machine_code.domain}, so [control_domains] plugs straight
+   into [Machine_code.validate ~domains]. *)
+type control_domain = Druzhba_machine_code.Machine_code.domain =
   | Selector of int (* valid values are [0, n) *)
   | Immediate (* any value of the datapath width *)
 

@@ -368,18 +368,21 @@ let test_layout_consistency () =
     l.Codegen.l_state
 
 let test_machine_code_is_complete () =
-  (* the rule-based backend always emits every pair the pipeline needs *)
+  (* the rule-based backend always emits every pair the pipeline needs, with
+     every selector inside its control domain *)
   List.iter
     (fun (bm : Spec.benchmark) ->
       let compiled = Spec.compile_exn bm in
       match
         Machine_code.validate
-          ~required:(Druzhba_pipeline.Ir.required_names compiled.Codegen.c_desc)
+          ~domains:(Druzhba_pipeline.Ir.control_domains compiled.Codegen.c_desc)
           compiled.Codegen.c_mc
       with
       | Ok () -> ()
-      | Error missing ->
-        Alcotest.failf "%s misses %d pairs" bm.Spec.bm_name (List.length missing))
+      | Error violations ->
+        Alcotest.failf "%s: %a" bm.Spec.bm_name
+          Fmt.(list ~sep:comma Machine_code.pp_violation)
+          violations)
     Spec.all
 
 (* qcheck: compiled pipelines agree with the reference on random variants *)

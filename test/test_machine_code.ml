@@ -78,12 +78,49 @@ let test_print_parse_roundtrip () =
 
 let test_validate () =
   let mc = Machine_code.of_list [ ("a", 1); ("b", 2) ] in
-  (match Machine_code.validate ~required:[ "a"; "b" ] mc with
+  (match
+     Machine_code.validate
+       ~domains:[ ("a", Machine_code.Selector 2); ("b", Machine_code.Immediate) ]
+       mc
+   with
   | Ok () -> ()
   | Error _ -> Alcotest.fail "expected ok");
-  match Machine_code.validate ~required:[ "a"; "b"; "c"; "d" ] mc with
+  match
+    Machine_code.validate
+      ~domains:
+        [
+          ("a", Machine_code.Selector 2);
+          ("b", Machine_code.Immediate);
+          ("c", Machine_code.Selector 3);
+          ("d", Machine_code.Immediate);
+        ]
+      mc
+  with
   | Ok () -> Alcotest.fail "expected missing"
-  | Error missing -> Alcotest.(check (list string)) "missing names" [ "c"; "d" ] missing
+  | Error violations ->
+    Alcotest.(check (list string))
+      "missing names"
+      [ "missing pair: c"; "missing pair: d" ]
+      (List.map (Fmt.str "%a" Machine_code.pp_violation) violations)
+
+let test_validate_out_of_range () =
+  let domains = [ ("sel", Machine_code.Selector 4); ("imm", Machine_code.Immediate) ] in
+  (* in-range selector, huge immediate: fine *)
+  (match Machine_code.validate ~domains (Machine_code.of_list [ ("sel", 3); ("imm", 99999) ]) with
+  | Ok () -> ()
+  | Error _ -> Alcotest.fail "expected ok");
+  (* selector past its bound *)
+  (match Machine_code.validate ~domains (Machine_code.of_list [ ("sel", 4); ("imm", 0) ]) with
+  | Ok () -> Alcotest.fail "expected out-of-range"
+  | Error [ Machine_code.Out_of_range { vi_name = "sel"; vi_value = 4; vi_bound = 4 } ] -> ()
+  | Error vs ->
+    Alcotest.failf "unexpected violations: %a" Fmt.(list ~sep:comma Machine_code.pp_violation) vs);
+  (* negative selector *)
+  match Machine_code.validate ~domains (Machine_code.of_list [ ("sel", -1); ("imm", 0) ]) with
+  | Ok () -> Alcotest.fail "expected out-of-range"
+  | Error [ Machine_code.Out_of_range { vi_value = -1; _ } ] -> ()
+  | Error vs ->
+    Alcotest.failf "unexpected violations: %a" Fmt.(list ~sep:comma Machine_code.pp_violation) vs
 
 let () =
   Alcotest.run "machine_code"
@@ -103,5 +140,9 @@ let () =
           Alcotest.test_case "parse errors" `Quick test_parse_errors;
           Alcotest.test_case "print/parse roundtrip" `Quick test_print_parse_roundtrip;
         ] );
-      ("validation", [ Alcotest.test_case "validate" `Quick test_validate ]);
+      ( "validation",
+        [
+          Alcotest.test_case "validate" `Quick test_validate;
+          Alcotest.test_case "out-of-range selectors" `Quick test_validate_out_of_range;
+        ] );
     ]
