@@ -90,6 +90,36 @@ let run_dead_elim_ablation () =
       Printf.printf "%-16s %12d %14d %10d\n" bm.Spec.bm_name a b (a - b))
     Spec.all
 
+(* --- 5b. Campaign scaling across domains -------------------------------------------- *)
+
+(* Throughput scaling of the multicore differential campaign: the same
+   fixed-seed campaign at 1/2/4/8 domains.  Beyond the scaling curve this
+   doubles as a determinism check — the JSON report must be byte-identical
+   at every job count (per-trial seeds are derived from the master seed and
+   the trial index, never from scheduling). *)
+let run_campaign_scaling ~trials =
+  let phvs = 80 in
+  Printf.printf "campaign: %d trials x %d PHVs, differential oracle (6 configs/trial)\n" trials
+    phvs;
+  Printf.printf "%-6s %10s %10s %14s\n" "jobs" "wall (s)" "speedup" "JSON report";
+  let baseline = ref 0.0 in
+  let reference_json = ref "" in
+  List.iter
+    (fun jobs ->
+      let cfg = Campaign.config ~trials ~jobs ~phvs () in
+      let t0 = Unix.gettimeofday () in
+      let report = Campaign.run cfg in
+      let dt = Unix.gettimeofday () -. t0 in
+      let json = Campaign.to_json report in
+      if jobs = 1 then begin
+        baseline := dt;
+        reference_json := json
+      end;
+      Printf.printf "%-6d %10.2f %9.2fx %14s\n" jobs dt
+        (if dt > 0. then !baseline /. dt else nan)
+        (if String.equal json !reference_json then "identical" else "DIFFERS"))
+    [ 1; 2; 4; 8 ]
+
 (* --- 6. dRMT ------------------------------------------------------------------------ *)
 
 let drmt_program =
@@ -177,8 +207,15 @@ let () =
   run_dead_elim_ablation ();
 
   section "5. Case study (Sec 5.2): testing the compilers";
-  let report = Casestudy.run ~phvs:(if quick then 300 else 1000) () in
+  let report =
+    Casestudy.run
+      ~phvs:(if quick then 300 else 1000)
+      ~jobs:(Druzhba.Campaign.Runner.default_jobs ()) ()
+  in
   Fmt.pr "%a@." Casestudy.pp report;
+
+  section "5b. Campaign throughput scaling across domains (1/2/4/8)";
+  run_campaign_scaling ~trials:(if quick then 50 else 200);
 
   section "6. dRMT (Sec 4): schedule and throughput";
   run_drmt_bench ();

@@ -7,6 +7,7 @@
      druzhba compile    compile a packet program to machine code
      druzhba lint       static checks on a pipeline + machine code
      druzhba fuzz       compiler-testing workflow of Fig. 5
+     druzhba campaign   multicore differential fuzz campaign
      druzhba synth      synthesis backend + wide-width verification (§5.2)
      druzhba drmt       dRMT schedule + simulation (§4)
      druzhba table1     reproduce Table 1
@@ -290,29 +291,113 @@ let print_triage ~desc ~mc ~state_layout kind =
   | None -> ()
   | Some kind -> Fmt.pr "%a@." Verify.pp_triage (Verify.triage ~desc ~mc kind)
 
+let jobs_arg =
+  Arg.(
+    value & opt int 1
+    & info [ "jobs" ] ~docv:"J"
+        ~doc:
+          "Shard trials across $(docv) OCaml domains.  0 means the runtime's recommended domain \
+           count.  Results are independent of $(docv): per-trial seeds are derived from the \
+           master seed and the trial index.")
+
+let resolve_jobs jobs = if jobs = 0 then Campaign.Runner.default_jobs () else jobs
+
 let fuzz_cmd =
-  let run program depth width bits stateful stateless phvs seed level =
+  let run program depth width bits stateful stateless phvs seed level trials jobs =
     let program, target = load_program_and_target program depth width bits stateful stateless in
     match Compiler.Codegen.compile ~target program with
     | Error e ->
       Printf.eprintf "compile error: %s\n" e;
       exit 1
     | Ok compiled ->
-      let outcome = Compiler.Testing.check ~level ~seed ~n:phvs compiled in
-      Fmt.pr "%s: %a@." program.Compiler.Ast.name Fuzz.pp_outcome outcome;
-      (match outcome with
-      | Fuzz.Mismatch mm ->
-        print_triage ~desc:compiled.Compiler.Codegen.c_desc ~mc:compiled.Compiler.Codegen.c_mc
-          ~state_layout:(Compiler.Testing.state_layout compiled) mm.Fuzz.mm_kind
-      | _ -> ());
-      if not (Fuzz.outcome_is_pass outcome) then exit 1
+      if trials <= 1 then begin
+        let outcome = Compiler.Testing.check ~level ~seed ~n:phvs compiled in
+        Fmt.pr "%s: %a@." program.Compiler.Ast.name Fuzz.pp_outcome outcome;
+        (match outcome with
+        | Fuzz.Mismatch mm ->
+          print_triage ~desc:compiled.Compiler.Codegen.c_desc ~mc:compiled.Compiler.Codegen.c_mc
+            ~state_layout:(Compiler.Testing.state_layout compiled) mm.Fuzz.mm_kind
+        | _ -> ());
+        if not (Fuzz.outcome_is_pass outcome) then exit 1
+      end
+      else begin
+        (* campaign mode: [trials] independent fuzz runs with seeds derived
+           from the master seed, sharded over domains *)
+        Campaign.Runner.force_atoms ();
+        let jobs = resolve_jobs jobs in
+        let outcomes =
+          Campaign.Runner.parallel_init ~jobs trials (fun i ->
+              let trial_seed = Prng.derive seed i in
+              (i, trial_seed, Compiler.Testing.check ~level ~seed:trial_seed ~n:phvs compiled))
+        in
+        let failures =
+          Array.to_list outcomes |> List.filter (fun (_, _, o) -> not (Fuzz.outcome_is_pass o))
+        in
+        Fmt.pr "%s: %d trials (%d PHVs each, master seed %d): %d passed, %d failed@."
+          program.Compiler.Ast.name trials phvs seed
+          (trials - List.length failures)
+          (List.length failures);
+        List.iter
+          (fun (i, trial_seed, o) ->
+            Fmt.pr "  trial %d (seed %d): %a@." i trial_seed Fuzz.pp_outcome o)
+          failures;
+        if failures <> [] then exit 1
+      end
   in
   let doc = "Run the compiler-testing workflow of Fig. 5: compile, simulate, compare traces." in
   Cmd.v
     (Cmd.info "fuzz" ~doc)
     Term.(
       const run $ program_arg $ depth_arg $ width_arg $ bits_arg $ stateful_arg $ stateless_arg
-      $ phvs_arg $ seed_arg $ level_arg)
+      $ phvs_arg $ seed_arg $ level_arg
+      $ Arg.(
+          value & opt int 1
+          & info [ "trials" ] ~docv:"N"
+              ~doc:"Run $(docv) independent fuzz trials with derived seeds.")
+      $ jobs_arg)
+
+(* --- campaign ----------------------------------------------------------------------- *)
+
+let campaign_cmd =
+  let run trials jobs seed phvs no_shrink max_probes json out =
+    let cfg =
+      Campaign.config ~trials ~jobs:(resolve_jobs jobs) ~master_seed:seed ~phvs
+        ~shrink:(not no_shrink) ~max_probes ()
+    in
+    let report = Campaign.run cfg in
+    (match out with
+    | Some path ->
+      let oc = open_out path in
+      output_string oc (Campaign.to_json report);
+      output_char oc '\n';
+      close_out oc
+    | None -> ());
+    if json then print_string (Campaign.to_json report ^ "\n")
+    else Fmt.pr "%a@." Campaign.pp report;
+    if report.Campaign.r_divergent > 0 || report.Campaign.r_invalid > 0 then exit 1
+  in
+  let doc =
+    "Run a multicore differential fuzz campaign: random machine code on random small pipelines, \
+     executed on both simulation backends (interpreter and closure-compiled) at all three \
+     optimization levels; cross-backend divergences are shrunk and reported.  The JSON report is \
+     byte-identical for a fixed master seed regardless of --jobs."
+  in
+  Cmd.v
+    (Cmd.info "campaign" ~doc)
+    Term.(
+      const run
+      $ Arg.(value & opt int 100 & info [ "trials" ] ~docv:"N" ~doc:"Number of trials.")
+      $ jobs_arg $ seed_arg
+      $ Arg.(value & opt int 100 & info [ "phvs" ] ~docv:"N" ~doc:"PHVs simulated per trial.")
+      $ Arg.(value & flag & info [ "no-shrink" ] ~doc:"Skip counterexample shrinking.")
+      $ Arg.(
+          value & opt int 400
+          & info [ "max-probes" ] ~docv:"N" ~doc:"Shrinking budget (oracle re-runs).")
+      $ Arg.(value & flag & info [ "json" ] ~doc:"Print the JSON report to stdout.")
+      $ Arg.(
+          value
+          & opt (some string) None
+          & info [ "report" ] ~docv:"FILE" ~doc:"Write the JSON report to $(docv)."))
 
 (* --- synth -------------------------------------------------------------------------- *)
 
@@ -449,8 +534,10 @@ let table1_cmd =
       $ Arg.(value & flag & info [ "interpreted" ] ~doc:"Interpret the description IR instead."))
 
 let casestudy_cmd =
-  let run phvs budget =
-    let report = Druzhba_experiments.Casestudy.run ~phvs ~synth_budget:budget () in
+  let run phvs budget jobs =
+    let report =
+      Druzhba_experiments.Casestudy.run ~phvs ~synth_budget:budget ~jobs:(resolve_jobs jobs) ()
+    in
     Fmt.pr "%a@." Druzhba_experiments.Casestudy.pp report
   in
   let doc = "Reproduce the case study of §5.2 (compiler testing at scale)." in
@@ -459,7 +546,8 @@ let casestudy_cmd =
     Term.(
       const run
       $ Arg.(value & opt int 1000 & info [ "phvs" ] ~docv:"N")
-      $ Arg.(value & opt int 120_000 & info [ "synth-budget" ] ~docv:"N"))
+      $ Arg.(value & opt int 120_000 & info [ "synth-budget" ] ~docv:"N")
+      $ jobs_arg)
 
 let benchmarks_cmd =
   let run () =
@@ -486,6 +574,7 @@ let () =
             compile_cmd;
             lint_cmd;
             fuzz_cmd;
+            campaign_cmd;
             verify_cmd;
             synth_cmd;
             drmt_cmd;

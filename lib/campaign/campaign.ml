@@ -1,0 +1,231 @@
+(* Multicore differential fuzz campaigns (paper §5.2 at campaign scale).
+
+   A campaign is N independent trials sharded over OCaml 5 domains.  Each
+   trial is keyed by a seed derived from (master seed, trial index) with
+   {!Prng.derive}, so the campaign's results — and its JSON report — are
+   bit-identical regardless of [--jobs]; parallelism only buys wall-clock.
+
+   One trial: draw a random small pipeline (dimensions and ALU atoms from
+   the trial seed), draw random well-formed machine code for it, and run the
+   cross-backend differential oracle ({!Oracle.check}): interpreter vs
+   closure-compiled execution at all three optimization levels.  Any
+   divergence is minimized by {!Shrink.minimize} before it is reported, so
+   the report carries the smallest PHV trace and the essential machine-code
+   pairs that reproduce the bug. *)
+
+module Prng = Druzhba_util.Prng
+module Machine_code = Druzhba_machine_code.Machine_code
+module Dgen = Druzhba_pipeline.Dgen
+module Optimizer = Druzhba_optimizer.Optimizer
+module Atoms = Druzhba_atoms.Atoms
+module Traffic = Druzhba_dsim.Traffic
+module Phv = Druzhba_dsim.Phv
+module Fuzz = Druzhba_fuzz.Fuzz
+
+(* The atom pools a trial draws from.  Every stateful atom of the library
+   is fair game; the stateless side always includes the full ALU since it
+   is the only one the rule-based compiler targets, plus the small ones. *)
+let stateful_pool = [| "raw"; "sub"; "pred_raw"; "if_else_raw"; "nested_ifs"; "pair" |]
+let stateless_pool = [| "stateless_full"; "stateless_arith"; "stateless_rel"; "stateless_mux" |]
+
+type config = {
+  c_trials : int;
+  c_jobs : int;
+  c_master_seed : int;
+  c_phvs : int; (* PHVs simulated per trial *)
+  c_shrink : bool; (* minimize failing trials *)
+  c_max_probes : int; (* shrink budget, in oracle re-runs *)
+}
+
+let config ?(trials = 100) ?(jobs = 1) ?(master_seed = 0xD52ba) ?(phvs = 100) ?(shrink = true)
+    ?(max_probes = 400) () =
+  { c_trials = trials; c_jobs = jobs; c_master_seed = master_seed; c_phvs = phvs;
+    c_shrink = shrink; c_max_probes = max_probes }
+
+type trial = {
+  t_index : int;
+  t_seed : int; (* derived; reproduces the trial on its own *)
+  t_depth : int;
+  t_width : int;
+  t_bits : int;
+  t_stateful : string;
+  t_stateless : string;
+  t_outcome : Oracle.outcome;
+  t_shrunk : Shrink.result option; (* present iff the trial diverged and shrinking ran *)
+}
+
+type report = {
+  r_config : config;
+  r_trials : trial list; (* in index order *)
+  r_agree : int;
+  r_divergent : int;
+  r_invalid : int;
+}
+
+(* --- One trial ------------------------------------------------------------ *)
+
+let run_trial ~(cfg : config) index : trial =
+  let seed = Prng.derive cfg.c_master_seed index in
+  let prng = Prng.create seed in
+  let depth = 1 + Prng.int prng 2 in
+  let width = 1 + Prng.int prng 2 in
+  let bits = [| 8; 16; 32 |].(Prng.int prng 3) in
+  let stateful_name = stateful_pool.(Prng.int prng (Array.length stateful_pool)) in
+  let stateless_name = stateless_pool.(Prng.int prng (Array.length stateless_pool)) in
+  let desc =
+    Dgen.generate
+      (Dgen.config ~depth ~width ~bits ())
+      ~stateful:(Atoms.find_exn stateful_name) ~stateless:(Atoms.find_exn stateless_name)
+  in
+  let mc = Fuzz.random_mc prng desc in
+  let traffic_seed = Prng.bits prng 30 in
+  let inputs = Traffic.phvs (Traffic.create ~seed:traffic_seed ~width ~bits) cfg.c_phvs in
+  let outcome = Oracle.check ~desc ~mc ~inputs () in
+  let shrunk =
+    match outcome with
+    | Oracle.Divergence _ when cfg.c_shrink ->
+      let repro ~inputs ~mc =
+        match Oracle.check ~desc ~mc ~inputs () with
+        | Oracle.Divergence _ -> true
+        | Oracle.Agree _ | Oracle.Invalid_mc _ -> false
+      in
+      Some (Shrink.minimize ~max_probes:cfg.c_max_probes ~repro ~inputs ~mc ())
+    | _ -> None
+  in
+  {
+    t_index = index;
+    t_seed = seed;
+    t_depth = depth;
+    t_width = width;
+    t_bits = bits;
+    t_stateful = stateful_name;
+    t_stateless = stateless_name;
+    t_outcome = outcome;
+    t_shrunk = shrunk;
+  }
+
+(* --- The campaign --------------------------------------------------------- *)
+
+let run (cfg : config) : report =
+  (* the atom library is lazy and [Lazy] is not domain-safe: force it on
+     the main domain before sharding *)
+  Runner.force_atoms ();
+  let trials =
+    Array.to_list (Runner.parallel_init ~jobs:cfg.c_jobs cfg.c_trials (fun i -> run_trial ~cfg i))
+  in
+  let count p = List.length (List.filter p trials) in
+  {
+    r_config = cfg;
+    r_trials = trials;
+    r_agree = count (fun t -> match t.t_outcome with Oracle.Agree _ -> true | _ -> false);
+    r_divergent =
+      count (fun t -> match t.t_outcome with Oracle.Divergence _ -> true | _ -> false);
+    r_invalid = count (fun t -> match t.t_outcome with Oracle.Invalid_mc _ -> true | _ -> false);
+  }
+
+(* --- Rendering ------------------------------------------------------------- *)
+
+let pp_trial ppf (t : trial) =
+  Fmt.pf ppf "trial %4d (seed %d, %dx%d @ %d bits, %s/%s): %a" t.t_index t.t_seed t.t_depth
+    t.t_width t.t_bits t.t_stateful t.t_stateless Oracle.pp_outcome t.t_outcome;
+  match t.t_shrunk with None -> () | Some s -> Fmt.pf ppf "@,  %a" Shrink.pp s
+
+let pp ppf (r : report) =
+  Fmt.pf ppf "@[<v>campaign: %d trials, master seed %d, %d PHVs/trial@," r.r_config.c_trials
+    r.r_config.c_master_seed r.r_config.c_phvs;
+  Fmt.pf ppf "  agree:      %d@," r.r_agree;
+  Fmt.pf ppf "  divergence: %d@," r.r_divergent;
+  Fmt.pf ppf "  invalid mc: %d@," r.r_invalid;
+  List.iter
+    (fun t ->
+      if not (Oracle.outcome_agrees t.t_outcome) then Fmt.pf ppf "  %a@," pp_trial t)
+    r.r_trials;
+  Fmt.pf ppf "@]"
+
+(* --- JSON report ------------------------------------------------------------
+
+   Byte-deterministic for a fixed master seed: trials are emitted in index
+   order and nothing environmental (job count, timing) appears. *)
+
+let json_of_outcome (o : Oracle.outcome) : Report.json =
+  match o with
+  | Oracle.Agree { configs; phvs } ->
+    Report.Obj [ ("class", Report.Str "agree"); ("configs", Report.Int configs);
+                 ("phvs", Report.Int phvs) ]
+  | Oracle.Invalid_mc violations ->
+    Report.Obj
+      [
+        ("class", Report.Str "invalid_machine_code");
+        ( "violations",
+          Report.List
+            (List.map
+               (fun v -> Report.Str (Fmt.str "%a" Machine_code.pp_violation v))
+               violations) );
+      ]
+  | Oracle.Divergence d ->
+    let kind, where =
+      match d.Oracle.dv_kind with
+      | `Output (i, c) ->
+        ("output", Report.Obj [ ("phv", Report.Int i); ("container", Report.Int c) ])
+      | `State (alu, slot) ->
+        ("state", Report.Obj [ ("alu", Report.Str alu); ("slot", Report.Int slot) ])
+      | `Shape -> ("shape", Report.Null)
+    in
+    Report.Obj
+      [
+        ("class", Report.Str "backend_divergence");
+        ("backend", Report.Str (Oracle.backend_name d.Oracle.dv_backend));
+        ("level", Report.Str (Optimizer.level_name d.Oracle.dv_level));
+        ("kind", Report.Str kind);
+        ("where", where);
+        ("expected", Report.Int d.Oracle.dv_expected);
+        ("actual", Report.Int d.Oracle.dv_actual);
+      ]
+
+let json_of_shrunk (s : Shrink.result) : Report.json =
+  Report.Obj
+    [
+      ("phvs", Report.List (List.map Report.phv s.Shrink.sh_inputs));
+      ("essential_pairs", Report.List (List.map (fun n -> Report.Str n) s.Shrink.sh_essential));
+      ( "machine_code",
+        Report.Obj
+          (List.map (fun (n, v) -> (n, Report.Int v)) (Machine_code.to_alist s.Shrink.sh_mc)) );
+      ("probes", Report.Int s.Shrink.sh_probes);
+    ]
+
+let json_of_trial (t : trial) : Report.json =
+  let base =
+    [
+      ("index", Report.Int t.t_index);
+      ("seed", Report.Int t.t_seed);
+      ("depth", Report.Int t.t_depth);
+      ("width", Report.Int t.t_width);
+      ("bits", Report.Int t.t_bits);
+      ("stateful", Report.Str t.t_stateful);
+      ("stateless", Report.Str t.t_stateless);
+      ("outcome", json_of_outcome t.t_outcome);
+    ]
+  in
+  let shrunk =
+    match t.t_shrunk with None -> [] | Some s -> [ ("shrunk", json_of_shrunk s) ]
+  in
+  Report.Obj (base @ shrunk)
+
+let to_json (r : report) : string
+    =
+  Report.to_string
+    (Report.Obj
+       [
+         ("campaign", Report.Str "differential");
+         ("master_seed", Report.Int r.r_config.c_master_seed);
+         ("trials", Report.Int r.r_config.c_trials);
+         ("phvs_per_trial", Report.Int r.r_config.c_phvs);
+         ( "summary",
+           Report.Obj
+             [
+               ("agree", Report.Int r.r_agree);
+               ("backend_divergence", Report.Int r.r_divergent);
+               ("invalid_machine_code", Report.Int r.r_invalid);
+             ] );
+         ("results", Report.List (List.map json_of_trial r.r_trials));
+       ])

@@ -1,0 +1,151 @@
+(* Differential cross-backend oracle.
+
+   Gauntlet-style differential execution: the same machine code is run on
+   every execution substrate the simulator has — the tree-walking
+   interpreter ({!Druzhba_dsim.Engine}) and the closure-compiled pipeline
+   ({!Druzhba_dsim.Compiled}) — at all three optimization levels of the
+   paper's Table 1.  All six configurations must produce the same output
+   trace and final state; any divergence is a bug in the simulator stack
+   itself (optimizer, closure compiler, or interpreter) and is reported as
+   its own failure class, distinct from the spec mismatches of Fig. 5.
+
+   The reference configuration is the interpreter on the unoptimized
+   description: it is the most literal rendering of the hardware semantics,
+   so every other configuration is judged against it. *)
+
+module Machine_code = Druzhba_machine_code.Machine_code
+module Ir = Druzhba_pipeline.Ir
+module Compile = Druzhba_pipeline.Compile
+module Optimizer = Druzhba_optimizer.Optimizer
+module Engine = Druzhba_dsim.Engine
+module Compiled = Druzhba_dsim.Compiled
+module Phv = Druzhba_dsim.Phv
+module Trace = Druzhba_dsim.Trace
+
+type backend = Interpreter | Closures
+
+let backend_name = function Interpreter -> "interpreter" | Closures -> "closures"
+
+let all_levels = [ Optimizer.Unoptimized; Optimizer.Scc; Optimizer.Scc_inline ]
+
+(* Where and how a non-reference configuration departed from the reference
+   trace.  [`Shape] covers the pathological case of a different number of
+   outputs (a pipeline-depth bug would show up this way). *)
+type divergence = {
+  dv_backend : backend;
+  dv_level : Optimizer.level;
+  dv_kind : [ `Output of int * int (* phv index, container *) | `State of string * int | `Shape ];
+  dv_expected : int; (* reference value; 0 for `Shape *)
+  dv_actual : int; (* diverging value; 0 for `Shape *)
+}
+
+type outcome =
+  | Agree of { configs : int; phvs : int }
+  | Invalid_mc of Machine_code.violation list (* validation failed; nothing was run *)
+  | Divergence of divergence
+
+let pp_divergence ppf d =
+  let where =
+    match d.dv_kind with
+    | `Output (i, c) -> Fmt.str "output phv %d container %d" i c
+    | `State (alu, slot) -> Fmt.str "state %s[%d]" alu slot
+    | `Shape -> "trace shape"
+  in
+  Fmt.pf ppf "%s@%s diverges from reference at %s: expected %d, got %d" (backend_name d.dv_backend)
+    (Optimizer.level_name d.dv_level) where d.dv_expected d.dv_actual
+
+let pp_outcome ppf = function
+  | Agree { configs; phvs } -> Fmt.pf ppf "agree (%d configurations, %d PHVs)" configs phvs
+  | Invalid_mc violations ->
+    Fmt.pf ppf "invalid machine code: %a"
+      Fmt.(list ~sep:(any ", ") Machine_code.pp_violation)
+      violations
+  | Divergence d -> pp_divergence ppf d
+
+let outcome_agrees = function Agree _ -> true | Invalid_mc _ | Divergence _ -> false
+
+(* First point where [actual] departs from [reference].  Output containers
+   are scanned in trace order, then final state vectors (missing state in
+   [actual] reads as min_int, like the fuzz harness). *)
+let diff_traces ~(reference : Trace.t) ~(actual : Trace.t) :
+    ([ `Output of int * int | `State of string * int | `Shape ] * int * int) option =
+  if List.length reference.Trace.outputs <> List.length actual.Trace.outputs then
+    Some (`Shape, 0, 0)
+  else begin
+    let rec diff_outputs i expected_rest got_rest =
+      match (expected_rest, got_rest) with
+      | [], [] -> None
+      | expected :: expected_rest, got :: got_rest ->
+        let width = min (Array.length expected) (Array.length got) in
+        let rec scan c =
+          if c >= width then diff_outputs (i + 1) expected_rest got_rest
+          else if expected.(c) <> got.(c) then Some (`Output (i, c), expected.(c), got.(c))
+          else scan (c + 1)
+        in
+        scan 0
+      | _ -> Some (`Shape, 0, 0)
+    in
+    let output_diff = diff_outputs 0 reference.Trace.outputs actual.Trace.outputs in
+    match output_diff with
+    | Some _ as d -> d
+    | None ->
+      List.find_map
+        (fun (alu, expected) ->
+          let got =
+            match Trace.find_state actual alu with Some v -> v | None -> [| min_int |]
+          in
+          let n = Array.length expected in
+          let rec scan slot =
+            if slot >= n then None
+            else
+              let actual_v = if slot < Array.length got then got.(slot) else min_int in
+              if expected.(slot) <> actual_v then
+                Some (`State (alu, slot), expected.(slot), actual_v)
+              else scan (slot + 1)
+          in
+          scan 0)
+        reference.Trace.final_state
+  end
+
+(* Runs [mc] on [inputs] in all (backend x level) configurations and diffs
+   each against the reference.  The per-level optimized descriptions are
+   shared between the two backends, so the optimizer runs once per level. *)
+let check ?(init = []) ~(desc : Ir.t) ~mc ~inputs () : outcome =
+  match Machine_code.validate ~domains:(Ir.control_domains desc) mc with
+  | Error violations -> Invalid_mc violations
+  | Ok () -> (
+    let reference = Engine.run ~init desc ~mc ~inputs in
+    let divergence = ref None in
+    (try
+       List.iter
+         (fun level ->
+           let optimized = Optimizer.apply ~level ~mc desc in
+           let compiled = Compile.compile optimized ~mc in
+           List.iter
+             (fun backend ->
+               if not (backend = Interpreter && level = Optimizer.Unoptimized) then begin
+                 let actual =
+                   match backend with
+                   | Interpreter -> Engine.run ~init optimized ~mc ~inputs
+                   | Closures -> Compiled.run_compiled ~init compiled ~inputs
+                 in
+                 match diff_traces ~reference ~actual with
+                 | None -> ()
+                 | Some (dv_kind, dv_expected, dv_actual) ->
+                   divergence :=
+                     Some
+                       {
+                         dv_backend = backend;
+                         dv_level = level;
+                         dv_kind;
+                         dv_expected;
+                         dv_actual;
+                       };
+                   raise_notrace Exit
+               end)
+             [ Interpreter; Closures ])
+         all_levels
+     with Exit -> ());
+    match !divergence with
+    | Some d -> Divergence d
+    | None -> Agree { configs = 2 * List.length all_levels; phvs = List.length inputs })

@@ -1,0 +1,66 @@
+(* Machine-readable campaign reports.
+
+   A deliberately tiny JSON emitter (the repo carries no JSON dependency)
+   with one hard requirement: byte-determinism.  Objects render their keys
+   in the order given, numbers are plain OCaml ints, and nothing
+   environmental (wall time, hostnames, job counts) is ever emitted — the
+   acceptance bar is that a campaign report for a fixed master seed is
+   byte-identical whatever [--jobs] was. *)
+
+type json =
+  | Null
+  | Bool of bool
+  | Int of int
+  | Str of string
+  | List of json list
+  | Obj of (string * json) list
+
+let escape s =
+  let buf = Buffer.create (String.length s + 8) in
+  String.iter
+    (fun c ->
+      match c with
+      | '"' -> Buffer.add_string buf "\\\""
+      | '\\' -> Buffer.add_string buf "\\\\"
+      | '\n' -> Buffer.add_string buf "\\n"
+      | '\r' -> Buffer.add_string buf "\\r"
+      | '\t' -> Buffer.add_string buf "\\t"
+      | c when Char.code c < 0x20 -> Buffer.add_string buf (Printf.sprintf "\\u%04x" (Char.code c))
+      | c -> Buffer.add_char buf c)
+    s;
+  Buffer.contents buf
+
+let to_string (j : json) =
+  let buf = Buffer.create 1024 in
+  let rec emit = function
+    | Null -> Buffer.add_string buf "null"
+    | Bool b -> Buffer.add_string buf (if b then "true" else "false")
+    | Int i -> Buffer.add_string buf (string_of_int i)
+    | Str s ->
+      Buffer.add_char buf '"';
+      Buffer.add_string buf (escape s);
+      Buffer.add_char buf '"'
+    | List items ->
+      Buffer.add_char buf '[';
+      List.iteri
+        (fun i item ->
+          if i > 0 then Buffer.add_char buf ',';
+          emit item)
+        items;
+      Buffer.add_char buf ']'
+    | Obj fields ->
+      Buffer.add_char buf '{';
+      List.iteri
+        (fun i (k, v) ->
+          if i > 0 then Buffer.add_char buf ',';
+          Buffer.add_char buf '"';
+          Buffer.add_string buf (escape k);
+          Buffer.add_string buf "\":";
+          emit v)
+        fields;
+      Buffer.add_char buf '}'
+  in
+  emit j;
+  Buffer.contents buf
+
+let phv (p : Druzhba_dsim.Phv.t) = List (Array.to_list (Array.map (fun v -> Int v) p))

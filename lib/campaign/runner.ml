@@ -1,0 +1,61 @@
+(* Multicore trial runner.
+
+   Shards independent trials across OCaml 5 domains.  The contract that
+   makes `--jobs` invisible in the results: a trial's outcome must be a pure
+   function of its index (campaigns derive every per-trial seed from the
+   master seed and the index with {!Druzhba_util.Prng.derive}), so the
+   result array is identical however trials land on domains — only the
+   wall-clock changes.
+
+   Work distribution is dynamic (an atomic next-index counter) rather than
+   static chunking: trials vary wildly in cost (a divergence triggers
+   shrinking, which re-simulates many times), and a static split would leave
+   domains idle behind one expensive shard.  Each result slot is written by
+   exactly one domain, and [Domain.join] publishes the writes, so no lock is
+   needed around the results array.
+
+   Caveat for callers: the trial function runs concurrently on several
+   domains, so any shared lazy values it forces (e.g. the parsed atom
+   library) must be forced *before* calling — OCaml's [Lazy] is not
+   domain-safe.  {!Campaign.run} and the case-study harness do this. *)
+
+let force_atoms () =
+  List.iter
+    (fun name -> ignore (Druzhba_atoms.Atoms.find_exn name))
+    Druzhba_atoms.Atoms.all_names
+
+(* [parallel_init ~jobs n f] is [Array.init n f] computed on up to [jobs]
+   domains (including the calling one).  [f] is applied to each index
+   exactly once; the result array is in index order. *)
+let parallel_init ~jobs n f =
+  if n < 0 then invalid_arg "Runner.parallel_init: negative count";
+  let jobs = max 1 (min jobs n) in
+  if jobs = 1 then Array.init n f
+  else begin
+    let results = Array.make n None in
+    let next = Atomic.make 0 in
+    let worker () =
+      let rec loop () =
+        let i = Atomic.fetch_and_add next 1 in
+        if i < n then begin
+          results.(i) <- Some (f i);
+          loop ()
+        end
+      in
+      loop ()
+    in
+    let domains = List.init (jobs - 1) (fun _ -> Domain.spawn worker) in
+    worker ();
+    List.iter Domain.join domains;
+    Array.map
+      (function Some v -> v | None -> invalid_arg "Runner.parallel_init: missing result")
+      results
+  end
+
+(* List-shaped convenience used by the case-study harness: map [f] over the
+   elements of [items] in parallel, preserving order. *)
+let parallel_map ~jobs f items =
+  let arr = Array.of_list items in
+  Array.to_list (parallel_init ~jobs (Array.length arr) (fun i -> f arr.(i)))
+
+let default_jobs () = Domain.recommended_domain_count ()

@@ -1,0 +1,104 @@
+(* Counterexample shrinking.
+
+   A failing trial arrives as (input PHV trace, machine-code program);
+   either can be far larger than what the bug needs.  The shrinker
+   minimizes both against a caller-supplied [repro] predicate that re-runs
+   the failing check and answers "does a failure of the same class still
+   occur?":
+
+   - PHV trace: first the shortest failing *prefix* (stateful pipelines
+     usually need a warm-up prefix, so truncation is the high-yield move),
+     found by binary search and verified before being trusted (the search
+     assumes monotonicity, which a stateful bug can violate — a candidate is
+     only accepted if it actually still fails); then greedy one-at-a-time
+     removal passes until a fixpoint, which deletes warm-up packets the
+     failure never needed.
+
+   - Machine code: every pair whose value is not already 0 is tentatively
+     reset to 0 (always in-domain for selectors, and the natural "neutral"
+     immediate).  Pairs that can be neutralized without losing the failure
+     are irrelevant to the bug; the ones that resist are the *essential*
+     set — the pairs a compiler author has to look at.  This mirrors the
+     provenance-slice triage but is semantic rather than static: it proves
+     relevance by re-execution.
+
+   Every repro call re-simulates, so the whole process is budgeted by
+   [max_probes]; shrinking is best-effort and stops at the budget without
+   ever returning a non-reproducing counterexample. *)
+
+module Machine_code = Druzhba_machine_code.Machine_code
+module Phv = Druzhba_dsim.Phv
+
+type result = {
+  sh_inputs : Phv.t list; (* minimized PHV trace; still reproduces *)
+  sh_mc : Machine_code.t; (* minimized machine code; still reproduces *)
+  sh_essential : string list; (* pairs that resist neutralization, sorted *)
+  sh_probes : int; (* repro evaluations spent *)
+}
+
+(* [minimize ~repro ~inputs ~mc ()] assumes [repro ~inputs ~mc] is true and
+   returns a smaller (never larger) failing configuration. *)
+let minimize ?(max_probes = 400) ~(repro : inputs:Phv.t list -> mc:Machine_code.t -> bool) ~inputs
+    ~mc () : result =
+  let probes = ref 0 in
+  let try_repro ~inputs ~mc =
+    if !probes >= max_probes then false
+    else begin
+      incr probes;
+      repro ~inputs ~mc
+    end
+  in
+  (* --- 1. shortest failing prefix (binary search, verified) --- *)
+  let arr = Array.of_list inputs in
+  let n = Array.length arr in
+  let prefix k = Array.to_list (Array.sub arr 0 k) in
+  let inputs =
+    if n <= 1 then inputs
+    else begin
+      let lo = ref 1 and hi = ref n in
+      (* invariant attempt: prefix !hi fails; probe midpoints *)
+      while !lo < !hi do
+        let mid = (!lo + !hi) / 2 in
+        if try_repro ~inputs:(prefix mid) ~mc then hi := mid else lo := mid + 1
+      done;
+      if !hi < n && try_repro ~inputs:(prefix !hi) ~mc then prefix !hi else inputs
+    end
+  in
+  (* --- 2. greedy single-PHV removal until fixpoint --- *)
+  let rec removal_pass inputs =
+    let n = List.length inputs in
+    let without i = List.filteri (fun j _ -> j <> i) inputs in
+    let rec scan i inputs changed =
+      if i >= List.length inputs then (inputs, changed)
+      else begin
+        let candidate = without i in
+        if candidate <> [] && try_repro ~inputs:candidate ~mc then
+          (* index i now names the next element; do not advance *)
+          scan i candidate true
+        else scan (i + 1) inputs changed
+      end
+    in
+    let inputs', changed = scan 0 inputs false in
+    if changed && List.length inputs' < n && !probes < max_probes then removal_pass inputs'
+    else inputs'
+  in
+  let inputs = removal_pass inputs in
+  (* --- 3. machine-code neutralization --- *)
+  let shrunk_mc = Machine_code.copy mc in
+  let essential = ref [] in
+  List.iter
+    (fun (name, value) ->
+      if value <> 0 then begin
+        let candidate = Machine_code.copy shrunk_mc in
+        Machine_code.set candidate name 0;
+        if try_repro ~inputs ~mc:candidate then Machine_code.set shrunk_mc name 0
+        else essential := name :: !essential
+      end)
+    (Machine_code.to_alist shrunk_mc);
+  { sh_inputs = inputs; sh_mc = shrunk_mc; sh_essential = List.rev !essential; sh_probes = !probes }
+
+let pp ppf r =
+  Fmt.pf ppf "shrunk to %d PHVs, %d essential pairs (%d probes): %a" (List.length r.sh_inputs)
+    (List.length r.sh_essential) r.sh_probes
+    Fmt.(list ~sep:(any ", ") string)
+    r.sh_essential

@@ -44,6 +44,17 @@ module Compiled = Druzhba_dsim.Compiled
 module Atoms = Druzhba_atoms.Atoms
 module Fuzz = Druzhba_fuzz.Fuzz
 module Verify = Druzhba_fuzz.Verify
+
+(* Multicore differential campaigns: {!Campaign.run} shards trials over
+   OCaml 5 domains; {!Campaign.Oracle} is the cross-backend differential
+   oracle; {!Campaign.Shrink} minimizes counterexamples. *)
+module Campaign = struct
+  module Runner = Druzhba_campaign.Runner
+  module Oracle = Druzhba_campaign.Oracle
+  module Shrink = Druzhba_campaign.Shrink
+  module Report = Druzhba_campaign.Report
+  include Druzhba_campaign.Campaign
+end
 module Dataflow = Druzhba_analysis.Dataflow
 module Lint = Druzhba_analysis.Lint
 

@@ -14,6 +14,17 @@ type t = {
 
 let find_state t name = List.assoc_opt name t.final_state
 
+(* Structural equality over outputs and final state (inputs are compared
+   too: two traces are only comparable if they saw the same traffic).  Used
+   by the differential oracle and the golden-trace regression tests. *)
+let equal a b =
+  (try List.for_all2 Phv.equal a.inputs b.inputs with Invalid_argument _ -> false)
+  && (try List.for_all2 Phv.equal a.outputs b.outputs with Invalid_argument _ -> false)
+  && List.length a.final_state = List.length b.final_state
+  && List.for_all2
+       (fun (n1, v1) (n2, v2) -> String.equal n1 n2 && v1 = v2)
+       a.final_state b.final_state
+
 (* One line per packet, then the state vectors. *)
 let pp ppf t =
   Fmt.pf ppf "@[<v>";

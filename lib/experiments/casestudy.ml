@@ -66,8 +66,11 @@ let corpus () =
           variant_parameters)
     Spec.all
 
-let test_corpus ?(phvs = 1000) () : entry list =
-  List.map
+(* Each corpus entry is independent (compile + fuzz, no shared state), so
+   the campaign runner shards them across domains; entry order is
+   preserved, so reports are identical whatever [jobs] is. *)
+let test_corpus ?(phvs = 1000) ?(jobs = 1) () : entry list =
+  Campaign.Runner.parallel_map ~jobs
     (fun (name, source, bm) ->
       let program = Frontend.parse ~name source in
       match Codegen.compile ~target:(Spec.target bm) program with
@@ -169,12 +172,16 @@ let synth_range_failure ?(synth_bits = 4) ?(verify_bits = 10) ?(phvs = 2000) ?(b
 
 (* --- Full case study ------------------------------------------------------------------ *)
 
-let run ?(phvs = 1000) ?synth_budget () : report =
-  let corpus_entries = test_corpus ~phvs () in
+let run ?(phvs = 1000) ?synth_budget ?(jobs = 1) () : report =
+  (* the atom library is lazy; force it before sharding onto domains *)
+  Campaign.Runner.force_atoms ();
+  let corpus_entries = test_corpus ~phvs ~jobs () in
   let missing =
     [ inject_missing_pairs (Spec.find_exn "sampling"); inject_missing_pairs (Spec.find_exn "rcp") ]
   in
-  let ranged = List.map (synth_range_failure ?budget:synth_budget) range_kernels in
+  let ranged =
+    Campaign.Runner.parallel_map ~jobs (synth_range_failure ?budget:synth_budget) range_kernels
+  in
   let entries = corpus_entries @ missing @ ranged in
   let count c = List.length (List.filter (fun e -> e.e_class = c) entries) in
   {

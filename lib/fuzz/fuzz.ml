@@ -60,6 +60,7 @@ type mismatch = {
   mm_expected : int;
   mm_actual : int;
   mm_input : Phv.t option; (* the PHV that exposed the divergence *)
+  mm_seed : int; (* traffic seed of the failing trial, for replay *)
 }
 
 type outcome =
@@ -78,14 +79,14 @@ let pp_outcome ppf = function
         list ~sep:(any ", ") (fun ppf (name, v, bound) ->
             pf ppf "%s = %d (domain [0, %d))" name v bound))
       sels
-  | Mismatch { mm_kind; mm_index; mm_expected; mm_actual; mm_input } -> (
+  | Mismatch { mm_kind; mm_index; mm_expected; mm_actual; mm_input; mm_seed } -> (
     match mm_kind with
     | `Output c ->
-      Fmt.pf ppf "output mismatch at phv %d, container %d: expected %d, got %d (input %a)"
-        mm_index c mm_expected mm_actual (Fmt.option Phv.pp) mm_input
+      Fmt.pf ppf "output mismatch at phv %d, container %d: expected %d, got %d (input %a, seed %d)"
+        mm_index c mm_expected mm_actual (Fmt.option Phv.pp) mm_input mm_seed
     | `State i ->
-      Fmt.pf ppf "final state mismatch at spec slot %d: expected %d, got %d" i mm_expected
-        mm_actual)
+      Fmt.pf ppf "final state mismatch at spec slot %d: expected %d, got %d (seed %d)" i
+        mm_expected mm_actual mm_seed)
 
 let outcome_is_pass = function
   | Pass _ -> true
@@ -93,7 +94,7 @@ let outcome_is_pass = function
 
 (* --- Equivalence testing --------------------------------------------------- *)
 
-let compare_traces ~observed ~(spec : spec) ~state_layout ~(trace : Trace.t) =
+let compare_traces ?(seed = 0) ~observed ~(spec : spec) ~state_layout ~(trace : Trace.t) () =
   let state = spec.spec_init () in
   let rec go index inputs outputs =
     match (inputs, outputs) with
@@ -112,6 +113,7 @@ let compare_traces ~observed ~(spec : spec) ~state_layout ~(trace : Trace.t) =
             mm_expected = expected.(c);
             mm_actual = output.(c);
             mm_input = Some input;
+            mm_seed = seed;
           }
       | None -> go (index + 1) inputs outputs)
     | _ ->
@@ -133,6 +135,7 @@ let compare_traces ~observed ~(spec : spec) ~state_layout ~(trace : Trace.t) =
               mm_expected = state.(spec_index);
               mm_actual = min_int;
               mm_input = None;
+              mm_seed = seed;
             }
         | Some vec ->
           if vec.(slot) <> state.(spec_index) then
@@ -143,6 +146,7 @@ let compare_traces ~observed ~(spec : spec) ~state_layout ~(trace : Trace.t) =
                 mm_expected = state.(spec_index);
                 mm_actual = vec.(slot);
                 mm_input = None;
+                mm_seed = seed;
               }
           else None)
       state_layout
@@ -178,7 +182,7 @@ let run_equivalence ?(level = Optimizer.Scc) ?(seed = 0xD52ba) ?init ~desc ~mc ~
     let inputs = Traffic.phvs traffic n in
     match Engine.run ?init optimized ~mc ~inputs with
     | trace -> (
-      match compare_traces ~observed ~spec ~state_layout ~trace with
+      match compare_traces ~seed ~observed ~spec ~state_layout ~trace () with
       | None -> Pass { phvs = n }
       | Some mm -> Mismatch mm)
     | exception Machine_code.Missing name -> Missing_pairs [ name ])

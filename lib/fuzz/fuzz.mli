@@ -40,6 +40,9 @@ type mismatch = {
   mm_expected : int;
   mm_actual : int;
   mm_input : Phv.t option;  (** the PHV that exposed the divergence *)
+  mm_seed : int;
+      (** traffic seed of the failing trial — printed by {!pp_outcome} so
+          any reported failure is reproducible from the message alone *)
 }
 
 type outcome =
@@ -54,9 +57,16 @@ val pp_outcome : outcome Fmt.t
 val outcome_is_pass : outcome -> bool
 
 val compare_traces :
-  observed:int list -> spec:spec -> state_layout:state_layout -> trace:Trace.t -> mismatch option
+  ?seed:int ->
+  observed:int list ->
+  spec:spec ->
+  state_layout:state_layout ->
+  trace:Trace.t ->
+  unit ->
+  mismatch option
 (** Replays [spec] over the trace's inputs and compares outputs (restricted
-    to the [observed] containers) and final state. *)
+    to the [observed] containers) and final state.  [seed] (default 0) is
+    recorded in any mismatch so the report identifies the failing trial. *)
 
 val run_equivalence :
   ?level:Optimizer.level ->

@@ -34,3 +34,18 @@ let int t bound =
 let bool t = Int64.logand (next_int64 t) 1L = 1L
 
 let split t = create (Int64.to_int (next_int64 t))
+
+(* Splittable seeding for sharded campaigns: the per-trial seed is a pure
+   function of (master seed, trial index), so any worker can compute the
+   seed of any trial without consuming a shared stream — results are
+   independent of how trials are distributed over domains.  The derivation
+   is one splitmix64 step from a state offset by the index along the golden
+   gamma (distinct indices land on well-separated states). *)
+let derive master index =
+  if index < 0 then invalid_arg "Prng.derive: negative index";
+  let t =
+    { state = Int64.add (Int64.of_int master) (Int64.mul golden_gamma (Int64.of_int (index + 1))) }
+  in
+  (* keep the result a non-negative OCaml int so it round-trips through
+     [create] and CLI flags losslessly *)
+  Int64.to_int (Int64.shift_right_logical (next_int64 t) 2)

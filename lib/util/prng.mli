@@ -24,3 +24,10 @@ val bool : t -> bool
 
 val split : t -> t
 (** Derive an independent generator (for parallel streams). *)
+
+val derive : int -> int -> int
+(** [derive master index] deterministically derives the seed of trial
+    [index] in a campaign keyed by [master].  Pure in both arguments (no
+    stream is consumed), so sharded workers compute identical seeds
+    regardless of how trials are scheduled; the result is a non-negative
+    int.  @raise Invalid_argument on a negative index. *)

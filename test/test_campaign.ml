@@ -1,0 +1,283 @@
+(* Tests for the multicore campaign stack: splittable seeding, the domain
+   runner, the cross-backend differential oracle, counterexample shrinking,
+   and JSON report determinism across job counts. *)
+
+module Prng = Druzhba_util.Prng
+module Machine_code = Druzhba_machine_code.Machine_code
+module Ir = Druzhba_pipeline.Ir
+module Dgen = Druzhba_pipeline.Dgen
+module Names = Druzhba_pipeline.Names
+module Optimizer = Druzhba_optimizer.Optimizer
+module Engine = Druzhba_dsim.Engine
+module Phv = Druzhba_dsim.Phv
+module Traffic = Druzhba_dsim.Traffic
+module Trace = Druzhba_dsim.Trace
+module Atoms = Druzhba_atoms.Atoms
+module Fuzz = Druzhba_fuzz.Fuzz
+module Verify = Druzhba_fuzz.Verify
+module Runner = Druzhba_campaign.Runner
+module Oracle = Druzhba_campaign.Oracle
+module Shrink = Druzhba_campaign.Shrink
+module Campaign = Druzhba_campaign.Campaign
+
+(* --- Prng.derive -------------------------------------------------------------- *)
+
+let test_derive_deterministic () =
+  Alcotest.(check int) "pure function" (Prng.derive 42 7) (Prng.derive 42 7);
+  let a = Prng.derive 42 7 in
+  let g = Prng.create 42 in
+  ignore (Prng.next_int64 g);
+  ignore (Prng.next_int64 g);
+  Alcotest.(check int) "independent of stream position" a (Prng.derive 42 7)
+
+let test_derive_distinct () =
+  let seeds = List.init 100 (fun i -> Prng.derive 0xD52ba i) in
+  let sorted = List.sort_uniq compare seeds in
+  Alcotest.(check int) "100 distinct seeds" 100 (List.length sorted);
+  Alcotest.(check bool) "non-negative" true (List.for_all (fun s -> s >= 0) seeds);
+  Alcotest.(check bool)
+    "different masters differ" true
+    (Prng.derive 1 0 <> Prng.derive 2 0)
+
+(* --- Runner -------------------------------------------------------------------- *)
+
+let test_runner_matches_sequential () =
+  let f i = (i * 31) mod 97 in
+  let seq = Runner.parallel_init ~jobs:1 50 f in
+  let par = Runner.parallel_init ~jobs:3 50 f in
+  Alcotest.(check (list int)) "same results" (Array.to_list seq) (Array.to_list par);
+  Alcotest.(check (list int)) "empty" [] (Array.to_list (Runner.parallel_init ~jobs:4 0 f))
+
+let test_runner_parallel_map_order () =
+  let items = [ "a"; "b"; "c"; "d"; "e" ] in
+  Alcotest.(check (list string))
+    "order preserved"
+    (List.map String.uppercase_ascii items)
+    (Runner.parallel_map ~jobs:2 String.uppercase_ascii items)
+
+(* --- Differential oracle --------------------------------------------------------- *)
+
+(* The single-trial form of the campaign's oracle: for random well-formed
+   machine code on random small pipelines, the interpreter and the
+   closure-compiled backend produce identical traces at all three
+   optimization levels. *)
+let qcheck_backends_agree =
+  QCheck.Test.make ~name:"Engine and Compiled agree at all levels on random mc" ~count:40
+    QCheck.(int_range 0 10_000)
+    (fun index ->
+      let cfg = Campaign.config ~trials:1 ~phvs:40 ~shrink:false () in
+      let trial = Campaign.run_trial ~cfg index in
+      match trial.Campaign.t_outcome with
+      | Oracle.Agree { configs; _ } -> configs = 6
+      | o -> QCheck.Test.fail_reportf "trial %d (seed %d): %a" index trial.Campaign.t_seed
+               Oracle.pp_outcome o)
+
+let accumulator () =
+  let desc =
+    Dgen.generate
+      (Dgen.config ~depth:1 ~width:1 ~bits:8 ())
+      ~stateful:(Atoms.find_exn "raw") ~stateless:(Atoms.find_exn "stateless_full")
+  in
+  let mc = Machine_code.empty () in
+  List.iter (fun (name, _) -> Machine_code.set mc name 0) (Ir.control_domains desc);
+  Array.iter
+    (fun (st : Ir.stage) ->
+      Array.iter
+        (fun name -> Machine_code.set mc name (Names.Select.passthrough ~width:desc.Ir.d_width))
+        st.Ir.s_output_muxes)
+    desc.Ir.d_stages;
+  Machine_code.set mc
+    (Names.output_mux ~stage:0 ~container:0)
+    (Names.Select.stateful_output ~width:1 0);
+  (desc, mc)
+
+let test_oracle_agrees_on_accumulator () =
+  let desc, mc = accumulator () in
+  let inputs = Traffic.phvs (Traffic.create ~seed:11 ~width:1 ~bits:8) 64 in
+  match Oracle.check ~desc ~mc ~inputs () with
+  | Oracle.Agree { configs; phvs } ->
+    Alcotest.(check int) "six configurations" 6 configs;
+    Alcotest.(check int) "all phvs" 64 phvs
+  | o -> Alcotest.failf "expected agreement, got %a" Oracle.pp_outcome o
+
+let test_oracle_invalid_mc () =
+  let desc, mc = accumulator () in
+  Machine_code.remove mc (Names.output_mux ~stage:0 ~container:0);
+  let inputs = Traffic.phvs (Traffic.create ~seed:11 ~width:1 ~bits:8) 8 in
+  match Oracle.check ~desc ~mc ~inputs () with
+  | Oracle.Invalid_mc (Machine_code.Missing_pair name :: _) ->
+    Alcotest.(check string) "names the pair" (Names.output_mux ~stage:0 ~container:0) name
+  | o -> Alcotest.failf "expected invalid mc, got %a" Oracle.pp_outcome o
+
+let test_diff_traces_detects () =
+  let mk outputs state =
+    { Trace.inputs = [ [| 0 |]; [| 1 |] ]; outputs; final_state = [ ("alu", state) ] }
+  in
+  let reference = mk [ [| 1 |]; [| 2 |] ] [| 5 |] in
+  Alcotest.(check bool)
+    "equal traces have no diff" true
+    (Oracle.diff_traces ~reference ~actual:(mk [ [| 1 |]; [| 2 |] ] [| 5 |]) = None);
+  (match Oracle.diff_traces ~reference ~actual:(mk [ [| 1 |]; [| 9 |] ] [| 5 |]) with
+  | Some (`Output (1, 0), 2, 9) -> ()
+  | _ -> Alcotest.fail "output divergence not localized");
+  (match Oracle.diff_traces ~reference ~actual:(mk [ [| 1 |]; [| 2 |] ] [| 6 |]) with
+  | Some (`State ("alu", 0), 5, 6) -> ()
+  | _ -> Alcotest.fail "state divergence not localized");
+  match Oracle.diff_traces ~reference ~actual:(mk [ [| 1 |] ] [| 5 |]) with
+  | Some (`Shape, _, _) -> ()
+  | _ -> Alcotest.fail "shape divergence not detected"
+
+(* --- Shrinking -------------------------------------------------------------------- *)
+
+(* A real failing configuration: the accumulator pipeline against a spec
+   that wrongly claims the pipeline echoes its input.  The repro predicate
+   re-runs the interpreter and replays the spec, exactly like a fuzz trial. *)
+let shrink_scenario () =
+  let desc, mc = accumulator () in
+  let spec =
+    {
+      Fuzz.spec_init = (fun () -> [||]);
+      spec_step = (fun _ phv -> Array.copy phv) (* wrong: pipeline outputs old state *);
+    }
+  in
+  let repro ~inputs ~mc =
+    inputs <> []
+    &&
+    let trace = Engine.run desc ~mc ~inputs in
+    Fuzz.compare_traces ~observed:[ 0 ] ~spec ~state_layout:[] ~trace () <> None
+  in
+  (desc, mc, repro)
+
+let test_shrink_reproduces_and_is_smaller () =
+  let _, mc, repro = shrink_scenario () in
+  let inputs = Traffic.phvs (Traffic.create ~seed:77 ~width:1 ~bits:8) 40 in
+  Alcotest.(check bool) "original reproduces" true (repro ~inputs ~mc);
+  let r = Shrink.minimize ~repro ~inputs ~mc () in
+  Alcotest.(check bool)
+    "shrunk still reproduces" true
+    (repro ~inputs:r.Shrink.sh_inputs ~mc:r.Shrink.sh_mc);
+  Alcotest.(check bool)
+    "no more PHVs than original" true
+    (List.length r.Shrink.sh_inputs <= List.length inputs);
+  Alcotest.(check bool)
+    "no more pairs than original" true
+    (Machine_code.cardinal r.Shrink.sh_mc <= Machine_code.cardinal mc);
+  (* the accumulator mismatches on the very first nonzero input *)
+  Alcotest.(check bool)
+    "trace shrunk aggressively" true
+    (List.length r.Shrink.sh_inputs <= 2);
+  List.iter
+    (fun name ->
+      Alcotest.(check bool) "essential pair exists in mc" true (Machine_code.mem mc name))
+    r.Shrink.sh_essential
+
+let test_shrink_respects_budget () =
+  let _, mc, repro = shrink_scenario () in
+  let inputs = Traffic.phvs (Traffic.create ~seed:77 ~width:1 ~bits:8) 40 in
+  let r = Shrink.minimize ~max_probes:5 ~repro ~inputs ~mc () in
+  Alcotest.(check bool) "probe budget honored" true (r.Shrink.sh_probes <= 5);
+  Alcotest.(check bool)
+    "still reproduces at tiny budget" true
+    (repro ~inputs:r.Shrink.sh_inputs ~mc:r.Shrink.sh_mc)
+
+(* --- Verify: budget exhaustion stays honest ----------------------------------------- *)
+
+let test_verify_inconclusive_on_compiled_benchmark () =
+  let bm = Druzhba_spec.Spec.find_exn "sampling" in
+  let compiled = Druzhba_spec.Spec.compile_exn ~bits:4 bm in
+  let module Codegen = Druzhba_compiler.Codegen in
+  let module Testing = Druzhba_compiler.Testing in
+  match
+    Verify.exhaustive_check ~max_states:2 ~desc:compiled.Codegen.c_desc ~mc:compiled.Codegen.c_mc
+      ~spec:(Testing.spec_of compiled) ~observed:(Testing.observed compiled)
+      ~state_layout:(Testing.state_layout compiled)
+      ~init:compiled.Codegen.c_layout.Codegen.l_init ()
+  with
+  | Verify.Inconclusive { explored } ->
+    Alcotest.(check bool) "reports explored states" true (explored >= 2)
+  | r -> Alcotest.failf "expected inconclusive, got %a" Verify.pp_result r
+
+(* --- Mismatch seed reporting --------------------------------------------------------- *)
+
+let test_mismatch_records_seed () =
+  let desc, mc = accumulator () in
+  let spec =
+    { Fuzz.spec_init = (fun () -> [||]); spec_step = (fun _ phv -> Array.copy phv) }
+  in
+  let seed = 98765 in
+  match
+    Fuzz.run_equivalence ~seed ~desc ~mc ~spec ~observed:[ 0 ] ~state_layout:[] ~n:50 ()
+  with
+  | Fuzz.Mismatch mm ->
+    Alcotest.(check int) "seed recorded" seed mm.Fuzz.mm_seed;
+    let message = Fmt.str "%a" Fuzz.pp_outcome (Fuzz.Mismatch mm) in
+    let mentions_seed =
+      let needle = Printf.sprintf "seed %d" seed in
+      let n = String.length needle and m = String.length message in
+      let rec scan i = i + n <= m && (String.sub message i n = needle || scan (i + 1)) in
+      scan 0
+    in
+    Alcotest.(check bool) "message mentions the seed" true mentions_seed
+  | o -> Alcotest.failf "expected mismatch, got %a" Fuzz.pp_outcome o
+
+(* --- Campaign end to end -------------------------------------------------------------- *)
+
+let test_campaign_reports_identical_across_jobs () =
+  let report jobs =
+    Campaign.to_json (Campaign.run (Campaign.config ~trials:10 ~jobs ~phvs:25 ()))
+  in
+  let j1 = report 1 and j2 = report 2 and j4 = report 4 in
+  Alcotest.(check string) "jobs 1 = jobs 2" j1 j2;
+  Alcotest.(check string) "jobs 1 = jobs 4" j1 j4
+
+let test_campaign_counts () =
+  let r = Campaign.run (Campaign.config ~trials:8 ~jobs:2 ~phvs:20 ()) in
+  Alcotest.(check int) "all trials accounted for" 8
+    (r.Campaign.r_agree + r.Campaign.r_divergent + r.Campaign.r_invalid);
+  Alcotest.(check int) "trials in index order" 8 (List.length r.Campaign.r_trials);
+  List.iteri
+    (fun i t -> Alcotest.(check int) "index" i t.Campaign.t_index)
+    r.Campaign.r_trials;
+  (* our own backends agree with each other *)
+  Alcotest.(check int) "no divergence in a healthy simulator" 0 r.Campaign.r_divergent
+
+let () =
+  Alcotest.run "campaign"
+    [
+      ( "prng",
+        [
+          Alcotest.test_case "derive is deterministic" `Quick test_derive_deterministic;
+          Alcotest.test_case "derive is well-spread" `Quick test_derive_distinct;
+        ] );
+      ( "runner",
+        [
+          Alcotest.test_case "parallel = sequential" `Quick test_runner_matches_sequential;
+          Alcotest.test_case "parallel_map keeps order" `Quick test_runner_parallel_map_order;
+        ] );
+      ( "oracle",
+        [
+          Alcotest.test_case "agrees on the accumulator" `Quick test_oracle_agrees_on_accumulator;
+          Alcotest.test_case "rejects invalid mc" `Quick test_oracle_invalid_mc;
+          Alcotest.test_case "diff localizes divergences" `Quick test_diff_traces_detects;
+          QCheck_alcotest.to_alcotest qcheck_backends_agree;
+        ] );
+      ( "shrink",
+        [
+          Alcotest.test_case "reproduces and is smaller" `Quick
+            test_shrink_reproduces_and_is_smaller;
+          Alcotest.test_case "honors the probe budget" `Quick test_shrink_respects_budget;
+        ] );
+      ( "verify",
+        [
+          Alcotest.test_case "inconclusive on compiled benchmark" `Quick
+            test_verify_inconclusive_on_compiled_benchmark;
+        ] );
+      ( "fuzz",
+        [ Alcotest.test_case "mismatch records its seed" `Quick test_mismatch_records_seed ] );
+      ( "campaign",
+        [
+          Alcotest.test_case "JSON identical across job counts" `Quick
+            test_campaign_reports_identical_across_jobs;
+          Alcotest.test_case "summary counts" `Quick test_campaign_counts;
+        ] );
+    ]

@@ -1,0 +1,126 @@
+(* Golden-trace regression fixtures.
+
+   For every Table-1 program we commit the expected output trace + final
+   state (test/golden/<name>.trace) of a fixed-seed simulation.  The test
+   replays each program and diffs against the fixture, so a semantic
+   regression anywhere in the stack — frontend, codegen, optimizer, either
+   execution backend — fails loudly with the program named.
+
+   Two layers of checking per benchmark:
+   1. the reference configuration (interpreter, unoptimized description)
+      must render byte-identically to the committed fixture;
+   2. all six (backend x optimization level) configurations must produce a
+      trace equal to the reference — the committed fixture therefore pins
+      every configuration.
+
+   Regenerating after an *intended* semantic change:
+
+     GOLDEN_UPDATE=$PWD/test/golden dune exec test/test_golden.exe
+
+   which rewrites the fixtures in the source tree instead of checking. *)
+
+module Machine_code = Druzhba_machine_code.Machine_code
+module Ir = Druzhba_pipeline.Ir
+module Compile = Druzhba_pipeline.Compile
+module Optimizer = Druzhba_optimizer.Optimizer
+module Engine = Druzhba_dsim.Engine
+module Compiled = Druzhba_dsim.Compiled
+module Traffic = Druzhba_dsim.Traffic
+module Trace = Druzhba_dsim.Trace
+module Spec = Druzhba_spec.Spec
+module Codegen = Druzhba_compiler.Codegen
+module Oracle = Druzhba_campaign.Oracle
+
+let golden_seed = 0x601d
+let golden_phvs = 10
+
+let reference_trace (bm : Spec.benchmark) =
+  let compiled = Spec.compile_exn bm in
+  let desc = compiled.Codegen.c_desc in
+  let mc = compiled.Codegen.c_mc in
+  let init = compiled.Codegen.c_layout.Codegen.l_init in
+  let inputs =
+    Traffic.phvs (Traffic.create ~seed:golden_seed ~width:bm.Spec.bm_width ~bits:32) golden_phvs
+  in
+  (compiled, Engine.run ~init desc ~mc ~inputs, inputs)
+
+let render (bm : Spec.benchmark) (trace : Trace.t) =
+  Fmt.str "# golden trace: %s (%dx%d, seed %d, %d PHVs)@.%a@." bm.Spec.bm_name bm.Spec.bm_depth
+    bm.Spec.bm_width golden_seed golden_phvs Trace.pp trace
+
+let fixture_path bm = Filename.concat "golden" (bm.Spec.bm_name ^ ".trace")
+
+let read_file path =
+  let ic = open_in_bin path in
+  let n = in_channel_length ic in
+  let s = really_input_string ic n in
+  close_in ic;
+  s
+
+(* --- Regeneration mode --------------------------------------------------------- *)
+
+let update_fixtures dir =
+  List.iter
+    (fun (bm : Spec.benchmark) ->
+      let _, trace, _ = reference_trace bm in
+      let path = Filename.concat dir (bm.Spec.bm_name ^ ".trace") in
+      let oc = open_out_bin path in
+      output_string oc (render bm trace);
+      close_out oc;
+      Printf.printf "wrote %s\n" path)
+    Spec.all
+
+(* --- Checks ---------------------------------------------------------------------- *)
+
+let test_fixture_matches (bm : Spec.benchmark) () =
+  let _, trace, _ = reference_trace bm in
+  let expected = read_file (fixture_path bm) in
+  Alcotest.(check string) (bm.Spec.bm_name ^ " matches its golden trace") expected
+    (render bm trace)
+
+let test_all_configs_match (bm : Spec.benchmark) () =
+  let compiled, reference, inputs = reference_trace bm in
+  let desc = compiled.Codegen.c_desc in
+  let mc = compiled.Codegen.c_mc in
+  let init = compiled.Codegen.c_layout.Codegen.l_init in
+  List.iter
+    (fun level ->
+      let optimized = Optimizer.apply ~level ~mc desc in
+      let closure = Compile.compile optimized ~mc in
+      List.iter
+        (fun (backend_name, trace) ->
+          if not (Trace.equal reference trace) then
+            match Oracle.diff_traces ~reference ~actual:trace with
+            | Some (kind, expected, actual) ->
+              let where =
+                match kind with
+                | `Output (i, c) -> Printf.sprintf "output phv %d container %d" i c
+                | `State (alu, slot) -> Printf.sprintf "state %s[%d]" alu slot
+                | `Shape -> "trace shape"
+              in
+              Alcotest.failf "%s: %s@%s diverges from golden reference at %s (%d vs %d)"
+                bm.Spec.bm_name backend_name (Optimizer.level_name level) where expected actual
+            | None -> Alcotest.failf "%s: traces differ only in inputs?" bm.Spec.bm_name)
+        [
+          ("interpreter", Engine.run ~init optimized ~mc ~inputs);
+          ("closures", Compiled.run_compiled ~init closure ~inputs);
+        ])
+    Oracle.all_levels
+
+let () =
+  match Sys.getenv_opt "GOLDEN_UPDATE" with
+  | Some dir -> update_fixtures dir
+  | None ->
+    Alcotest.run "golden"
+      [
+        ( "fixtures",
+          List.map
+            (fun (bm : Spec.benchmark) ->
+              Alcotest.test_case bm.Spec.bm_name `Quick (test_fixture_matches bm))
+            Spec.all );
+        ( "all configurations",
+          List.map
+            (fun (bm : Spec.benchmark) ->
+              Alcotest.test_case bm.Spec.bm_name `Quick (test_all_configs_match bm))
+            Spec.all );
+      ]
