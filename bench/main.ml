@@ -46,9 +46,14 @@ let table1_tests () =
         List.map
           (fun (level, d) ->
             let c = Compile.compile d ~mc in
+            (* engine and output buffer preallocated outside the timed body:
+               the benchmark measures the zero-allocation steady-state tick
+               path, not construction or trace freezing *)
+            let t = Compiled.create c in
+            let buf = Trace.Buffer.create ~width:bm.Spec.bm_width ~capacity:bench_phvs in
             Test.make
               ~name:(Printf.sprintf "%s/%s" bm.Spec.bm_name level)
-              (Staged.stage (fun () -> ignore (Compiled.run_compiled ~init c ~inputs))))
+              (Staged.stage (fun () -> Compiled.run_into ~init t ~inputs buf)))
           [ ("unopt", desc); ("scc", v2); ("scc+inline", v3) ])
       Spec.all
   in
@@ -161,8 +166,7 @@ let run_drmt_bench () =
       let cfg = Drmt.Scheduler.config ~processors ~match_capacity:2 ~action_capacity:4 () in
       match Drmt.Scheduler.schedule cfg dag with
       | exception Drmt.Scheduler.Infeasible why ->
-        Printf.printf "%-6d %s
-" processors ("infeasible at line rate: " ^ why)
+        Printf.printf "%-6d %s\n" processors ("infeasible at line rate: " ^ why)
       | sched ->
         let packets = 20_000 in
         let t0 = Unix.gettimeofday () in
@@ -175,6 +179,141 @@ let run_drmt_bench () =
           s.Drmt.Sim.st_peak_match_per_cycle s.Drmt.Sim.st_peak_match_per_processor (dt *. 1000.))
     [ 1; 2; 4; 8 ]
 
+(* --- JSON perf trajectory ------------------------------------------------------------ *)
+
+(* Machine-readable benchmark report (BENCH_pr3.json): per Table-1 program
+   and optimization level, the steady-state tick cost on the compiled
+   substrate (ns/PHV, PHVs/sec) and the steady-state allocation rate
+   (Gc.allocated_bytes per PHV — the zero-allocation engine must keep this
+   at ~0).  Each level also carries a cross-backend agreement bit: the
+   Engine and Compiled traces on a fixed-seed workload must be equal, so CI
+   can fail the build on a divergence.  Future PRs diff their own report
+   against this file to track the perf trajectory. *)
+
+type level_sample = {
+  ls_level : string;
+  ls_ns_per_phv : float;
+  ls_phvs_per_sec : float;
+  ls_bytes_per_phv : float;
+  ls_agree : bool; (* Engine trace = Compiled trace on the check workload *)
+}
+
+type program_sample = {
+  ps_program : string;
+  ps_depth : int;
+  ps_width : int;
+  ps_alu : string;
+  ps_levels : level_sample list;
+}
+
+let json_check_phvs = 64
+
+let measure_program ~phvs (bm : Spec.benchmark) : program_sample =
+  let compiled = Spec.compile_exn bm in
+  let mc = compiled.Compiler.Codegen.c_mc in
+  let desc = compiled.Compiler.Codegen.c_desc in
+  let init = compiled.Compiler.Codegen.c_layout.Compiler.Codegen.l_init in
+  let inputs = Traffic.phvs (Traffic.create ~seed:0xD52ba ~width:bm.Spec.bm_width ~bits:32) phvs in
+  let check_inputs =
+    Traffic.phvs (Traffic.create ~seed:0x601d ~width:bm.Spec.bm_width ~bits:32) json_check_phvs
+  in
+  let v2 = Optimizer.scc_propagate ~mc desc in
+  let v3 = Optimizer.inline_functions v2 in
+  let buf = Trace.Buffer.create ~width:bm.Spec.bm_width ~capacity:phvs in
+  let levels =
+    List.map
+      (fun (level, d) ->
+        let c = Compile.compile d ~mc in
+        let t = Compiled.create c in
+        (* warm-up run, then one timed + allocation-counted run *)
+        Compiled.run_into ~init t ~inputs buf;
+        let a0 = Gc.allocated_bytes () in
+        let t0 = Unix.gettimeofday () in
+        Compiled.run_into ~init t ~inputs buf;
+        let dt = Unix.gettimeofday () -. t0 in
+        let a1 = Gc.allocated_bytes () in
+        let n = float_of_int phvs in
+        let engine_trace = Engine.run ~init d ~mc ~inputs:check_inputs in
+        let compiled_trace = Compiled.run_compiled ~init c ~inputs:check_inputs in
+        {
+          ls_level = level;
+          ls_ns_per_phv = dt *. 1e9 /. n;
+          ls_phvs_per_sec = (if dt > 0. then n /. dt else infinity);
+          ls_bytes_per_phv = (a1 -. a0) /. n;
+          ls_agree = Trace.equal engine_trace compiled_trace;
+        })
+      [ ("unopt", desc); ("scc", v2); ("scc+inline", v3) ]
+  in
+  {
+    ps_program = bm.Spec.bm_name;
+    ps_depth = bm.Spec.bm_depth;
+    ps_width = bm.Spec.bm_width;
+    ps_alu = bm.Spec.bm_stateful;
+    ps_levels = levels;
+  }
+
+let render_json ~quick ~phvs (samples : program_sample list) =
+  let b = Buffer.create 4096 in
+  let bpf fmt = Printf.bprintf b fmt in
+  bpf "{\n";
+  bpf "  \"schema\": \"druzhba-bench/1\",\n";
+  bpf "  \"pr\": 3,\n";
+  bpf "  \"quick\": %b,\n" quick;
+  bpf "  \"phvs\": %d,\n" phvs;
+  bpf "  \"check_phvs\": %d,\n" json_check_phvs;
+  bpf "  \"programs\": [\n";
+  List.iteri
+    (fun i ps ->
+      bpf "    {\n";
+      bpf "      \"program\": \"%s\", \"depth\": %d, \"width\": %d, \"alu\": \"%s\",\n"
+        ps.ps_program ps.ps_depth ps.ps_width ps.ps_alu;
+      bpf "      \"levels\": [\n";
+      List.iteri
+        (fun j ls ->
+          bpf
+            "        {\"level\": \"%s\", \"ns_per_phv\": %.1f, \"phvs_per_sec\": %.0f, \
+             \"bytes_per_phv\": %.2f, \"engine_compiled_agree\": %b}%s\n"
+            ls.ls_level ls.ls_ns_per_phv ls.ls_phvs_per_sec ls.ls_bytes_per_phv ls.ls_agree
+            (if j = 2 then "" else ","))
+        ps.ps_levels;
+      bpf "      ]\n";
+      bpf "    }%s\n" (if i = List.length samples - 1 then "" else ","))
+    samples;
+  bpf "  ],\n";
+  let all_agree =
+    List.for_all (fun ps -> List.for_all (fun ls -> ls.ls_agree) ps.ps_levels) samples
+  in
+  bpf "  \"all_agree\": %b\n" all_agree;
+  bpf "}\n";
+  (Buffer.contents b, all_agree)
+
+let run_json_report ~quick ~path =
+  let phvs = if quick then 5_000 else 50_000 in
+  Printf.printf "perf trajectory: %d PHVs/run, compiled substrate, steady-state tick path\n" phvs;
+  Printf.printf "%-18s %-12s %12s %14s %14s %8s\n" "program" "level" "ns/PHV" "PHVs/sec"
+    "bytes/PHV" "agree";
+  let samples =
+    List.map
+      (fun bm ->
+        let ps = measure_program ~phvs bm in
+        List.iter
+          (fun ls ->
+            Printf.printf "%-18s %-12s %12.1f %14.0f %14.2f %8s\n" ps.ps_program ls.ls_level
+              ls.ls_ns_per_phv ls.ls_phvs_per_sec ls.ls_bytes_per_phv
+              (if ls.ls_agree then "yes" else "NO"))
+          ps.ps_levels;
+        ps)
+      Spec.all
+  in
+  let json, all_agree = render_json ~quick ~phvs samples in
+  let oc = open_out path in
+  output_string oc json;
+  close_out oc;
+  Printf.printf "\nwrote %s\n" path;
+  if not all_agree then
+    Printf.printf "DIVERGENCE: at least one program's Engine and Compiled traces differ\n";
+  all_agree
+
 (* --- main --------------------------------------------------------------------------- *)
 
 let section title =
@@ -182,6 +321,13 @@ let section title =
 
 let () =
   let quick = Array.exists (( = ) "--quick") Sys.argv in
+  if Array.exists (( = ) "--json") Sys.argv then begin
+    (* JSON trajectory mode: only the machine-readable report (plus the
+       Engine/Compiled agreement gate); exits non-zero on divergence *)
+    section "Perf trajectory (BENCH_pr3.json)";
+    if not (run_json_report ~quick ~path:"BENCH_pr3.json") then exit 1
+  end
+  else begin
   let phvs = if quick then 5_000 else 50_000 in
 
   section "1. Bechamel microbenchmarks (compiled descriptions)";
@@ -221,3 +367,4 @@ let () =
   run_drmt_bench ();
 
   Printf.printf "\ndone.\n"
+  end

@@ -64,9 +64,26 @@ let pp_outcome ppf = function
 
 let outcome_agrees = function Agree _ -> true | Invalid_mc _ | Divergence _ -> false
 
+(* First divergence in the final state vectors (missing state in [actual]
+   reads as min_int, like the fuzz harness). *)
+let diff_states ~(reference : (string * int array) list) ~(actual : (string * int array) list) :
+    ([ `Output of int * int | `State of string * int | `Shape ] * int * int) option =
+  List.find_map
+    (fun (alu, expected) ->
+      let got = match List.assoc_opt alu actual with Some v -> v | None -> [| min_int |] in
+      let n = Array.length expected in
+      let rec scan slot =
+        if slot >= n then None
+        else
+          let actual_v = if slot < Array.length got then got.(slot) else min_int in
+          if expected.(slot) <> actual_v then Some (`State (alu, slot), expected.(slot), actual_v)
+          else scan (slot + 1)
+      in
+      scan 0)
+    reference
+
 (* First point where [actual] departs from [reference].  Output containers
-   are scanned in trace order, then final state vectors (missing state in
-   [actual] reads as min_int, like the fuzz harness). *)
+   are scanned in trace order, then final state vectors. *)
 let diff_traces ~(reference : Trace.t) ~(actual : Trace.t) :
     ([ `Output of int * int | `State of string * int | `Shape ] * int * int) option =
   if List.length reference.Trace.outputs <> List.length actual.Trace.outputs then
@@ -88,33 +105,51 @@ let diff_traces ~(reference : Trace.t) ~(actual : Trace.t) :
     let output_diff = diff_outputs 0 reference.Trace.outputs actual.Trace.outputs in
     match output_diff with
     | Some _ as d -> d
-    | None ->
-      List.find_map
-        (fun (alu, expected) ->
-          let got =
-            match Trace.find_state actual alu with Some v -> v | None -> [| min_int |]
-          in
-          let n = Array.length expected in
-          let rec scan slot =
-            if slot >= n then None
-            else
-              let actual_v = if slot < Array.length got then got.(slot) else min_int in
-              if expected.(slot) <> actual_v then
-                Some (`State (alu, slot), expected.(slot), actual_v)
-              else scan (slot + 1)
-          in
-          scan 0)
-        reference.Trace.final_state
+    | None -> diff_states ~reference:reference.Trace.final_state ~actual:actual.Trace.final_state
+  end
+
+(* As {!diff_traces}, but over the engines' preallocated output buffers —
+   the oracle's hot path never freezes a {!Trace.t}. *)
+let diff_runs ~(ref_buf : Trace.Buffer.t) ~ref_state ~(act_buf : Trace.Buffer.t) ~act_state :
+    ([ `Output of int * int | `State of string * int | `Shape ] * int * int) option =
+  let n = Trace.Buffer.length ref_buf in
+  if Trace.Buffer.length act_buf <> n then Some (`Shape, 0, 0)
+  else begin
+    let rec rows i =
+      if i >= n then None
+      else begin
+        let expected = Trace.Buffer.row ref_buf i and got = Trace.Buffer.row act_buf i in
+        let width = min (Array.length expected) (Array.length got) in
+        let rec scan c =
+          if c >= width then rows (i + 1)
+          else if expected.(c) <> got.(c) then Some (`Output (i, c), expected.(c), got.(c))
+          else scan (c + 1)
+        in
+        scan 0
+      end
+    in
+    match rows 0 with
+    | Some _ as d -> d
+    | None -> diff_states ~reference:ref_state ~actual:act_state
   end
 
 (* Runs [mc] on [inputs] in all (backend x level) configurations and diffs
    each against the reference.  The per-level optimized descriptions are
-   shared between the two backends, so the optimizer runs once per level. *)
+   shared between the two backends, so the optimizer runs once per level;
+   all six runs stream through two preallocated output buffers (reference +
+   candidate), so the simulation hot loop never allocates per PHV and no
+   intermediate trace is materialized. *)
 let check ?(init = []) ~(desc : Ir.t) ~mc ~inputs () : outcome =
   match Machine_code.validate ~domains:(Ir.control_domains desc) mc with
   | Error violations -> Invalid_mc violations
   | Ok () -> (
-    let reference = Engine.run ~init desc ~mc ~inputs in
+    let capacity = List.length inputs in
+    let width = desc.Ir.d_width in
+    let ref_buf = Trace.Buffer.create ~width ~capacity in
+    let act_buf = Trace.Buffer.create ~width ~capacity in
+    let ref_engine = Engine.create ~init desc ~mc in
+    Engine.run_into ref_engine ~inputs ref_buf;
+    let ref_state = Engine.current_state ref_engine in
     let divergence = ref None in
     (try
        List.iter
@@ -124,12 +159,18 @@ let check ?(init = []) ~(desc : Ir.t) ~mc ~inputs () : outcome =
            List.iter
              (fun backend ->
                if not (backend = Interpreter && level = Optimizer.Unoptimized) then begin
-                 let actual =
+                 let act_state =
                    match backend with
-                   | Interpreter -> Engine.run ~init optimized ~mc ~inputs
-                   | Closures -> Compiled.run_compiled ~init compiled ~inputs
+                   | Interpreter ->
+                     let engine = Engine.create ~init optimized ~mc in
+                     Engine.run_into engine ~inputs act_buf;
+                     Engine.current_state engine
+                   | Closures ->
+                     let t = Compiled.create compiled in
+                     Compiled.run_into ~init t ~inputs act_buf;
+                     Compiled.current_state t
                  in
-                 match diff_traces ~reference ~actual with
+                 match diff_runs ~ref_buf ~ref_state ~act_buf ~act_state with
                  | None -> ()
                  | Some (dv_kind, dv_expected, dv_actual) ->
                    divergence :=

@@ -32,7 +32,8 @@ type t = {
 let snapshot_of engine ~tick ~output =
   {
     snap_tick = tick;
-    snap_regs = Array.map (Option.map Phv.copy) engine.Engine.regs;
+    (* [Engine.boundaries] already returns fresh copies of the rows *)
+    snap_regs = Engine.boundaries engine;
     snap_state = Engine.current_state engine;
     snap_output = Option.map Phv.copy output;
   }

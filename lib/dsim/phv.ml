@@ -24,7 +24,21 @@ let set (t : t) k v = t.(k) <- v
 
 let random prng ~width ~bits : t = Array.init width (fun _ -> Prng.bits prng bits)
 
-let equal (a : t) (b : t) = a = b
+(* Monomorphic int-array comparison: [Phv.equal] sits on the differential
+   oracle's hot path, where the polymorphic [=] would walk both arrays
+   through the generic comparator on every call. *)
+let equal (a : t) (b : t) =
+  let n = Array.length a in
+  n = Array.length b
+  &&
+  let rec go i =
+    i >= n || (Array.unsafe_get a i = Array.unsafe_get b i && go (i + 1))
+  in
+  go 0
+
+(* Copies [src] into [dst] (which must be at least as wide) without
+   allocating. *)
+let blit (src : t) (dst : t) = Array.blit src 0 dst 0 (Array.length src)
 
 let pp ppf (t : t) =
   Fmt.pf ppf "[%a]" Fmt.(array ~sep:(any "; ") int) t

@@ -29,10 +29,11 @@ let find_opt (t : t) name = Hashtbl.find_opt t name
 
 exception Missing of string
 
+(* [Hashtbl.find] rather than [find_opt]: this is the per-Mc-node lookup of
+   the unoptimized descriptions' hot loop, and the option wrapper would be a
+   fresh block on every call. *)
 let find (t : t) name =
-  match Hashtbl.find_opt t name with
-  | Some v -> v
-  | None -> raise (Missing name)
+  match Hashtbl.find t name with v -> v | exception Not_found -> raise (Missing name)
 
 let remove (t : t) name = Hashtbl.remove t name
 

@@ -101,25 +101,45 @@ let rec exec_latched ctx ~phv ~read ~write env (stmts : Ir.stmt list) =
    operands are the registered (pre-execution) values, so e.g. both updates
    of the pair atom read the same snapshot regardless of statement order.
    Reads go through a snapshot while writes land in the live vector. *)
-let run_alu ctx (alu : Ir.alu) ~phv ~state =
-  let snapshot = if Array.length state = 0 then state else Array.copy state in
+(* As {!run_alu} below, but latches the state reads into the caller-provided
+   [snapshot] scratch (same length as [state]) instead of allocating a fresh
+   copy — the tick engine preallocates one snapshot per stateful ALU so the
+   steady-state loop stays allocation-free. *)
+let run_alu_into ctx (alu : Ir.alu) ~phv ~state ~snapshot =
+  let n = Array.length state in
+  if n > 0 then Array.blit state 0 snapshot 0 n;
   let default = eval ctx ~phv ~state:snapshot [] alu.Ir.a_default_output in
   match exec_latched ctx ~phv ~read:snapshot ~write:state [] alu.Ir.a_body with
   | Some v -> v
   | None -> default
 
-(* Applies a named helper to already-evaluated argument values.  If the
-   helper still has a trailing "ctrl" parameter (unoptimized description),
-   the control value is fetched from machine code under the helper's own
-   name.  Used by the simulator to run output muxes. *)
-let apply_output_mux ctx name ~args =
+let run_alu ctx (alu : Ir.alu) ~phv ~state =
+  let snapshot = if Array.length state = 0 then state else Array.make (Array.length state) 0 in
+  run_alu_into ctx alu ~phv ~state ~snapshot
+
+(* Applies a named helper to already-evaluated argument values laid out in a
+   scratch array ([stateless outs; stateful outs; new state_0s; old container
+   value] — the engine reuses one such array per stage).  Parameters bind
+   positionally; if the helper still has a trailing "ctrl" parameter
+   (unoptimized description), the control value is fetched from machine code
+   under the helper's own name.  Used by the simulator to run output muxes. *)
+let apply_output_mux ctx name ~(args : int array) ~n_args =
   let h =
     match Hashtbl.find_opt ctx.helpers name with
     | Some h -> h
     | None -> invalid_arg (Printf.sprintf "Interp: unknown output mux '%s'" name)
   in
-  let args =
-    if List.mem "ctrl" h.h_params then args @ [ Machine_code.find ctx.mc name ] else args
+  let env, bound =
+    List.fold_left
+      (fun (env, i) p ->
+        let v =
+          if i < n_args then args.(i)
+          else if String.equal p "ctrl" then Machine_code.find ctx.mc name
+          else invalid_arg (Printf.sprintf "Interp: output mux '%s' has too many parameters" name)
+        in
+        ((p, v) :: env, i + 1))
+      ([], 0) h.h_params
   in
-  let env = List.fold_left2 (fun acc p v -> (p, v) :: acc) [] h.h_params args in
+  if bound < n_args then
+    invalid_arg (Printf.sprintf "Interp: output mux '%s' has too few parameters" name);
   eval ctx ~phv:[||] ~state:[||] env h.h_body

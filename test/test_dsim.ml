@@ -57,7 +57,51 @@ let test_traffic_width_and_bits () =
       Array.iter (fun v -> Alcotest.(check bool) "in range" true (v >= 0 && v < 64)) phv)
     phvs
 
+(* --- Phv ------------------------------------------------------------------------ *)
+
+let test_phv_equal_monomorphic () =
+  Alcotest.(check bool) "equal" true (Phv.equal [| 1; 2; 3 |] [| 1; 2; 3 |]);
+  Alcotest.(check bool) "differs in last" false (Phv.equal [| 1; 2; 3 |] [| 1; 2; 4 |]);
+  Alcotest.(check bool) "length mismatch" false (Phv.equal [| 1; 2 |] [| 1; 2; 3 |]);
+  Alcotest.(check bool) "empty" true (Phv.equal [||] [||])
+
+let test_phv_blit () =
+  let src = [| 7; 8; 9 |] in
+  let dst = Phv.create ~width:3 in
+  Phv.blit src dst;
+  Alcotest.(check bool) "copied" true (Phv.equal src dst);
+  src.(0) <- 100;
+  Alcotest.(check int) "no aliasing" 7 (Phv.get dst 0)
+
 (* --- Trace ---------------------------------------------------------------------- *)
+
+let test_trace_buffer () =
+  (* capacity 2 forces doubling growth across 5 pushes *)
+  let buf = Trace.Buffer.create ~width:2 ~capacity:2 in
+  Alcotest.(check int) "width" 2 (Trace.Buffer.width buf);
+  let scratch = [| 0; 0; 0; 0 |] in
+  for i = 1 to 5 do
+    scratch.(2) <- (10 * i) + 1;
+    scratch.(3) <- (10 * i) + 2;
+    Trace.Buffer.push buf scratch ~off:2
+  done;
+  Alcotest.(check int) "length" 5 (Trace.Buffer.length buf);
+  Alcotest.(check (list int)) "row 3 (borrowed)" [ 41; 42 ]
+    (Array.to_list (Trace.Buffer.row buf 3));
+  let frozen = Trace.Buffer.contents buf in
+  Alcotest.(check int) "contents length" 5 (List.length frozen);
+  Alcotest.(check (list int)) "first row" [ 11; 12 ] (Array.to_list (List.hd frozen));
+  (* frozen rows are copies: clearing and refilling must not disturb them *)
+  Trace.Buffer.clear buf;
+  Alcotest.(check int) "cleared" 0 (Trace.Buffer.length buf);
+  scratch.(2) <- 999;
+  Trace.Buffer.push buf scratch ~off:2;
+  Alcotest.(check (list int)) "frozen rows unaffected" [ 11; 12 ]
+    (Array.to_list (List.hd frozen));
+  Alcotest.(check bool) "row bounds checked" true
+    (match Trace.Buffer.row buf 1 with
+    | exception Invalid_argument _ -> true
+    | _ -> false)
 
 let test_trace_pp_smoke () =
   let desc, mc = accumulator () in
@@ -260,8 +304,14 @@ let () =
           Alcotest.test_case "deterministic" `Quick test_traffic_deterministic;
           Alcotest.test_case "width and bits" `Quick test_traffic_width_and_bits;
         ] );
+      ( "phv",
+        [
+          Alcotest.test_case "monomorphic equal" `Quick test_phv_equal_monomorphic;
+          Alcotest.test_case "blit" `Quick test_phv_blit;
+        ] );
       ( "trace",
         [
+          Alcotest.test_case "buffer push/grow/freeze" `Quick test_trace_buffer;
           Alcotest.test_case "pp smoke" `Quick test_trace_pp_smoke;
           Alcotest.test_case "init state" `Quick test_engine_init_state;
         ] );
