@@ -64,15 +64,37 @@ let level_arg =
     & opt (enum levels) Optimizer.Scc
     & info [ "optimize" ] ~docv:"LEVEL" ~doc:"Optimization level: unoptimized, scc, scc-inline.")
 
+let atom_names = String.concat ", " Atoms.all_names
+
+(* Exit-code discipline: 2 for usage errors (bad flags, unparseable
+   inputs), 1 for genuine findings (divergences, lint errors, fuzz
+   failures).  Everything user-supplied is parsed through the [Result]
+   frontends so a malformed file is a diagnostic, not a backtrace. *)
+let usage_error fmt =
+  Printf.ksprintf
+    (fun msg ->
+      prerr_endline ("druzhba: " ^ msg);
+      exit 2)
+    fmt
+
 let resolve_alu spec =
   match Atoms.find spec with
   | Some alu -> alu
   | None ->
     if Sys.file_exists spec then
-      Alu_dsl.Parser.parse ~name:(Filename.remove_extension (Filename.basename spec)) (read_file spec)
-    else failwith (Printf.sprintf "unknown atom and no such file: %s" spec)
+      match
+        Alu_dsl.Parser.parse_result
+          ~name:(Filename.remove_extension (Filename.basename spec))
+          (read_file spec)
+      with
+      | Ok alu -> alu
+      | Error e -> usage_error "%s: %s" spec e
+    else usage_error "unknown atom and no such file: %s (built-ins: %s)" spec atom_names
 
-let atom_names = String.concat ", " Atoms.all_names
+let parse_mc_file path =
+  match Machine_code.parse (read_file path) with
+  | Ok mc -> mc
+  | Error e -> usage_error "%s: %s" path e
 
 (* --- dgen ------------------------------------------------------------------------ *)
 
@@ -87,10 +109,7 @@ let dgen_cmd =
         (* no machine code given: optimize against a random program *)
         let mc = Fuzz.random_mc (Prng.create seed) desc in
         Optimizer.apply ~level ~mc desc
-      | Some path, level -> (
-        match Machine_code.parse (read_file path) with
-        | Ok mc -> Optimizer.apply ~level ~mc desc
-        | Error e -> failwith e)
+      | Some path, level -> Optimizer.apply ~level ~mc:(parse_mc_file path) desc
     in
     print_string (Emit.to_string optimized);
     Printf.printf "\n(* %d IR nodes, %d helpers, %d machine-code controls *)\n"
@@ -112,8 +131,7 @@ let dsim_cmd =
     let stateful = resolve_alu stateful and stateless = resolve_alu stateless in
     let mc =
       match mc_file with
-      | Some path -> (
-        match Machine_code.parse (read_file path) with Ok mc -> mc | Error e -> failwith e)
+      | Some path -> parse_mc_file path
       | None ->
         let desc = Dgen.generate (Dgen.config ~depth ~width ~bits ()) ~stateful ~stateless in
         Fuzz.random_mc (Prng.create (seed + 1)) desc
@@ -159,11 +177,19 @@ let load_program_and_target spec depth width bits stateful stateless =
   | Some bm -> (Spec.program bm, Spec.target ~bits bm)
   | None ->
     if Sys.file_exists spec then
-      ( Compiler.Frontend.parse ~name:(Filename.remove_extension (Filename.basename spec))
-          (read_file spec),
+      let program =
+        match
+          Compiler.Frontend.parse_result
+            ~name:(Filename.remove_extension (Filename.basename spec))
+            (read_file spec)
+        with
+        | Ok program -> program
+        | Error e -> usage_error "%s: %s" spec e
+      in
+      ( program,
         Compiler.Codegen.target ~depth ~width ~bits ~stateful:(resolve_alu stateful)
           ~stateless:(resolve_alu stateless) () )
-    else failwith (Printf.sprintf "no such benchmark or file: %s" spec)
+    else usage_error "no such benchmark or file: %s" spec
 
 let compile_cmd =
   let run program depth width bits stateful stateless =
@@ -193,8 +219,13 @@ let compile_cmd =
 
 let lint_cmd =
   let run depth width bits stateful stateless mc_file program benchmarks json strict =
+    (* lint keeps duplicate pairs visible instead of rejecting them: the
+       tolerant [parse_pairs] feeds the duplicate-pair rule, and the
+       last-wins [of_list] view is what the semantic rules check *)
     let parse_mc path =
-      match Machine_code.parse (read_file path) with Ok mc -> mc | Error e -> failwith e
+      match Machine_code.parse_pairs (read_file path) with
+      | Ok pairs -> (Machine_code.of_list pairs, pairs)
+      | Error e -> usage_error "%s: %s" path e
     in
     let targets =
       if benchmarks then
@@ -216,18 +247,20 @@ let lint_cmd =
           | Ok compiled ->
             (* --machine-code replaces the compiler's own output, so a
                third-party program can be checked against this pipeline *)
-            let mc =
+            let mc, pairs =
               match mc_file with
               | Some path -> parse_mc path
-              | None -> compiled.Compiler.Codegen.c_mc
+              | None -> (compiled.Compiler.Codegen.c_mc, [])
             in
-            [ (program.Compiler.Ast.name, Lint.check ~mc compiled.Compiler.Codegen.c_desc) ])
+            [ (program.Compiler.Ast.name, Lint.check ~mc ~pairs compiled.Compiler.Codegen.c_desc) ])
         | None ->
           let stateful = resolve_alu stateful and stateless = resolve_alu stateless in
           let desc = Dgen.generate (Dgen.config ~depth ~width ~bits ()) ~stateful ~stateless in
           let findings =
             match mc_file with
-            | Some path -> Lint.check ~mc:(parse_mc path) desc
+            | Some path ->
+              let mc, pairs = parse_mc path in
+              Lint.check ~mc ~pairs desc
             | None -> Lint.check desc (* description-only rules *)
           in
           [ ("pipeline", findings) ]
@@ -359,28 +392,58 @@ let fuzz_cmd =
 (* --- campaign ----------------------------------------------------------------------- *)
 
 let campaign_cmd =
-  let run trials jobs seed phvs no_shrink max_probes json out =
-    let cfg =
-      Campaign.config ~trials ~jobs:(resolve_jobs jobs) ~master_seed:seed ~phvs
-        ~shrink:(not no_shrink) ~max_probes ()
+  let run trials jobs seed phvs no_shrink max_probes fuel timeout max_failures faults fault_runs
+      faults_per_run checkpoint resume checkpoint_every stop_after json out =
+    if resume && checkpoint = None then usage_error "--resume requires --checkpoint FILE";
+    (* --trial-fuel is exact ticks; --trial-timeout converts seconds at the
+       fixed nominal tick rate so the watchdog stays deterministic *)
+    let fuel =
+      match (fuel, timeout) with
+      | Some _, Some _ -> usage_error "--trial-fuel and --trial-timeout are mutually exclusive"
+      | Some f, None -> Some f
+      | None, Some secs -> Some (secs * Budget.nominal_ticks_per_second)
+      | None, None -> None
     in
-    let report = Campaign.run cfg in
-    (match out with
-    | Some path ->
-      let oc = open_out path in
-      output_string oc (Campaign.to_json report);
-      output_char oc '\n';
-      close_out oc
-    | None -> ());
-    if json then print_string (Campaign.to_json report ^ "\n")
-    else Fmt.pr "%a@." Campaign.pp report;
-    if report.Campaign.r_divergent > 0 || report.Campaign.r_invalid > 0 then exit 1
+    let faults_cfg =
+      if faults then Some (Campaign.fault_config ~runs:fault_runs ~per_run:faults_per_run ())
+      else None
+    in
+    let cfg =
+      try
+        Campaign.config ~trials ~jobs:(resolve_jobs jobs) ~master_seed:seed ~phvs
+          ~shrink:(not no_shrink) ~max_probes ?fuel ?max_failures ?faults:faults_cfg
+          ~checkpoint_every ()
+      with Invalid_argument msg -> usage_error "%s" msg
+    in
+    match Campaign.run_resumable ?checkpoint ~resume ?stop_after cfg with
+    | exception Campaign.Resume_error msg -> usage_error "%s" msg
+    | None ->
+      (* --stop-after simulated a kill; the checkpoint holds the progress *)
+      Fmt.pr "campaign stopped by --stop-after; continue with --checkpoint %s --resume@."
+        (Option.value checkpoint ~default:"FILE")
+    | Some report ->
+      (match out with
+      | Some path ->
+        let oc = open_out path in
+        output_string oc (Campaign.to_json report);
+        output_char oc '\n';
+        close_out oc
+      | None -> ());
+      if json then print_string (Campaign.to_json report ^ "\n")
+      else Fmt.pr "%a@." Campaign.pp report;
+      if
+        report.Campaign.r_divergent > 0 || report.Campaign.r_invalid > 0
+        || report.Campaign.r_crashed > 0
+        || report.Campaign.r_fault_flagged > 0
+      then exit 1
   in
   let doc =
     "Run a multicore differential fuzz campaign: random machine code on random small pipelines, \
      executed on both simulation backends (interpreter and closure-compiled) at all three \
-     optimization levels; cross-backend divergences are shrunk and reported.  The JSON report is \
-     byte-identical for a fixed master seed regardless of --jobs."
+     optimization levels; cross-backend divergences are shrunk and reported.  Trials are \
+     crash-contained and watchdogged (--trial-fuel/--trial-timeout); --max-failures stops early; \
+     --checkpoint/--resume survive kills; --faults adds hardware fault injection.  The JSON \
+     report is byte-identical for a fixed master seed regardless of --jobs."
   in
   Cmd.v
     (Cmd.info "campaign" ~doc)
@@ -393,6 +456,55 @@ let campaign_cmd =
       $ Arg.(
           value & opt int 400
           & info [ "max-probes" ] ~docv:"N" ~doc:"Shrinking budget (oracle re-runs).")
+      $ Arg.(
+          value
+          & opt (some int) None
+          & info [ "trial-fuel" ] ~docv:"TICKS"
+              ~doc:"Per-trial watchdog budget in simulation ticks (deterministic).")
+      $ Arg.(
+          value
+          & opt (some int) None
+          & info [ "trial-timeout" ] ~docv:"SECONDS"
+              ~doc:
+                "Per-trial watchdog as approximate seconds, converted to ticks at a fixed \
+                 nominal rate (so reports stay machine-independent).")
+      $ Arg.(
+          value
+          & opt (some int) None
+          & info [ "max-failures" ] ~docv:"N"
+              ~doc:"Circuit breaker: stop after the $(docv)th failing trial (partial report).")
+      $ Arg.(
+          value & flag
+          & info [ "faults" ]
+              ~doc:
+                "Fault-injection mode: stress every agreeing trial under seeded bit flips, \
+                 stuck-at state slots and dropped PHVs; both substrates must agree under faults \
+                 and fault-free replays must stay pristine.")
+      $ Arg.(
+          value & opt int 8
+          & info [ "fault-runs" ] ~docv:"N" ~doc:"Fault scenarios per trial (with --faults).")
+      $ Arg.(
+          value & opt int 2
+          & info [ "faults-per-run" ] ~docv:"N" ~doc:"Faults drawn per scenario (with --faults).")
+      $ Arg.(
+          value
+          & opt (some string) None
+          & info [ "checkpoint" ] ~docv:"FILE"
+              ~doc:"Persist campaign progress to $(docv) after every block of trials.")
+      $ Arg.(
+          value & flag
+          & info [ "resume" ]
+              ~doc:"Continue a killed campaign from --checkpoint; the final report is \
+                    byte-identical to an uninterrupted run.")
+      $ Arg.(
+          value & opt int 64
+          & info [ "checkpoint-every" ] ~docv:"N"
+              ~doc:"Trials per execution block (checkpoint granularity).")
+      $ Arg.(
+          value
+          & opt (some int) None
+          & info [ "stop-after" ] ~docv:"N"
+              ~doc:"Testing aid: abort the campaign after $(docv) trials as if killed.")
       $ Arg.(value & flag & info [ "json" ] ~doc:"Print the JSON report to stdout.")
       $ Arg.(
           value
@@ -481,12 +593,18 @@ let verify_cmd =
 
 let drmt_cmd =
   let run p4_file entries_file packets processors match_cap action_cap seed =
-    let p = Drmt.P4.parse (read_file p4_file) in
+    let p =
+      match Drmt.P4.parse_result (read_file p4_file) with
+      | Ok p -> p
+      | Error e -> usage_error "%s: %s" p4_file e
+    in
     let entries =
       match entries_file with
       | None -> []
       | Some path -> (
-        match Drmt.Entries.parse (read_file path) with Ok e -> e | Error e -> failwith e)
+        match Drmt.Entries.parse (read_file path) with
+        | Ok e -> e
+        | Error e -> usage_error "%s: %s" path e)
     in
     let dag = Drmt.Dag.build p in
     let cfg =

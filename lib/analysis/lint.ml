@@ -73,6 +73,22 @@ let check_machine_code ~domains mc =
           })
       violations
 
+(* duplicate-pair: a machine-code file binding the same name twice.  Only
+   detectable from the raw pair list (the hash-table representation has
+   already collapsed the duplicates), so the CLI parses with
+   [Machine_code.parse_pairs] and hands the pairs through [?pairs]. *)
+let check_duplicate_pairs pairs =
+  List.map
+    (fun name ->
+      {
+        f_rule = "duplicate-pair";
+        f_severity = Error;
+        f_subject = name;
+        f_message =
+          "machine-code pair is bound more than once; only the last binding takes effect";
+      })
+    (Machine_code.duplicates pairs)
+
 (* unknown-pair: pairs in the program that no control of the description
    consumes — usually a misspelled name or machine code generated for a
    different pipeline geometry. *)
@@ -263,7 +279,7 @@ let check_unused_decls (d : Ir.t) =
    (and liveness degrades to "everything live", so dead-alu stays silent).
    Errors sort before warnings; relative order within a severity is the rule
    order above. *)
-let check ?mc (d : Ir.t) : finding list =
+let check ?mc ?(pairs = []) (d : Ir.t) : finding list =
   let domains = Ir.control_domains d in
   let an = Dataflow.analyse ?mc d in
   let mc_findings =
@@ -272,7 +288,8 @@ let check ?mc (d : Ir.t) : finding list =
     | Some mc -> check_machine_code ~domains mc @ check_unknown_pairs ~domains mc
   in
   let findings =
-    mc_findings
+    check_duplicate_pairs pairs
+    @ mc_findings
     @ check_dead_alus an
     @ check_write_only_state an
     @ check_unreachable_branches an

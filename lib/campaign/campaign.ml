@@ -11,15 +11,44 @@
    closure-compiled execution at all three optimization levels.  Any
    divergence is minimized by {!Shrink.minimize} before it is reported, so
    the report carries the smallest PHV trace and the essential machine-code
-   pairs that reproduce the bug. *)
+   pairs that reproduce the bug.
+
+   Robustness layer (this file's second job): a campaign must *finish* even
+   when individual trials misbehave.
+
+   - {b crash containment}: an exception escaping a trial becomes a
+     structured [Crashed] outcome carrying the exception text, a bounded
+     backtrace, and the trial seed — never a dead worker or a lost report.
+   - {b watchdog}: an optional per-trial tick budget ({!Druzhba_dsim.Budget})
+     turns runaway simulations into [Timed_out] outcomes.  Fuel is
+     deterministic where a wall clock is not, so timeouts reproduce and the
+     report stays byte-identical across job counts.
+   - {b circuit breaker}: [max_failures] stops the campaign at the Nth
+     failing trial (by index, independent of scheduling) with a partial but
+     complete-as-far-as-it-went report.
+   - {b checkpoint/resume}: trials run in fixed-size blocks; after each
+     block the campaign can persist a {!Checkpoint} and a killed run can
+     [resume] from it, reconstructing the uneventful prefix from seeds and
+     producing a byte-identical final report.
+   - {b fault injection}: with [faults] enabled, every agreeing trial is
+     additionally stressed under seeded hardware-fault overlays
+     ({!Druzhba_dsim.Faults}); the two substrates must agree *under* faults
+     and a fault-free replay must match the pristine reference. *)
 
 module Prng = Druzhba_util.Prng
 module Machine_code = Druzhba_machine_code.Machine_code
+module Ir = Druzhba_pipeline.Ir
 module Dgen = Druzhba_pipeline.Dgen
+module Compile = Druzhba_pipeline.Compile
 module Optimizer = Druzhba_optimizer.Optimizer
 module Atoms = Druzhba_atoms.Atoms
 module Traffic = Druzhba_dsim.Traffic
 module Phv = Druzhba_dsim.Phv
+module Trace = Druzhba_dsim.Trace
+module Engine = Druzhba_dsim.Engine
+module Compiled = Druzhba_dsim.Compiled
+module Budget = Druzhba_dsim.Budget
+module Faults = Druzhba_dsim.Faults
 module Fuzz = Druzhba_fuzz.Fuzz
 
 (* The atom pools a trial draws from.  Every stateful atom of the library
@@ -28,6 +57,16 @@ module Fuzz = Druzhba_fuzz.Fuzz
 let stateful_pool = [| "raw"; "sub"; "pred_raw"; "if_else_raw"; "nested_ifs"; "pair" |]
 let stateless_pool = [| "stateless_full"; "stateless_arith"; "stateless_rel"; "stateless_mux" |]
 
+type fault_config = {
+  fc_runs : int; (* fault scenarios per agreeing trial *)
+  fc_per_run : int; (* faults drawn per scenario *)
+}
+
+let fault_config ?(runs = 8) ?(per_run = 2) () =
+  if runs <= 0 then invalid_arg "Campaign.fault_config: runs must be positive";
+  if per_run <= 0 then invalid_arg "Campaign.fault_config: per_run must be positive";
+  { fc_runs = runs; fc_per_run = per_run }
+
 type config = {
   c_trials : int;
   c_jobs : int;
@@ -35,12 +74,41 @@ type config = {
   c_phvs : int; (* PHVs simulated per trial *)
   c_shrink : bool; (* minimize failing trials *)
   c_max_probes : int; (* shrink budget, in oracle re-runs *)
+  c_fuel : int option; (* per-trial tick budget (watchdog); None = unlimited *)
+  c_max_failures : int option; (* circuit breaker; None = run to completion *)
+  c_faults : fault_config option; (* fault-injection mode *)
+  c_checkpoint_every : int; (* block size: trials between checkpoints *)
+  c_hook : (int -> unit) option; (* test-only: runs at trial start (chaos injection) *)
 }
 
 let config ?(trials = 100) ?(jobs = 1) ?(master_seed = 0xD52ba) ?(phvs = 100) ?(shrink = true)
-    ?(max_probes = 400) () =
+    ?(max_probes = 400) ?fuel ?max_failures ?faults ?(checkpoint_every = 64) ?hook () =
+  (match fuel with
+  | Some f when f <= 0 -> invalid_arg "Campaign.config: fuel must be positive"
+  | _ -> ());
+  (match max_failures with
+  | Some m when m <= 0 -> invalid_arg "Campaign.config: max_failures must be positive"
+  | _ -> ());
+  if checkpoint_every <= 0 then invalid_arg "Campaign.config: checkpoint_every must be positive";
   { c_trials = trials; c_jobs = jobs; c_master_seed = master_seed; c_phvs = phvs;
-    c_shrink = shrink; c_max_probes = max_probes }
+    c_shrink = shrink; c_max_probes = max_probes; c_fuel = fuel; c_max_failures = max_failures;
+    c_faults = faults; c_checkpoint_every = checkpoint_every; c_hook = hook }
+
+(* Fault-mode verdict for one trial: how sensitive the program is to
+   injected faults, whether the substrates stayed in lock-step under them,
+   and whether a fault-free replay still matches the pristine reference
+   (i.e. the overlay leaked nothing into the no-fault path). *)
+type fault_stats = {
+  fs_runs : int;
+  fs_sensitive : int; (* scenarios whose output departed from the fault-free reference *)
+  fs_substrate_mismatch : int; (* scenarios where Engine and Compiled disagreed under faults *)
+  fs_replay_ok : bool; (* fault-free replay after the fault runs equals the reference *)
+}
+
+type outcome =
+  | Finished of Oracle.outcome
+  | Crashed of { cr_exn : string; cr_backtrace : string }
+  | Timed_out of { to_fuel : int (* the budget that was exhausted *) }
 
 type trial = {
   t_index : int;
@@ -50,119 +118,252 @@ type trial = {
   t_bits : int;
   t_stateful : string;
   t_stateless : string;
-  t_outcome : Oracle.outcome;
+  t_outcome : outcome;
   t_shrunk : Shrink.result option; (* present iff the trial diverged and shrinking ran *)
+  t_faults : fault_stats option; (* present iff fault mode ran on this trial *)
 }
 
 type report = {
   r_config : config;
-  r_trials : trial list; (* in index order *)
+  r_trials : trial list; (* in index order; trimmed at the breaker's cutoff *)
   r_agree : int;
   r_divergent : int;
   r_invalid : int;
+  r_crashed : int;
+  r_timeout : int;
+  r_fault_flagged : int; (* trials with substrate mismatch or replay corruption *)
+  r_stopped_after : int option; (* Some i: the breaker fired at trial i *)
 }
+
+(* A trial counts against the circuit breaker when it found anything that
+   needs a human: a divergence, invalid machine code from the generator, a
+   crash, a timeout, or a fault-mode substrate mismatch / replay leak.
+   Fault *sensitivity* alone is expected (faults are supposed to perturb
+   outputs) and does not trip the breaker. *)
+let fault_flagged = function
+  | Some fs -> fs.fs_substrate_mismatch > 0 || not fs.fs_replay_ok
+  | None -> false
+
+let trial_failed (t : trial) =
+  match t.t_outcome with
+  | Finished (Oracle.Agree _) -> fault_flagged t.t_faults
+  | Finished (Oracle.Divergence _ | Oracle.Invalid_mc _) | Crashed _ | Timed_out _ -> true
 
 (* --- One trial ------------------------------------------------------------ *)
 
-let run_trial ~(cfg : config) index : trial =
-  let seed = Prng.derive cfg.c_master_seed index in
+(* Pipeline parameters are the first five draws from the trial PRNG — kept
+   as a separate function because checkpoint resume re-derives them for
+   trials whose full record was not persisted. *)
+let trial_params seed =
   let prng = Prng.create seed in
   let depth = 1 + Prng.int prng 2 in
   let width = 1 + Prng.int prng 2 in
   let bits = [| 8; 16; 32 |].(Prng.int prng 3) in
-  let stateful_name = stateful_pool.(Prng.int prng (Array.length stateful_pool)) in
-  let stateless_name = stateless_pool.(Prng.int prng (Array.length stateless_pool)) in
-  let desc =
-    Dgen.generate
-      (Dgen.config ~depth ~width ~bits ())
-      ~stateful:(Atoms.find_exn stateful_name) ~stateless:(Atoms.find_exn stateless_name)
+  let stateful = stateful_pool.(Prng.int prng (Array.length stateful_pool)) in
+  let stateless = stateless_pool.(Prng.int prng (Array.length stateless_pool)) in
+  (prng, depth, width, bits, stateful, stateless)
+
+(* Backtraces are captured where the exception is *caught* (inside the
+   trial), so they contain only frames below the handler — identical
+   whichever domain ran the trial, which keeps crash records byte-stable
+   across [--jobs]. *)
+let backtrace_text () =
+  match Printexc.get_backtrace () with "" -> "<backtrace not recorded>" | bt -> bt
+
+(* Runs [fc_runs] seeded fault scenarios against an already-agreeing trial.
+   Scenario seeds derive from the trial seed, so fault mode is as
+   reproducible as the trial itself. *)
+let run_faults ?budget ~(fc : fault_config) ~(desc : Ir.t) ~mc ~inputs ~seed () : fault_stats =
+  (* every sub-run gets a full tank: the watchdog bounds each simulation,
+     not their sum, so enabling faults never shifts timeout behaviour *)
+  let refill () = match budget with Some b -> Budget.refill b | None -> () in
+  let width = desc.Ir.d_width in
+  let capacity = List.length inputs in
+  let ref_buf = Trace.Buffer.create ~width ~capacity in
+  let eng_buf = Trace.Buffer.create ~width ~capacity in
+  let cmp_buf = Trace.Buffer.create ~width ~capacity in
+  let engine = Engine.create desc ~mc in
+  let compiled = Compiled.create (Compile.compile desc ~mc) in
+  refill ();
+  Engine.run_into ?budget engine ~inputs ref_buf;
+  let ref_state = Engine.current_state engine in
+  let sensitive = ref 0 and mismatch = ref 0 in
+  for k = 1 to fc.fc_runs do
+    let plan =
+      Faults.generate ~seed:(Prng.derive seed k) ~desc ~n_inputs:capacity ~count:fc.fc_per_run ()
+    in
+    refill ();
+    Faults.run_engine ?budget plan engine ~inputs eng_buf;
+    let eng_state = Engine.current_state engine in
+    refill ();
+    Faults.run_compiled ?budget plan compiled ~inputs cmp_buf;
+    let cmp_state = Compiled.current_state compiled in
+    (* the two substrates must agree *under* the same faults... *)
+    if
+      Oracle.diff_runs ~ref_buf:eng_buf ~ref_state:eng_state ~act_buf:cmp_buf ~act_state:cmp_state
+      <> None
+    then incr mismatch;
+    (* ...while departing from the fault-free reference is mere sensitivity *)
+    if Oracle.diff_runs ~ref_buf ~ref_state ~act_buf:eng_buf ~act_state:eng_state <> None then
+      incr sensitive
+  done;
+  (* fault-free replay on the same engines: the overlay must leave no residue *)
+  refill ();
+  Engine.reset engine;
+  Engine.run_into ?budget engine ~inputs eng_buf;
+  let replay_e =
+    Oracle.diff_runs ~ref_buf ~ref_state ~act_buf:eng_buf ~act_state:(Engine.current_state engine)
+    = None
   in
-  let mc = Fuzz.random_mc prng desc in
-  let traffic_seed = Prng.bits prng 30 in
-  let inputs = Traffic.phvs (Traffic.create ~seed:traffic_seed ~width ~bits) cfg.c_phvs in
-  let outcome = Oracle.check ~desc ~mc ~inputs () in
-  let shrunk =
-    match outcome with
-    | Oracle.Divergence _ when cfg.c_shrink ->
-      let repro ~inputs ~mc =
-        match Oracle.check ~desc ~mc ~inputs () with
-        | Oracle.Divergence _ -> true
-        | Oracle.Agree _ | Oracle.Invalid_mc _ -> false
-      in
-      Some (Shrink.minimize ~max_probes:cfg.c_max_probes ~repro ~inputs ~mc ())
-    | _ -> None
+  refill ();
+  Compiled.run_into ?budget compiled ~inputs cmp_buf;
+  let replay_c =
+    Oracle.diff_runs ~ref_buf ~ref_state ~act_buf:cmp_buf
+      ~act_state:(Compiled.current_state compiled)
+    = None
   in
+  {
+    fs_runs = fc.fc_runs;
+    fs_sensitive = !sensitive;
+    fs_substrate_mismatch = !mismatch;
+    fs_replay_ok = replay_e && replay_c;
+  }
+
+let run_trial ~(cfg : config) index : trial =
+  (* backtrace recording is per-domain in OCaml 5, so arm it here (on
+     whichever worker runs the trial) rather than once in [run] *)
+  Printexc.record_backtrace true;
+  let seed = Prng.derive cfg.c_master_seed index in
+  let prng, depth, width, bits, stateful_name, stateless_name = trial_params seed in
+  let finish (t_outcome, t_shrunk, t_faults) =
+    {
+      t_index = index;
+      t_seed = seed;
+      t_depth = depth;
+      t_width = width;
+      t_bits = bits;
+      t_stateful = stateful_name;
+      t_stateless = stateless_name;
+      t_outcome;
+      t_shrunk;
+      t_faults;
+    }
+  in
+  (* Containment boundary: everything below — generation, simulation,
+     shrinking, fault runs, the chaos hook — is folded into a structured
+     outcome.  Budget exhaustion is its own class; any other exception is a
+     crash record with the trial seed attached (the seed alone replays the
+     trial). *)
+  match
+    (match cfg.c_hook with Some hook -> hook index | None -> ());
+    let desc =
+      Dgen.generate
+        (Dgen.config ~depth ~width ~bits ())
+        ~stateful:(Atoms.find_exn stateful_name) ~stateless:(Atoms.find_exn stateless_name)
+    in
+    let mc = Fuzz.random_mc prng desc in
+    let traffic_seed = Prng.bits prng 30 in
+    let inputs = Traffic.phvs (Traffic.create ~seed:traffic_seed ~width ~bits) cfg.c_phvs in
+    let budget = Option.map Budget.ticks cfg.c_fuel in
+    let outcome = Oracle.check ?budget ~desc ~mc ~inputs () in
+    let shrunk =
+      match outcome with
+      | Oracle.Divergence _ when cfg.c_shrink ->
+        let repro ~inputs ~mc =
+          (* each probe gets the full budget; a probe that still exhausts
+             it is treated as non-reproducing by the shrinker *)
+          (match budget with Some b -> Budget.refill b | None -> ());
+          match Oracle.check ?budget ~desc ~mc ~inputs () with
+          | Oracle.Divergence _ -> true
+          | Oracle.Agree _ | Oracle.Invalid_mc _ -> false
+        in
+        Some (Shrink.minimize ~max_probes:cfg.c_max_probes ~repro ~inputs ~mc ())
+      | _ -> None
+    in
+    let faults =
+      match (cfg.c_faults, outcome) with
+      | Some fc, Oracle.Agree _ -> Some (run_faults ?budget ~fc ~desc ~mc ~inputs ~seed ())
+      | _ -> None
+    in
+    (Finished outcome, shrunk, faults)
+  with
+  | result -> finish result
+  | exception Budget.Exhausted ->
+    finish (Timed_out { to_fuel = Option.value cfg.c_fuel ~default:0 }, None, None)
+  | exception e ->
+    let cr_backtrace = backtrace_text () in
+    finish (Crashed { cr_exn = Printexc.to_string e; cr_backtrace }, None, None)
+
+(* The overwhelmingly common trial — six configurations agree, no faults
+   flagged — is fully determined by the campaign config and the trial
+   index, so checkpoints do not store it; resume reconstructs it here. *)
+let default_trial ~(cfg : config) index : trial =
+  let seed = Prng.derive cfg.c_master_seed index in
+  let _, depth, width, bits, stateful, stateless = trial_params seed in
   {
     t_index = index;
     t_seed = seed;
     t_depth = depth;
     t_width = width;
     t_bits = bits;
-    t_stateful = stateful_name;
-    t_stateless = stateless_name;
-    t_outcome = outcome;
-    t_shrunk = shrunk;
+    t_stateful = stateful;
+    t_stateless = stateless;
+    t_outcome = Finished (Oracle.Agree { configs = 6; phvs = cfg.c_phvs });
+    t_shrunk = None;
+    t_faults =
+      Option.map
+        (fun fc ->
+          { fs_runs = fc.fc_runs; fs_sensitive = 0; fs_substrate_mismatch = 0; fs_replay_ok = true })
+        cfg.c_faults;
   }
 
-(* --- The campaign --------------------------------------------------------- *)
-
-let run (cfg : config) : report =
-  (* the atom library is lazy and [Lazy] is not domain-safe: force it on
-     the main domain before sharding *)
-  Runner.force_atoms ();
-  let trials =
-    Array.to_list (Runner.parallel_init ~jobs:cfg.c_jobs cfg.c_trials (fun i -> run_trial ~cfg i))
-  in
-  let count p = List.length (List.filter p trials) in
-  {
-    r_config = cfg;
-    r_trials = trials;
-    r_agree = count (fun t -> match t.t_outcome with Oracle.Agree _ -> true | _ -> false);
-    r_divergent =
-      count (fun t -> match t.t_outcome with Oracle.Divergence _ -> true | _ -> false);
-    r_invalid = count (fun t -> match t.t_outcome with Oracle.Invalid_mc _ -> true | _ -> false);
-  }
-
-(* --- Rendering ------------------------------------------------------------- *)
-
-let pp_trial ppf (t : trial) =
-  Fmt.pf ppf "trial %4d (seed %d, %dx%d @ %d bits, %s/%s): %a" t.t_index t.t_seed t.t_depth
-    t.t_width t.t_bits t.t_stateful t.t_stateless Oracle.pp_outcome t.t_outcome;
-  match t.t_shrunk with None -> () | Some s -> Fmt.pf ppf "@,  %a" Shrink.pp s
-
-let pp ppf (r : report) =
-  Fmt.pf ppf "@[<v>campaign: %d trials, master seed %d, %d PHVs/trial@," r.r_config.c_trials
-    r.r_config.c_master_seed r.r_config.c_phvs;
-  Fmt.pf ppf "  agree:      %d@," r.r_agree;
-  Fmt.pf ppf "  divergence: %d@," r.r_divergent;
-  Fmt.pf ppf "  invalid mc: %d@," r.r_invalid;
-  List.iter
-    (fun t ->
-      if not (Oracle.outcome_agrees t.t_outcome) then Fmt.pf ppf "  %a@," pp_trial t)
-    r.r_trials;
-  Fmt.pf ppf "@]"
+(* A trial a checkpoint may omit: agreeing, unshrunk, and (in fault mode)
+   with the quietest possible fault stats *except* sensitivity, which is
+   program-dependent and must be persisted. *)
+let is_default_trial ~(cfg : config) (t : trial) =
+  (match t.t_outcome with
+  | Finished (Oracle.Agree { configs = 6; phvs }) -> phvs = cfg.c_phvs
+  | _ -> false)
+  && t.t_shrunk = None
+  && (match (t.t_faults, cfg.c_faults) with
+     | None, None -> true
+     | Some fs, Some fc ->
+       fs.fs_runs = fc.fc_runs && fs.fs_sensitive = 0 && fs.fs_substrate_mismatch = 0
+       && fs.fs_replay_ok
+     | _ -> false)
 
 (* --- JSON report ------------------------------------------------------------
 
    Byte-deterministic for a fixed master seed: trials are emitted in index
-   order and nothing environmental (job count, timing) appears. *)
+   order and nothing environmental (job count, timing) appears.  Every
+   constructor below is structured rather than pretty-printed, because the
+   checkpoint decoder round-trips these records. *)
 
-let json_of_outcome (o : Oracle.outcome) : Report.json =
+let json_of_violation (v : Machine_code.violation) : Report.json =
+  match v with
+  | Machine_code.Missing_pair name ->
+    Report.Obj [ ("kind", Report.Str "missing_pair"); ("name", Report.Str name) ]
+  | Machine_code.Out_of_range { vi_name; vi_value; vi_bound } ->
+    Report.Obj
+      [
+        ("kind", Report.Str "out_of_range");
+        ("name", Report.Str vi_name);
+        ("value", Report.Int vi_value);
+        ("bound", Report.Int vi_bound);
+      ]
+
+let json_of_outcome (o : outcome) : Report.json =
   match o with
-  | Oracle.Agree { configs; phvs } ->
+  | Finished (Oracle.Agree { configs; phvs }) ->
     Report.Obj [ ("class", Report.Str "agree"); ("configs", Report.Int configs);
                  ("phvs", Report.Int phvs) ]
-  | Oracle.Invalid_mc violations ->
+  | Finished (Oracle.Invalid_mc violations) ->
     Report.Obj
       [
         ("class", Report.Str "invalid_machine_code");
-        ( "violations",
-          Report.List
-            (List.map
-               (fun v -> Report.Str (Fmt.str "%a" Machine_code.pp_violation v))
-               violations) );
+        ("violations", Report.List (List.map json_of_violation violations));
       ]
-  | Oracle.Divergence d ->
+  | Finished (Oracle.Divergence d) ->
     let kind, where =
       match d.Oracle.dv_kind with
       | `Output (i, c) ->
@@ -181,6 +382,15 @@ let json_of_outcome (o : Oracle.outcome) : Report.json =
         ("expected", Report.Int d.Oracle.dv_expected);
         ("actual", Report.Int d.Oracle.dv_actual);
       ]
+  | Crashed { cr_exn; cr_backtrace } ->
+    Report.Obj
+      [
+        ("class", Report.Str "crash");
+        ("exn", Report.Str cr_exn);
+        ("backtrace", Report.Str cr_backtrace);
+      ]
+  | Timed_out { to_fuel } ->
+    Report.Obj [ ("class", Report.Str "timeout"); ("fuel", Report.Int to_fuel) ]
 
 let json_of_shrunk (s : Shrink.result) : Report.json =
   Report.Obj
@@ -191,6 +401,15 @@ let json_of_shrunk (s : Shrink.result) : Report.json =
         Report.Obj
           (List.map (fun (n, v) -> (n, Report.Int v)) (Machine_code.to_alist s.Shrink.sh_mc)) );
       ("probes", Report.Int s.Shrink.sh_probes);
+    ]
+
+let json_of_faults (fs : fault_stats) : Report.json =
+  Report.Obj
+    [
+      ("runs", Report.Int fs.fs_runs);
+      ("sensitive", Report.Int fs.fs_sensitive);
+      ("substrate_mismatch", Report.Int fs.fs_substrate_mismatch);
+      ("replay_ok", Report.Bool fs.fs_replay_ok);
     ]
 
 let json_of_trial (t : trial) : Report.json =
@@ -209,10 +428,317 @@ let json_of_trial (t : trial) : Report.json =
   let shrunk =
     match t.t_shrunk with None -> [] | Some s -> [ ("shrunk", json_of_shrunk s) ]
   in
-  Report.Obj (base @ shrunk)
+  let faults =
+    match t.t_faults with None -> [] | Some fs -> [ ("faults", json_of_faults fs) ]
+  in
+  Report.Obj (base @ shrunk @ faults)
 
-let to_json (r : report) : string
-    =
+(* --- Checkpoint decoding ----------------------------------------------------
+
+   The inverse of the emitters above, for `--resume`.  Decode failures are
+   [Resume_error] — a checkpoint that does not decode is an operator
+   mistake (wrong file, wrong campaign), not a campaign failure. *)
+
+exception Resume_error of string
+
+let rfail fmt = Printf.ksprintf (fun s -> raise (Resume_error s)) fmt
+
+let dfield j key conv =
+  match Option.bind (Report.member key j) conv with
+  | Some v -> v
+  | None -> rfail "checkpoint record: field %S missing or mistyped" key
+
+let dstr j key = dfield j key Report.to_str
+let dint j key = dfield j key Report.to_int
+
+let backend_of_name = function
+  | "interpreter" -> Oracle.Interpreter
+  | "closures" -> Oracle.Closures
+  | s -> rfail "unknown backend %S" s
+
+let level_of_name = function
+  | "unoptimized" -> Optimizer.Unoptimized
+  | "scc" -> Optimizer.Scc
+  | "scc+inline" -> Optimizer.Scc_inline
+  | s -> rfail "unknown optimization level %S" s
+
+let violation_of_json j : Machine_code.violation =
+  match dstr j "kind" with
+  | "missing_pair" -> Machine_code.Missing_pair (dstr j "name")
+  | "out_of_range" ->
+    Machine_code.Out_of_range
+      { vi_name = dstr j "name"; vi_value = dint j "value"; vi_bound = dint j "bound" }
+  | k -> rfail "unknown violation kind %S" k
+
+let outcome_of_json j : outcome =
+  match dstr j "class" with
+  | "agree" -> Finished (Oracle.Agree { configs = dint j "configs"; phvs = dint j "phvs" })
+  | "invalid_machine_code" ->
+    Finished (Oracle.Invalid_mc (List.map violation_of_json (dfield j "violations" Report.to_list)))
+  | "backend_divergence" ->
+    let where = Report.member "where" j in
+    let wfield key conv =
+      match Option.bind where (fun w -> Option.bind (Report.member key w) conv) with
+      | Some v -> v
+      | None -> rfail "divergence record: field %S missing or mistyped" key
+    in
+    let dv_kind =
+      match dstr j "kind" with
+      | "output" -> `Output (wfield "phv" Report.to_int, wfield "container" Report.to_int)
+      | "state" -> `State (wfield "alu" Report.to_str, wfield "slot" Report.to_int)
+      | "shape" -> `Shape
+      | k -> rfail "unknown divergence kind %S" k
+    in
+    Finished
+      (Oracle.Divergence
+         {
+           dv_backend = backend_of_name (dstr j "backend");
+           dv_level = level_of_name (dstr j "level");
+           dv_kind;
+           dv_expected = dint j "expected";
+           dv_actual = dint j "actual";
+         })
+  | "crash" -> Crashed { cr_exn = dstr j "exn"; cr_backtrace = dstr j "backtrace" }
+  | "timeout" -> Timed_out { to_fuel = dint j "fuel" }
+  | c -> rfail "unknown outcome class %S" c
+
+let shrunk_of_json j : Shrink.result =
+  let phv_of_json = function
+    | Report.List vs ->
+      Array.of_list
+        (List.map (function Report.Int v -> v | _ -> rfail "shrunk record: non-integer PHV") vs)
+    | _ -> rfail "shrunk record: malformed PHV"
+  in
+  let mc_pairs =
+    match Report.member "machine_code" j with
+    | Some (Report.Obj fields) ->
+      List.map
+        (fun (name, v) ->
+          match Report.to_int v with
+          | Some value -> (name, value)
+          | None -> rfail "shrunk record: non-integer machine-code value")
+        fields
+    | _ -> rfail "shrunk record: machine_code missing"
+  in
+  {
+    Shrink.sh_inputs = List.map phv_of_json (dfield j "phvs" Report.to_list);
+    sh_mc = Machine_code.of_list mc_pairs;
+    sh_essential =
+      List.map
+        (function Report.Str s -> s | _ -> rfail "shrunk record: non-string essential pair")
+        (dfield j "essential_pairs" Report.to_list);
+    sh_probes = dint j "probes";
+  }
+
+let faults_of_json j : fault_stats =
+  {
+    fs_runs = dint j "runs";
+    fs_sensitive = dint j "sensitive";
+    fs_substrate_mismatch = dint j "substrate_mismatch";
+    fs_replay_ok = dfield j "replay_ok" Report.to_bool;
+  }
+
+let trial_of_json j : trial =
+  {
+    t_index = dint j "index";
+    t_seed = dint j "seed";
+    t_depth = dint j "depth";
+    t_width = dint j "width";
+    t_bits = dint j "bits";
+    t_stateful = dstr j "stateful";
+    t_stateless = dstr j "stateless";
+    t_outcome = outcome_of_json (dfield j "outcome" Option.some);
+    t_shrunk = Option.map shrunk_of_json (Report.member "shrunk" j);
+    t_faults = Option.map faults_of_json (Report.member "faults" j);
+  }
+
+(* --- Checkpoint plumbing ---------------------------------------------------- *)
+
+let signature_of_config (cfg : config) : Checkpoint.signature =
+  {
+    Checkpoint.sg_master_seed = cfg.c_master_seed;
+    sg_trials = cfg.c_trials;
+    sg_phvs = cfg.c_phvs;
+    sg_shrink = cfg.c_shrink;
+    sg_max_probes = cfg.c_max_probes;
+    sg_fuel = Option.value cfg.c_fuel ~default:0;
+    sg_max_failures = Option.value cfg.c_max_failures ~default:0;
+    sg_fault_runs = (match cfg.c_faults with Some fc -> fc.fc_runs | None -> 0);
+    sg_faults_per_run = (match cfg.c_faults with Some fc -> fc.fc_per_run | None -> 0);
+  }
+
+(* Only non-default trials are persisted; [completed] is the length of the
+   done prefix.  Records are emitted in index order so the file itself is
+   byte-deterministic for a given (config, completed) pair. *)
+let checkpoint_of ~(cfg : config) (results : trial option array) completed : Checkpoint.t =
+  let records = ref [] in
+  for i = completed - 1 downto 0 do
+    match results.(i) with
+    | Some t when not (is_default_trial ~cfg t) -> records := json_of_trial t :: !records
+    | _ -> ()
+  done;
+  {
+    Checkpoint.ck_signature = signature_of_config cfg;
+    ck_completed = (if completed > 0 then [ (0, completed - 1) ] else []);
+    ck_records = !records;
+  }
+
+(* --- The campaign ----------------------------------------------------------- *)
+
+(* [run_resumable] is the full-featured entry point: trials execute in
+   blocks of [checkpoint_every] indices (parallel within a block), which
+   fixes the granularity of checkpoints, the circuit breaker, and the
+   [stop_after] test kill-switch at index boundaries — all independent of
+   [--jobs], preserving byte-determinism.  Returns [None] only when
+   [stop_after] aborted the run mid-campaign (simulating a kill). *)
+let run_resumable ?checkpoint ?(resume = false) ?stop_after (cfg : config) : report option =
+  (* crash records carry backtraces; recording is per-process and cheap *)
+  Printexc.record_backtrace true;
+  (* the atom library is lazy and [Lazy] is not domain-safe: force it on
+     the main domain before sharding *)
+  Runner.force_atoms ();
+  let n = cfg.c_trials in
+  let results : trial option array = Array.make (max 1 n) None in
+  let start =
+    if not resume then 0
+    else
+      match checkpoint with
+      | None -> invalid_arg "Campaign.run_resumable: resume requires a checkpoint path"
+      | Some path -> (
+        match Checkpoint.load path with
+        | Error msg -> raise (Resume_error msg)
+        | Ok ck ->
+          if
+            not
+              (Checkpoint.signature_equal ck.Checkpoint.ck_signature (signature_of_config cfg))
+          then
+            rfail "%s: checkpoint signature does not match this campaign's configuration" path;
+          List.iter
+            (fun j ->
+              let t = trial_of_json j in
+              if t.t_index < 0 || t.t_index >= n then
+                rfail "checkpoint record index %d out of range" t.t_index;
+              results.(t.t_index) <- Some t)
+            ck.Checkpoint.ck_records;
+          (* the quiet majority is reconstructed, not stored *)
+          List.iter
+            (fun (lo, hi) ->
+              for i = lo to min (n - 1) hi do
+                if results.(i) = None then results.(i) <- Some (default_trial ~cfg i)
+              done)
+            ck.Checkpoint.ck_completed;
+          min n (Checkpoint.completed_prefix ck))
+  in
+  let failures = ref 0 and stopped_after = ref None in
+  (* Breaker accounting scans completed trials in index order — the Nth
+     failure is the same trial whatever the job count or resume point. *)
+  let note_failures lo hi =
+    match cfg.c_max_failures with
+    | None -> ()
+    | Some maxf ->
+      for i = lo to hi - 1 do
+        if !stopped_after = None then
+          match results.(i) with
+          | Some t when trial_failed t ->
+            incr failures;
+            if !failures >= maxf then stopped_after := Some i
+          | _ -> ()
+      done
+  in
+  note_failures 0 start;
+  let i = ref start and killed = ref false in
+  while !i < n && !stopped_after = None && not !killed do
+    let base = !i in
+    let hi = min n (base + cfg.c_checkpoint_every) in
+    let chunk =
+      Runner.parallel_init ~jobs:cfg.c_jobs (hi - base) (fun k -> run_trial ~cfg (base + k))
+    in
+    Array.iteri (fun k t -> results.(base + k) <- Some t) chunk;
+    note_failures base hi;
+    i := hi;
+    (match checkpoint with
+    | Some path ->
+      let completed = match !stopped_after with Some c -> c + 1 | None -> !i in
+      Checkpoint.save path (checkpoint_of ~cfg results completed)
+    | None -> ());
+    match stop_after with
+    | Some s when !i >= s && !i < n && !stopped_after = None -> killed := true
+    | _ -> ()
+  done;
+  if !killed then None
+  else begin
+    let upto = match !stopped_after with Some c -> c + 1 | None -> n in
+    let trials =
+      List.init upto (fun i ->
+          match results.(i) with Some t -> t | None -> assert false (* filled above *))
+    in
+    let count p = List.length (List.filter p trials) in
+    Some
+      {
+        r_config = cfg;
+        r_trials = trials;
+        r_agree =
+          count (fun t -> match t.t_outcome with Finished (Oracle.Agree _) -> true | _ -> false);
+        r_divergent =
+          count (fun t ->
+              match t.t_outcome with Finished (Oracle.Divergence _) -> true | _ -> false);
+        r_invalid =
+          count (fun t ->
+              match t.t_outcome with Finished (Oracle.Invalid_mc _) -> true | _ -> false);
+        r_crashed = count (fun t -> match t.t_outcome with Crashed _ -> true | _ -> false);
+        r_timeout = count (fun t -> match t.t_outcome with Timed_out _ -> true | _ -> false);
+        r_fault_flagged = count (fun t -> fault_flagged t.t_faults);
+        r_stopped_after = !stopped_after;
+      }
+  end
+
+(* Simple entry point: no checkpointing, runs to completion (or to the
+   circuit breaker).  [run_resumable] only returns [None] under
+   [stop_after], which this path never passes. *)
+let run (cfg : config) : report =
+  match run_resumable cfg with Some r -> r | None -> assert false
+
+(* --- Rendering ------------------------------------------------------------- *)
+
+let pp_outcome ppf = function
+  | Finished o -> Oracle.pp_outcome ppf o
+  | Crashed { cr_exn; _ } -> Fmt.pf ppf "crashed: %s" cr_exn
+  | Timed_out { to_fuel } -> Fmt.pf ppf "timed out (tick budget %d exhausted)" to_fuel
+
+let pp_faults ppf (fs : fault_stats) =
+  Fmt.pf ppf "faults: %d/%d sensitive, %d substrate mismatch, replay %s" fs.fs_sensitive
+    fs.fs_runs fs.fs_substrate_mismatch
+    (if fs.fs_replay_ok then "clean" else "CORRUPTED")
+
+let pp_trial ppf (t : trial) =
+  Fmt.pf ppf "trial %4d (seed %d, %dx%d @ %d bits, %s/%s): %a" t.t_index t.t_seed t.t_depth
+    t.t_width t.t_bits t.t_stateful t.t_stateless pp_outcome t.t_outcome;
+  (match t.t_shrunk with None -> () | Some s -> Fmt.pf ppf "@,  %a" Shrink.pp s);
+  match t.t_faults with
+  | Some fs when fault_flagged t.t_faults -> Fmt.pf ppf "@,  %a" pp_faults fs
+  | _ -> ()
+
+let pp ppf (r : report) =
+  Fmt.pf ppf "@[<v>campaign: %d trials, master seed %d, %d PHVs/trial@," r.r_config.c_trials
+    r.r_config.c_master_seed r.r_config.c_phvs;
+  Fmt.pf ppf "  agree:      %d@," r.r_agree;
+  Fmt.pf ppf "  divergence: %d@," r.r_divergent;
+  Fmt.pf ppf "  invalid mc: %d@," r.r_invalid;
+  Fmt.pf ppf "  crashed:    %d@," r.r_crashed;
+  Fmt.pf ppf "  timed out:  %d@," r.r_timeout;
+  (match r.r_config.c_faults with
+  | Some _ -> Fmt.pf ppf "  fault-flagged: %d@," r.r_fault_flagged
+  | None -> ());
+  (match r.r_stopped_after with
+  | Some i ->
+    Fmt.pf ppf "  stopped early: failure limit reached at trial %d (%d/%d trials ran)@," i
+      (List.length r.r_trials) r.r_config.c_trials
+  | None -> ());
+  List.iter (fun t -> if trial_failed t then Fmt.pf ppf "  %a@," pp_trial t) r.r_trials;
+  Fmt.pf ppf "@]"
+
+let to_json (r : report) : string =
+  let opt_int = function Some v -> Report.Int v | None -> Report.Null in
   Report.to_string
     (Report.Obj
        [
@@ -220,12 +746,24 @@ let to_json (r : report) : string
          ("master_seed", Report.Int r.r_config.c_master_seed);
          ("trials", Report.Int r.r_config.c_trials);
          ("phvs_per_trial", Report.Int r.r_config.c_phvs);
+         ("fuel", opt_int r.r_config.c_fuel);
+         ("max_failures", opt_int r.r_config.c_max_failures);
+         ( "faults",
+           match r.r_config.c_faults with
+           | Some fc ->
+             Report.Obj
+               [ ("runs", Report.Int fc.fc_runs); ("per_run", Report.Int fc.fc_per_run) ]
+           | None -> Report.Null );
          ( "summary",
            Report.Obj
              [
                ("agree", Report.Int r.r_agree);
                ("backend_divergence", Report.Int r.r_divergent);
                ("invalid_machine_code", Report.Int r.r_invalid);
+               ("crashes", Report.Int r.r_crashed);
+               ("timeouts", Report.Int r.r_timeout);
+               ("fault_flagged", Report.Int r.r_fault_flagged);
              ] );
+         ("stopped_after", opt_int r.r_stopped_after);
          ("results", Report.List (List.map json_of_trial r.r_trials));
        ])

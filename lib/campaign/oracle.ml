@@ -139,7 +139,10 @@ let diff_runs ~(ref_buf : Trace.Buffer.t) ~ref_state ~(act_buf : Trace.Buffer.t)
    all six runs stream through two preallocated output buffers (reference +
    candidate), so the simulation hot loop never allocates per PHV and no
    intermediate trace is materialized. *)
-let check ?(init = []) ~(desc : Ir.t) ~mc ~inputs () : outcome =
+(* [budget] (if any) is shared by all six runs: one unit of fuel per
+   simulation tick, {!Druzhba_dsim.Budget.Exhausted} escaping to the caller
+   — the campaign runner turns it into a [Trial_timeout] outcome. *)
+let check ?(init = []) ?budget ~(desc : Ir.t) ~mc ~inputs () : outcome =
   match Machine_code.validate ~domains:(Ir.control_domains desc) mc with
   | Error violations -> Invalid_mc violations
   | Ok () -> (
@@ -148,7 +151,7 @@ let check ?(init = []) ~(desc : Ir.t) ~mc ~inputs () : outcome =
     let ref_buf = Trace.Buffer.create ~width ~capacity in
     let act_buf = Trace.Buffer.create ~width ~capacity in
     let ref_engine = Engine.create ~init desc ~mc in
-    Engine.run_into ref_engine ~inputs ref_buf;
+    Engine.run_into ?budget ref_engine ~inputs ref_buf;
     let ref_state = Engine.current_state ref_engine in
     let divergence = ref None in
     (try
@@ -163,11 +166,11 @@ let check ?(init = []) ~(desc : Ir.t) ~mc ~inputs () : outcome =
                    match backend with
                    | Interpreter ->
                      let engine = Engine.create ~init optimized ~mc in
-                     Engine.run_into engine ~inputs act_buf;
+                     Engine.run_into ?budget engine ~inputs act_buf;
                      Engine.current_state engine
                    | Closures ->
                      let t = Compiled.create compiled in
-                     Compiled.run_into ~init t ~inputs act_buf;
+                     Compiled.run_into ~init ?budget t ~inputs act_buf;
                      Compiled.current_state t
                  in
                  match diff_runs ~ref_buf ~ref_state ~act_buf ~act_state with

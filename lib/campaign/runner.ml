@@ -26,7 +26,17 @@ let force_atoms () =
 
 (* [parallel_init ~jobs n f] is [Array.init n f] computed on up to [jobs]
    domains (including the calling one).  [f] is applied to each index
-   exactly once; the result array is in index order. *)
+   exactly once; the result array is in index order.
+
+   Exception containment: a worker that lets an exception out of [f] must
+   not silently shrink the pool (the remaining domains would crawl through
+   the rest of the trials and the join would then fail on the missing
+   slots).  Every slot therefore captures [Ok v | Error exn]; workers never
+   die, and after the join the *lowest-indexed* captured exception is
+   re-raised on the calling domain — the same one a [jobs:1] run would have
+   raised, so failure behaviour is deterministic across job counts.
+   (Campaign trials catch their own exceptions long before this; this is
+   the runner's own last line of defence.) *)
 let parallel_init ~jobs n f =
   if n < 0 then invalid_arg "Runner.parallel_init: negative count";
   let jobs = max 1 (min jobs n) in
@@ -38,7 +48,7 @@ let parallel_init ~jobs n f =
       let rec loop () =
         let i = Atomic.fetch_and_add next 1 in
         if i < n then begin
-          results.(i) <- Some (f i);
+          results.(i) <- Some (match f i with v -> Ok v | exception e -> Error e);
           loop ()
         end
       in
@@ -47,8 +57,14 @@ let parallel_init ~jobs n f =
     let domains = List.init (jobs - 1) (fun _ -> Domain.spawn worker) in
     worker ();
     List.iter Domain.join domains;
+    (* explicit ascending scan: the lowest index decides, not map order *)
+    for i = 0 to n - 1 do
+      match results.(i) with Some (Error e) -> raise e | Some (Ok _) | None -> ()
+    done;
     Array.map
-      (function Some v -> v | None -> invalid_arg "Runner.parallel_init: missing result")
+      (function
+        | Some (Ok v) -> v
+        | Some (Error _) | None -> invalid_arg "Runner.parallel_init: missing result")
       results
   end
 

@@ -41,11 +41,16 @@ type result = {
 let minimize ?(max_probes = 400) ~(repro : inputs:Phv.t list -> mc:Machine_code.t -> bool) ~inputs
     ~mc () : result =
   let probes = ref 0 in
+  (* A probe that crashes or exhausts its tick budget counts as "does not
+     reproduce": the candidate is discarded and shrinking continues from the
+     best-so-far configuration.  Containment belongs here rather than in
+     every caller — a pathological candidate input must never be able to
+     abort a shrink that already holds a valid counterexample. *)
   let try_repro ~inputs ~mc =
     if !probes >= max_probes then false
     else begin
       incr probes;
-      repro ~inputs ~mc
+      match repro ~inputs ~mc with v -> v | exception _ -> false
     end
   in
   (* --- 1. shortest failing prefix (binary search, verified) --- *)

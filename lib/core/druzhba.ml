@@ -41,6 +41,8 @@ module Traffic = Druzhba_dsim.Traffic
 module Trace = Druzhba_dsim.Trace
 module Engine = Druzhba_dsim.Engine
 module Compiled = Druzhba_dsim.Compiled
+module Budget = Druzhba_dsim.Budget
+module Faults = Druzhba_dsim.Faults
 module Atoms = Druzhba_atoms.Atoms
 module Fuzz = Druzhba_fuzz.Fuzz
 module Verify = Druzhba_fuzz.Verify
@@ -53,6 +55,7 @@ module Campaign = struct
   module Oracle = Druzhba_campaign.Oracle
   module Shrink = Druzhba_campaign.Shrink
   module Report = Druzhba_campaign.Report
+  module Checkpoint = Druzhba_campaign.Checkpoint
   include Druzhba_campaign.Campaign
 end
 module Dataflow = Druzhba_analysis.Dataflow

@@ -169,19 +169,25 @@ let load_state (compiled : Compile.t) init =
    blits each exiting PHV into [buf] (cleared first).  With a presized
    buffer, nothing is allocated per PHV.  Final state is read separately via
    {!current_state}. *)
-let run_into ?(init = []) t ~inputs (buf : Trace.Buffer.t) =
+let run_into ?(init = []) ?budget t ~inputs (buf : Trace.Buffer.t) =
   reset t.compiled;
   load_state t.compiled init;
   t.occ <- 0;
   t.tick <- 0;
   Trace.Buffer.clear buf;
+  (* one unit of fuel per tick; see {!Engine.run_into} *)
+  let spend =
+    match budget with None -> ignore | Some b -> fun () -> Budget.spend b
+  in
   let out_off = t.depth * t.width in
   List.iter
     (fun phv ->
+      spend ();
       inject t phv;
       if tick_once t then Trace.Buffer.push buf t.cur ~off:out_off)
     inputs;
   for _ = 1 to t.depth do
+    spend ();
     no_inject t;
     if tick_once t then Trace.Buffer.push buf t.cur ~off:out_off
   done

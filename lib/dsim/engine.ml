@@ -218,16 +218,26 @@ let current_state t =
    path: with a presized buffer no per-PHV allocation happens (the
    interpreter's expression-level environments aside — see {!Compiled} for
    the fully allocation-free substrate).  The engine must be fresh or
-   [reset].  Final state is read separately via {!current_state}. *)
-let run_into t ~inputs (buf : Trace.Buffer.t) =
+   [reset].  Final state is read separately via {!current_state}.
+
+   [budget] (if any) is spent one unit per tick; {!Budget.Exhausted}
+   escapes to the caller mid-run — the per-trial watchdog of the campaign
+   runner.  The option is resolved to a closure once, outside the tick
+   loop, so the unbudgeted hot path pays nothing. *)
+let run_into ?budget t ~inputs (buf : Trace.Buffer.t) =
   Trace.Buffer.clear buf;
+  let spend =
+    match budget with None -> ignore | Some b -> fun () -> Budget.spend b
+  in
   let out_off = t.depth * t.width in
   List.iter
     (fun phv ->
+      spend ();
       inject t phv;
       if tick_once t then Trace.Buffer.push buf t.cur ~off:out_off)
     inputs;
   for _ = 1 to t.depth do
+    spend ();
     no_inject t;
     if tick_once t then Trace.Buffer.push buf t.cur ~off:out_off
   done

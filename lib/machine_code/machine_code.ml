@@ -17,6 +17,32 @@ let of_list pairs : t =
   List.iter (fun (name, v) -> Hashtbl.replace t name v) pairs;
   t
 
+(* Keys bound more than once, in first-occurrence order.  A duplicate pair
+   in a machine-code file is almost always a compiler bug (two rules both
+   believing they own a control), so the strict constructors reject it
+   rather than silently letting one binding win. *)
+let duplicates pairs =
+  let seen = Hashtbl.create 64 and dups = ref [] in
+  List.iter
+    (fun (name, _) ->
+      match Hashtbl.find_opt seen name with
+      | None -> Hashtbl.add seen name `Once
+      | Some `Once ->
+        Hashtbl.replace seen name `Reported;
+        dups := name :: !dups
+      | Some `Reported -> ())
+    pairs;
+  List.rev !dups
+
+let of_pairs pairs : (t, string) result =
+  match duplicates pairs with
+  | [] -> Ok (of_list pairs)
+  | dups ->
+    Error
+      (Printf.sprintf "duplicate machine-code pair%s: %s"
+         (if List.length dups = 1 then "" else "s")
+         (String.concat ", " dups))
+
 let to_alist (t : t) =
   Hashtbl.fold (fun k v acc -> (k, v) :: acc) t []
   |> List.sort (fun (a, _) (b, _) -> String.compare a b)
@@ -50,9 +76,12 @@ let override (t : t) (extra : t) =
 (* --- Text format ---------------------------------------------------------
 
    One pair per line, "name = value"; blank lines and '#' comments ignored.
-   This is the on-disk format consumed by the druzhba CLI. *)
+   This is the on-disk format consumed by the druzhba CLI.
 
-let parse src =
+   [parse_pairs] returns the raw pairs in file order (duplicates preserved,
+   so lint can report them); [parse] additionally rejects duplicate keys. *)
+
+let parse_pairs src =
   let errors = ref [] in
   let pairs = ref [] in
   String.split_on_char '\n' src
@@ -76,8 +105,13 @@ let parse src =
                errors :=
                  Printf.sprintf "line %d: invalid integer '%s'" (lineno + 1) value :: !errors));
   match !errors with
-  | [] -> Ok (of_list (List.rev !pairs))
+  | [] -> Ok (List.rev !pairs)
   | errs -> Error (String.concat "\n" (List.rev errs))
+
+let parse src =
+  match parse_pairs src with
+  | Error _ as e -> e
+  | Ok pairs -> of_pairs pairs
 
 let pp ppf (t : t) =
   Fmt.pf ppf "@[<v>";

@@ -17,7 +17,18 @@ type t
 val empty : unit -> t
 
 val of_list : (string * int) list -> t
-(** Later bindings of the same name win. *)
+(** Later bindings of the same name win.  For programmatic construction;
+    external input should go through {!of_pairs}, which rejects
+    duplicates. *)
+
+val of_pairs : (string * int) list -> (t, string) result
+(** Strict constructor: [Error] names every key bound more than once.  A
+    duplicate pair in compiler output means two rules both believed they
+    owned a control — silently letting one binding win hides the bug. *)
+
+val duplicates : (string * int) list -> string list
+(** Keys bound more than once, in first-occurrence order (each reported
+    once). *)
 
 val to_alist : t -> (string * int) list
 (** All pairs, sorted by name. *)
@@ -45,7 +56,14 @@ val override : t -> t -> t
 
 val parse : string -> (t, string) result
 (** Parses the on-disk format: one ["name = value"] per line, blank lines
-    and [#] comments ignored. *)
+    and [#] comments ignored.  Total: every malformed line and every
+    duplicate key is reported in [Error] (with its line number where
+    applicable); no exception escapes. *)
+
+val parse_pairs : string -> ((string * int) list, string) result
+(** As {!parse}, but returns the raw pairs in file order with duplicates
+    preserved — the form lint needs to report duplicate keys as findings
+    instead of refusing the file outright. *)
 
 val pp : t Fmt.t
 (** Prints in the {!parse} format, sorted by name. *)

@@ -140,6 +140,23 @@ let test_lint_unknown_pair () =
     Alcotest.(check bool) "warning only" true (f.Lint.f_severity = Lint.Warning)
   | fs -> Alcotest.failf "expected one unknown-pair finding, got %d" (List.length fs)
 
+let test_lint_duplicate_pair () =
+  let desc = small_desc () in
+  let sel = Names.Select.passthrough ~width:1 in
+  (* duplicates only survive in the raw pair list; the table keeps the last *)
+  let pairs = [ (mux0, 99); (mux0, sel) ] in
+  let mc = seeded_mc desc [ (mux0, sel) ] in
+  let findings = Lint.check ~mc ~pairs desc in
+  (match find_rule "duplicate-pair" findings with
+  | [ f ] ->
+    Alcotest.(check string) "names the pair" mux0 f.Lint.f_subject;
+    Alcotest.(check bool) "severity error" true (f.Lint.f_severity = Lint.Error)
+  | fs -> Alcotest.failf "expected one duplicate-pair finding, got %d" (List.length fs));
+  (* a clean pair list stays silent *)
+  let findings = Lint.check ~mc ~pairs:[ (mux0, sel) ] desc in
+  Alcotest.(check (list string)) "no duplicate-pair on clean list" []
+    (rules (find_rule "duplicate-pair" findings))
+
 let test_lint_unreachable_branch () =
   (* stateless_full dispatches on its [opcode] hole; pinning it to the
      fallback value makes every guarded branch unreachable *)
@@ -325,6 +342,7 @@ let () =
           Alcotest.test_case "dead ALU" `Quick test_lint_dead_alu;
           Alcotest.test_case "missing pair" `Quick test_lint_missing_pair;
           Alcotest.test_case "unknown pair" `Quick test_lint_unknown_pair;
+          Alcotest.test_case "duplicate pair" `Quick test_lint_duplicate_pair;
           Alcotest.test_case "unreachable branch" `Quick test_lint_unreachable_branch;
           Alcotest.test_case "write-only state slot" `Quick test_lint_write_only_state;
           Alcotest.test_case "helper-call errors" `Quick test_lint_helper_call_errors;

@@ -68,9 +68,9 @@ let qcheck_backends_agree =
       let cfg = Campaign.config ~trials:1 ~phvs:40 ~shrink:false () in
       let trial = Campaign.run_trial ~cfg index in
       match trial.Campaign.t_outcome with
-      | Oracle.Agree { configs; _ } -> configs = 6
+      | Campaign.Finished (Oracle.Agree { configs; _ }) -> configs = 6
       | o -> QCheck.Test.fail_reportf "trial %d (seed %d): %a" index trial.Campaign.t_seed
-               Oracle.pp_outcome o)
+               Campaign.pp_outcome o)
 
 let accumulator () =
   let desc =
@@ -233,13 +233,115 @@ let test_campaign_reports_identical_across_jobs () =
 let test_campaign_counts () =
   let r = Campaign.run (Campaign.config ~trials:8 ~jobs:2 ~phvs:20 ()) in
   Alcotest.(check int) "all trials accounted for" 8
-    (r.Campaign.r_agree + r.Campaign.r_divergent + r.Campaign.r_invalid);
+    (r.Campaign.r_agree + r.Campaign.r_divergent + r.Campaign.r_invalid + r.Campaign.r_crashed
+   + r.Campaign.r_timeout);
   Alcotest.(check int) "trials in index order" 8 (List.length r.Campaign.r_trials);
   List.iteri
     (fun i t -> Alcotest.(check int) "index" i t.Campaign.t_index)
     r.Campaign.r_trials;
   (* our own backends agree with each other *)
   Alcotest.(check int) "no divergence in a healthy simulator" 0 r.Campaign.r_divergent
+
+(* --- Robustness: crash containment, watchdog, breaker, resume, faults ------- *)
+
+(* Injected crashes must become structured records, identical across job
+   counts — the acceptance bar for the campaign's crash containment. *)
+let test_crash_containment_determinism () =
+  let hook i = if i mod 5 = 3 then failwith (Printf.sprintf "chaos at trial %d" i) in
+  let report jobs =
+    Campaign.to_json (Campaign.run (Campaign.config ~trials:10 ~jobs ~phvs:15 ~hook ()))
+  in
+  let j1 = report 1 and j2 = report 2 and j4 = report 4 in
+  Alcotest.(check string) "jobs 1 = jobs 2" j1 j2;
+  Alcotest.(check string) "jobs 1 = jobs 4" j1 j4;
+  let r = Campaign.run (Campaign.config ~trials:10 ~phvs:15 ~hook ()) in
+  Alcotest.(check int) "both injected crashes recorded" 2 r.Campaign.r_crashed;
+  List.iter
+    (fun t ->
+      match t.Campaign.t_outcome with
+      | Campaign.Crashed { cr_exn; _ } ->
+        Alcotest.(check bool) "crash only where injected" true (t.Campaign.t_index mod 5 = 3);
+        Alcotest.(check bool) "exception text captured" true
+          (String.length cr_exn > 0)
+      | _ -> Alcotest.(check bool) "no spurious crash" true (t.Campaign.t_index mod 5 <> 3))
+    r.Campaign.r_trials
+
+(* A starvation-level fuel budget must turn every trial into a replayable
+   [Timed_out], not hang or crash the campaign. *)
+let test_watchdog_timeout () =
+  let r = Campaign.run (Campaign.config ~trials:4 ~jobs:2 ~phvs:30 ~fuel:5 ()) in
+  Alcotest.(check int) "every trial timed out" 4 r.Campaign.r_timeout;
+  List.iter
+    (fun t ->
+      match t.Campaign.t_outcome with
+      | Campaign.Timed_out { to_fuel } -> Alcotest.(check int) "budget recorded" 5 to_fuel
+      | _ -> Alcotest.fail "expected a timeout outcome")
+    r.Campaign.r_trials;
+  (* and the timeout report is still jobs-independent *)
+  let j1 = Campaign.to_json (Campaign.run (Campaign.config ~trials:4 ~jobs:1 ~phvs:30 ~fuel:5 ())) in
+  Alcotest.(check string) "timeouts deterministic across jobs" j1 (Campaign.to_json r)
+
+(* The circuit breaker cuts at the Nth failing *index*, so the partial
+   report is identical whatever the job count. *)
+let test_max_failures_cutoff () =
+  let hook i = if i >= 2 then failwith "boom" in
+  let mk jobs =
+    Campaign.config ~trials:20 ~jobs ~phvs:10 ~max_failures:3 ~checkpoint_every:4 ~hook ()
+  in
+  let r1 = Campaign.run (mk 1) and r4 = Campaign.run (mk 4) in
+  Alcotest.(check string) "cutoff independent of jobs" (Campaign.to_json r1) (Campaign.to_json r4);
+  (match r1.Campaign.r_stopped_after with
+  | Some i -> Alcotest.(check int) "third failure is trial 4" 4 i
+  | None -> Alcotest.fail "breaker did not fire");
+  Alcotest.(check int) "report trimmed at the cutoff" 5 (List.length r1.Campaign.r_trials)
+
+(* Kill-and-resume: a run aborted mid-campaign (checkpoint on disk) resumed
+   under a different job count must reproduce the uninterrupted report byte
+   for byte — including the crash records it had already collected. *)
+let test_checkpoint_resume_byte_identical () =
+  let tmp = Filename.temp_file "druzhba-ck" ".json" in
+  Fun.protect
+    ~finally:(fun () -> if Sys.file_exists tmp then Sys.remove tmp)
+    (fun () ->
+      let hook i = if i mod 7 = 3 then failwith "chaos" in
+      let mk jobs = Campaign.config ~trials:12 ~jobs ~phvs:15 ~checkpoint_every:4 ~hook () in
+      let expected = Campaign.to_json (Campaign.run (mk 2)) in
+      (match Campaign.run_resumable ~checkpoint:tmp ~stop_after:8 (mk 2) with
+      | None -> ()
+      | Some _ -> Alcotest.fail "stop_after should abort the campaign");
+      (match Campaign.run_resumable ~checkpoint:tmp ~resume:true (mk 1) with
+      | Some r ->
+        Alcotest.(check string) "resumed = uninterrupted" expected (Campaign.to_json r)
+      | None -> Alcotest.fail "resume did not run to completion");
+      (* a resume under a different configuration must be refused *)
+      match
+        Campaign.run_resumable ~checkpoint:tmp ~resume:true
+          (Campaign.config ~trials:13 ~phvs:15 ~checkpoint_every:4 ~hook ())
+      with
+      | exception Campaign.Resume_error _ -> ()
+      | _ -> Alcotest.fail "mismatched checkpoint signature accepted")
+
+(* Fault-injection mode on a healthy simulator: substrates agree under
+   faults, fault-free replays stay pristine, and the whole fault campaign
+   is deterministic across job counts. *)
+let test_faults_mode () =
+  let mk jobs =
+    Campaign.config ~trials:6 ~jobs ~phvs:20 ~faults:(Campaign.fault_config ~runs:4 ()) ()
+  in
+  let r = Campaign.run (mk 2) in
+  Alcotest.(check int) "no fault-flagged trials" 0 r.Campaign.r_fault_flagged;
+  List.iter
+    (fun t ->
+      match t.Campaign.t_faults with
+      | Some fs ->
+        Alcotest.(check int) "all scenarios ran" 4 fs.Campaign.fs_runs;
+        Alcotest.(check int) "substrates agree under faults" 0 fs.Campaign.fs_substrate_mismatch;
+        Alcotest.(check bool) "fault-free replay is clean" true fs.Campaign.fs_replay_ok
+      | None -> Alcotest.fail "fault stats missing on an agreeing trial")
+    r.Campaign.r_trials;
+  Alcotest.(check string) "fault campaign deterministic across jobs"
+    (Campaign.to_json (Campaign.run (mk 1)))
+    (Campaign.to_json r)
 
 let () =
   Alcotest.run "campaign"
@@ -279,5 +381,16 @@ let () =
           Alcotest.test_case "JSON identical across job counts" `Quick
             test_campaign_reports_identical_across_jobs;
           Alcotest.test_case "summary counts" `Quick test_campaign_counts;
+        ] );
+      ( "robustness",
+        [
+          Alcotest.test_case "crash containment is deterministic" `Quick
+            test_crash_containment_determinism;
+          Alcotest.test_case "watchdog times trials out" `Quick test_watchdog_timeout;
+          Alcotest.test_case "circuit breaker cuts deterministically" `Quick
+            test_max_failures_cutoff;
+          Alcotest.test_case "kill + resume is byte-identical" `Quick
+            test_checkpoint_resume_byte_identical;
+          Alcotest.test_case "fault injection on a healthy simulator" `Quick test_faults_mode;
         ] );
     ]

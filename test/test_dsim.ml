@@ -6,7 +6,11 @@ module Machine_code = Druzhba_machine_code.Machine_code
 module Ir = Druzhba_pipeline.Ir
 module Dgen = Druzhba_pipeline.Dgen
 module Names = Druzhba_pipeline.Names
+module Compile = Druzhba_pipeline.Compile
 module Engine = Druzhba_dsim.Engine
+module Compiled = Druzhba_dsim.Compiled
+module Budget = Druzhba_dsim.Budget
+module Faults = Druzhba_dsim.Faults
 module Phv = Druzhba_dsim.Phv
 module Traffic = Druzhba_dsim.Traffic
 module Trace = Druzhba_dsim.Trace
@@ -296,6 +300,95 @@ let test_verify_compiled_sampling () =
   | Verify.Proved { states; _ } -> Alcotest.(check bool) "some states" true (states >= 10)
   | r -> Alcotest.failf "expected proof, got %a" Verify.pp_result r
 
+(* --- Budget (watchdog fuel) --------------------------------------------------- *)
+
+let test_budget_fuel () =
+  (match Budget.ticks 0 with
+  | exception Invalid_argument _ -> ()
+  | _ -> Alcotest.fail "zero budget accepted");
+  let b = Budget.ticks 3 in
+  Alcotest.(check int) "limit" 3 (Budget.limit b);
+  for _ = 1 to 3 do
+    Budget.spend b
+  done;
+  Alcotest.(check int) "dry" 0 (Budget.remaining b);
+  (match Budget.spend b with
+  | exception Budget.Exhausted -> ()
+  | () -> Alcotest.fail "spend on a dry budget succeeded");
+  (* refill re-arms to the full limit without reallocating *)
+  Budget.refill b;
+  Alcotest.(check int) "refilled" 3 (Budget.remaining b);
+  Budget.spend b;
+  Alcotest.(check int) "spends again" 2 (Budget.remaining b)
+
+let test_budget_of_seconds () =
+  (match Budget.of_seconds 0 with
+  | exception Invalid_argument _ -> ()
+  | _ -> Alcotest.fail "zero timeout accepted");
+  Alcotest.(check int) "fixed nominal rate"
+    (2 * Budget.nominal_ticks_per_second)
+    (Budget.limit (Budget.of_seconds 2))
+
+let test_budget_bounds_engine () =
+  let desc, mc = accumulator () in
+  let inputs = Traffic.phvs (Traffic.create ~seed:11 ~width:1 ~bits:32) 10 in
+  let engine = Engine.create desc ~mc in
+  let buf = Trace.Buffer.create ~width:1 ~capacity:(List.length inputs) in
+  (match Engine.run_into ~budget:(Budget.ticks 2) engine ~inputs buf with
+  | exception Budget.Exhausted -> ()
+  | () -> Alcotest.fail "2 ticks of fuel finished an 11-tick simulation");
+  Engine.reset engine;
+  Engine.run_into ~budget:(Budget.ticks 1000) engine ~inputs buf;
+  Alcotest.(check int) "ample fuel completes" (List.length inputs)
+    (List.length (Trace.Buffer.contents buf))
+
+(* --- Faults (hardware fault injection) ---------------------------------------- *)
+
+let test_faults_deterministic () =
+  let desc = gen ~depth:2 ~width:2 () in
+  let plan seed = Faults.generate ~seed ~desc ~n_inputs:20 ~count:5 () in
+  Alcotest.(check bool) "same seed, same plan" true (plan 42 = plan 42);
+  Alcotest.(check bool) "some seed draws a non-empty plan" true
+    (List.exists (fun s -> not (Faults.is_empty (plan s))) [ 1; 2; 3; 4; 5 ]);
+  Alcotest.(check bool) "seeds diversify plans" true
+    (List.exists (fun s -> plan s <> plan 42) [ 1; 2; 3; 4; 5 ])
+
+(* the two substrates must agree tick-for-tick *under* the same fault plan,
+   and a fault-free replay on the same instances must show no residue *)
+let test_faults_substrates_agree_and_replay_clean () =
+  let desc, mc = accumulator () in
+  let inputs = Traffic.phvs (Traffic.create ~seed:23 ~width:1 ~bits:32) 40 in
+  let capacity = List.length inputs in
+  let pristine = Engine.run desc ~mc ~inputs in
+  let engine = Engine.create desc ~mc in
+  let compiled = Compiled.create (Compile.compile desc ~mc) in
+  let eng_buf = Trace.Buffer.create ~width:1 ~capacity in
+  let cmp_buf = Trace.Buffer.create ~width:1 ~capacity in
+  let sensitive = ref 0 in
+  for seed = 1 to 8 do
+    let plan = Faults.generate ~seed ~desc ~n_inputs:capacity ~count:4 () in
+    Faults.run_engine plan engine ~inputs eng_buf;
+    Faults.run_compiled plan compiled ~inputs cmp_buf;
+    Alcotest.(check bool)
+      (Printf.sprintf "seed %d: outputs agree under faults" seed)
+      true
+      (Trace.Buffer.contents eng_buf = Trace.Buffer.contents cmp_buf);
+    Alcotest.(check bool)
+      (Printf.sprintf "seed %d: state agrees under faults" seed)
+      true
+      (Engine.current_state engine = Compiled.current_state compiled);
+    if Trace.Buffer.contents eng_buf <> pristine.Trace.outputs then incr sensitive
+  done;
+  Alcotest.(check bool) "some fault visibly perturbs the accumulator" true (!sensitive > 0);
+  (* fault-free replay: the overlay never touches the no-fault code path *)
+  Engine.reset engine;
+  Engine.run_into engine ~inputs eng_buf;
+  Compiled.run_into compiled ~inputs cmp_buf;
+  Alcotest.(check bool) "engine replay is pristine" true
+    (Trace.Buffer.contents eng_buf = pristine.Trace.outputs);
+  Alcotest.(check bool) "compiled replay is pristine" true
+    (Trace.Buffer.contents cmp_buf = pristine.Trace.outputs)
+
 let () =
   Alcotest.run "dsim"
     [
@@ -322,6 +415,18 @@ let () =
           Alcotest.test_case "breakpoints" `Quick test_debugger_breakpoint;
           Alcotest.test_case "first divergence" `Quick test_debugger_first_divergence;
           Alcotest.test_case "output breakpoint" `Quick test_debugger_output_breakpoint;
+        ] );
+      ( "budget",
+        [
+          Alcotest.test_case "fuel: spend, exhaust, refill" `Quick test_budget_fuel;
+          Alcotest.test_case "of_seconds uses the nominal rate" `Quick test_budget_of_seconds;
+          Alcotest.test_case "bounds an engine run" `Quick test_budget_bounds_engine;
+        ] );
+      ( "faults",
+        [
+          Alcotest.test_case "plans are pure in their seed" `Quick test_faults_deterministic;
+          Alcotest.test_case "substrates agree, replay is clean" `Quick
+            test_faults_substrates_agree_and_replay_clean;
         ] );
       ( "verification",
         [

@@ -122,6 +122,33 @@ let test_validate_out_of_range () =
   | Error vs ->
     Alcotest.failf "unexpected violations: %a" Fmt.(list ~sep:comma Machine_code.pp_violation) vs
 
+
+let contains ~sub s =
+  let n = String.length sub and m = String.length s in
+  let rec at i = i + n <= m && (String.sub s i n = sub || at (i + 1)) in
+  n = 0 || at 0
+
+let test_parse_rejects_duplicates () =
+  (match Machine_code.parse "a = 1\nb = 2\na = 3" with
+  | Ok _ -> Alcotest.fail "duplicate key accepted"
+  | Error e -> Alcotest.(check bool) "error names the key" true (contains ~sub:"a" e));
+  (* the tolerant variant keeps every binding so lint can flag them *)
+  match Machine_code.parse_pairs "a = 1\nb = 2\na = 3" with
+  | Error e -> Alcotest.fail e
+  | Ok pairs ->
+    Alcotest.(check int) "all bindings kept" 3 (List.length pairs);
+    Alcotest.(check (list string)) "duplicates named once" [ "a" ] (Machine_code.duplicates pairs)
+
+let test_of_pairs () =
+  (match Machine_code.of_pairs [ ("a", 1); ("b", 2) ] with
+  | Ok mc -> Alcotest.(check int) "distinct keys accepted" 2 (Machine_code.cardinal mc)
+  | Error e -> Alcotest.fail e);
+  match Machine_code.of_pairs [ ("a", 1); ("a", 2); ("c", 3); ("c", 4); ("c", 5) ] with
+  | Ok _ -> Alcotest.fail "duplicates accepted"
+  | Error e ->
+    Alcotest.(check bool) "names a" true (contains ~sub:"a" e);
+    Alcotest.(check bool) "names c once" true (contains ~sub:"c" e)
+
 let () =
   Alcotest.run "machine_code"
     [
@@ -139,6 +166,8 @@ let () =
           Alcotest.test_case "parse ok" `Quick test_parse_ok;
           Alcotest.test_case "parse errors" `Quick test_parse_errors;
           Alcotest.test_case "print/parse roundtrip" `Quick test_print_parse_roundtrip;
+          Alcotest.test_case "duplicate keys rejected" `Quick test_parse_rejects_duplicates;
+          Alcotest.test_case "of_pairs strictness" `Quick test_of_pairs;
         ] );
       ( "validation",
         [

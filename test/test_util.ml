@@ -169,7 +169,32 @@ let test_scanner_try_string () =
   Alcotest.(check bool) "no match leaves state" false (Scanner.try_string sc "==");
   Alcotest.(check string) "rest" "x" (Scanner.scan_ident sc)
 
+
+(* Campaigns key every trial on [derive master index]; the edge indices and
+   collision behaviour are load-bearing for checkpoint resume. *)
+let test_derive_edge_indices () =
+  let a = Prng.derive 0xD52ba 0 in
+  Alcotest.(check bool) "index 0 is non-negative" true (a >= 0);
+  Alcotest.(check int) "index 0 is stable" a (Prng.derive 0xD52ba 0);
+  Alcotest.(check bool) "index 0 <> index 1" true (a <> Prng.derive 0xD52ba 1);
+  let m = Prng.derive 0xD52ba max_int in
+  Alcotest.(check bool) "max_int index accepted" true (m >= 0);
+  Alcotest.(check int) "max_int index is stable" m (Prng.derive 0xD52ba max_int);
+  match Prng.derive 0xD52ba (-1) with
+  | exception Invalid_argument _ -> ()
+  | _ -> Alcotest.fail "negative index accepted"
+
+let test_derive_adjacent_no_collisions () =
+  let seen = Hashtbl.create 4096 in
+  let collisions = ref 0 in
+  for i = 0 to 9_999 do
+    let s = Prng.derive 42 i in
+    if Hashtbl.mem seen s then incr collisions else Hashtbl.add seen s ()
+  done;
+  Alcotest.(check int) "10k adjacent trials, no seed collisions" 0 !collisions
+
 let qsuite = List.map QCheck_alcotest.to_alcotest
+
 
 let () =
   Alcotest.run "util"
@@ -195,6 +220,9 @@ let () =
           Alcotest.test_case "seed sensitivity" `Quick test_prng_seed_sensitivity;
           Alcotest.test_case "copy" `Quick test_prng_copy;
           Alcotest.test_case "rough uniformity" `Quick test_prng_rough_uniformity;
+          Alcotest.test_case "derive edge indices" `Quick test_derive_edge_indices;
+          Alcotest.test_case "derive adjacent trials collide never" `Quick
+            test_derive_adjacent_no_collisions;
         ]
         @ qsuite [ prop_prng_bits_in_range; prop_prng_int_in_range ] );
       ( "hashing",
