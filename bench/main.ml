@@ -181,14 +181,16 @@ let run_drmt_bench () =
 
 (* --- JSON perf trajectory ------------------------------------------------------------ *)
 
-(* Machine-readable benchmark report (BENCH_pr3.json): per Table-1 program
+(* Machine-readable benchmark report (BENCH_pr5.json): per Table-1 program
    and optimization level, the steady-state tick cost on the compiled
    substrate (ns/PHV, PHVs/sec) and the steady-state allocation rate
    (Gc.allocated_bytes per PHV — the zero-allocation engine must keep this
    at ~0).  Each level also carries a cross-backend agreement bit: the
    Engine and Compiled traces on a fixed-seed workload must be equal, so CI
-   can fail the build on a divergence.  Future PRs diff their own report
-   against this file to track the perf trajectory. *)
+   can fail the build on a divergence.  A "drmt" section measures the same
+   program through both dRMT substrate modes (sequential reference vs
+   event-driven scheduler) with its own agreement bit.  Future PRs diff
+   their own report against this file to track the perf trajectory. *)
 
 type level_sample = {
   ls_level : string;
@@ -252,12 +254,70 @@ let measure_program ~phvs (bm : Spec.benchmark) : program_sample =
     ps_levels = levels;
   }
 
-let render_json ~quick ~phvs (samples : program_sample list) =
+(* dRMT rows: the bench l2l3 program run through the substrate interface in
+   both modes, on identical derived-seed traffic.  Times the steady-state
+   [run_into] path (substrate construction and trace freezing excluded). *)
+
+type drmt_mode_sample = {
+  dm_mode : string;
+  dm_ns_per_phv : float;
+  dm_phvs_per_sec : float;
+}
+
+type drmt_sample = {
+  ds_program : string;
+  ds_tables : int;
+  ds_phvs : int;
+  ds_modes : drmt_mode_sample list;
+  ds_agree : bool; (* event trace = sequential trace on the same workload *)
+}
+
+let measure_drmt ~phvs : drmt_sample =
+  let p = Drmt.P4.parse drmt_program in
+  let entries = match Drmt.Entries.parse drmt_entries with Ok e -> e | Error e -> failwith e in
+  let run mode =
+    let sub = Drmt_substrate.create ~mode ~entries p in
+    let inputs = Drmt_substrate.traffic ~seed:0xD52ba sub phvs in
+    let packed = Drmt_substrate.pack sub in
+    let buf = Trace.Buffer.create ~width:(Substrate.width packed) ~capacity:phvs in
+    Substrate.run_into packed ~inputs buf;
+    (* warm cache; run_into clears the buffer and re-arms, so time a fresh run *)
+    let t0 = Unix.gettimeofday () in
+    Substrate.run_into packed ~inputs buf;
+    let dt = Unix.gettimeofday () -. t0 in
+    let trace =
+      {
+        Trace.inputs;
+        outputs = Trace.Buffer.contents buf;
+        final_state = Substrate.current_state packed;
+      }
+    in
+    (dt, trace)
+  in
+  let dt_seq, trace_seq = run Drmt_substrate.Sequential in
+  let dt_ev, trace_ev = run Drmt_substrate.Event in
+  let n = float_of_int phvs in
+  let sample dm_mode dt =
+    {
+      dm_mode;
+      dm_ns_per_phv = dt *. 1e9 /. n;
+      dm_phvs_per_sec = (if dt > 0. then n /. dt else infinity);
+    }
+  in
+  {
+    ds_program = "l2l3";
+    ds_tables = List.length p.Drmt.P4.tables;
+    ds_phvs = phvs;
+    ds_modes = [ sample "sequential" dt_seq; sample "event" dt_ev ];
+    ds_agree = Trace.equal trace_seq trace_ev;
+  }
+
+let render_json ~quick ~phvs ~(drmt : drmt_sample) (samples : program_sample list) =
   let b = Buffer.create 4096 in
   let bpf fmt = Printf.bprintf b fmt in
   bpf "{\n";
   bpf "  \"schema\": \"druzhba-bench/1\",\n";
-  bpf "  \"pr\": 3,\n";
+  bpf "  \"pr\": 5,\n";
   bpf "  \"quick\": %b,\n" quick;
   bpf "  \"phvs\": %d,\n" phvs;
   bpf "  \"check_phvs\": %d,\n" json_check_phvs;
@@ -280,8 +340,22 @@ let render_json ~quick ~phvs (samples : program_sample list) =
       bpf "    }%s\n" (if i = List.length samples - 1 then "" else ","))
     samples;
   bpf "  ],\n";
+  bpf "  \"drmt\": {\n";
+  bpf "    \"program\": \"%s\", \"tables\": %d, \"phvs\": %d,\n" drmt.ds_program drmt.ds_tables
+    drmt.ds_phvs;
+  bpf "    \"modes\": [\n";
+  List.iteri
+    (fun i dm ->
+      bpf "      {\"mode\": \"%s\", \"ns_per_phv\": %.1f, \"phvs_per_sec\": %.0f}%s\n" dm.dm_mode
+        dm.dm_ns_per_phv dm.dm_phvs_per_sec
+        (if i = List.length drmt.ds_modes - 1 then "" else ","))
+    drmt.ds_modes;
+  bpf "    ],\n";
+  bpf "    \"event_sequential_agree\": %b\n" drmt.ds_agree;
+  bpf "  },\n";
   let all_agree =
-    List.for_all (fun ps -> List.for_all (fun ls -> ls.ls_agree) ps.ps_levels) samples
+    drmt.ds_agree
+    && List.for_all (fun ps -> List.for_all (fun ls -> ls.ls_agree) ps.ps_levels) samples
   in
   bpf "  \"all_agree\": %b\n" all_agree;
   bpf "}\n";
@@ -305,13 +379,20 @@ let run_json_report ~quick ~path =
         ps)
       Spec.all
   in
-  let json, all_agree = render_json ~quick ~phvs samples in
+  let drmt = measure_drmt ~phvs:(if quick then 2_000 else 20_000) in
+  List.iter
+    (fun dm ->
+      Printf.printf "%-18s %-12s %12.1f %14.0f %14s %8s\n" "drmt/l2l3" dm.dm_mode dm.dm_ns_per_phv
+        dm.dm_phvs_per_sec "-"
+        (if drmt.ds_agree then "yes" else "NO"))
+    drmt.ds_modes;
+  let json, all_agree = render_json ~quick ~phvs ~drmt samples in
   let oc = open_out path in
   output_string oc json;
   close_out oc;
   Printf.printf "\nwrote %s\n" path;
   if not all_agree then
-    Printf.printf "DIVERGENCE: at least one program's Engine and Compiled traces differ\n";
+    Printf.printf "DIVERGENCE: a backend pair (Engine/Compiled or dRMT event/sequential) differs\n";
   all_agree
 
 (* --- main --------------------------------------------------------------------------- *)
@@ -324,8 +405,8 @@ let () =
   if Array.exists (( = ) "--json") Sys.argv then begin
     (* JSON trajectory mode: only the machine-readable report (plus the
        Engine/Compiled agreement gate); exits non-zero on divergence *)
-    section "Perf trajectory (BENCH_pr3.json)";
-    if not (run_json_report ~quick ~path:"BENCH_pr3.json") then exit 1
+    section "Perf trajectory (BENCH_pr5.json)";
+    if not (run_json_report ~quick ~path:"BENCH_pr5.json") then exit 1
   end
   else begin
   let phvs = if quick then 5_000 else 50_000 in

@@ -218,7 +218,8 @@ let compile_cmd =
 (* --- lint -------------------------------------------------------------------------- *)
 
 let lint_cmd =
-  let run depth width bits stateful stateless mc_file program benchmarks json strict =
+  let run depth width bits stateful stateless mc_file program p4_file processors match_cap
+      action_cap benchmarks json strict =
     (* lint keeps duplicate pairs visible instead of rejecting them: the
        tolerant [parse_pairs] feeds the duplicate-pair rule, and the
        last-wins [of_list] view is what the semantic rules check *)
@@ -228,6 +229,21 @@ let lint_cmd =
       | Error e -> usage_error "%s: %s" path e
     in
     let targets =
+      match p4_file with
+      | Some path ->
+        (* dRMT mode: lint the table-dependency DAG of a P4 program for
+           cycles and line-rate schedulability under the given crossbar *)
+        let p =
+          match Drmt.P4.parse_result (read_file path) with
+          | Ok p -> p
+          | Error e -> usage_error "%s: %s" path e
+        in
+        let cfg =
+          Drmt.Scheduler.config ~processors ~match_capacity:match_cap
+            ~action_capacity:action_cap ()
+        in
+        [ (Filename.remove_extension (Filename.basename path), Lint.check_p4 ~cfg p) ]
+      | None ->
       if benchmarks then
         (* every Table-1 program, compiled by the rule-based backend *)
         List.map
@@ -285,7 +301,8 @@ let lint_cmd =
   let doc =
     "Statically check a pipeline description and machine code: missing and out-of-range \
      machine-code pairs, dead ALUs, write-only state slots, unreachable branches, helper-call \
-     defects, unused ALU-DSL declarations.  Exits non-zero on errors."
+     defects, unused ALU-DSL declarations.  With --p4, check a dRMT program's table-dependency \
+     DAG for cycles and line-rate schedulability instead.  Exits non-zero on errors."
   in
   Cmd.v
     (Cmd.info "lint" ~doc)
@@ -300,6 +317,24 @@ let lint_cmd =
           & opt (some string) None
           & info [ "program" ] ~docv:"FILE|BENCHMARK"
               ~doc:"Compile this packet program and lint the result.")
+      $ Arg.(
+          value
+          & opt (some file) None
+          & info [ "p4" ] ~docv:"FILE"
+              ~doc:
+                "Lint a dRMT P4-subset program instead: flag cyclic and unschedulable \
+                 table-dependency DAGs (offending tables named).")
+      $ Arg.(
+          value & opt int 4
+          & info [ "processors" ] ~docv:"P" ~doc:"dRMT processors (with --p4).")
+      $ Arg.(
+          value & opt int 8
+          & info [ "match-capacity" ] ~docv:"M"
+              ~doc:"Crossbar match issues per cycle (with --p4).")
+      $ Arg.(
+          value & opt int 32
+          & info [ "action-capacity" ] ~docv:"A"
+              ~doc:"Crossbar action issues per cycle (with --p4).")
       $ Arg.(
           value & flag
           & info [ "benchmarks" ] ~doc:"Lint every Table-1 benchmark program (used by CI).")
@@ -392,8 +427,8 @@ let fuzz_cmd =
 (* --- campaign ----------------------------------------------------------------------- *)
 
 let campaign_cmd =
-  let run trials jobs seed phvs no_shrink max_probes fuel timeout max_failures faults fault_runs
-      faults_per_run checkpoint resume checkpoint_every stop_after json out =
+  let run trials jobs seed substrate phvs no_shrink max_probes fuel timeout max_failures faults
+      fault_runs faults_per_run checkpoint resume checkpoint_every stop_after json out =
     if resume && checkpoint = None then usage_error "--resume requires --checkpoint FILE";
     (* --trial-fuel is exact ticks; --trial-timeout converts seconds at the
        fixed nominal tick rate so the watchdog stays deterministic *)
@@ -410,7 +445,7 @@ let campaign_cmd =
     in
     let cfg =
       try
-        Campaign.config ~trials ~jobs:(resolve_jobs jobs) ~master_seed:seed ~phvs
+        Campaign.config ~trials ~jobs:(resolve_jobs jobs) ~master_seed:seed ~substrate ~phvs
           ~shrink:(not no_shrink) ~max_probes ?fuel ?max_failures ?faults:faults_cfg
           ~checkpoint_every ()
       with Invalid_argument msg -> usage_error "%s" msg
@@ -438,12 +473,15 @@ let campaign_cmd =
       then exit 1
   in
   let doc =
-    "Run a multicore differential fuzz campaign: random machine code on random small pipelines, \
-     executed on both simulation backends (interpreter and closure-compiled) at all three \
-     optimization levels; cross-backend divergences are shrunk and reported.  Trials are \
-     crash-contained and watchdogged (--trial-fuel/--trial-timeout); --max-failures stops early; \
-     --checkpoint/--resume survive kills; --faults adds hardware fault injection.  The JSON \
-     report is byte-identical for a fixed master seed regardless of --jobs."
+    "Run a multicore differential fuzz campaign.  --substrate rmt runs random machine code on \
+     random small pipelines, executed on both simulation backends (interpreter and \
+     closure-compiled) at all three optimization levels; --substrate drmt runs random P4 \
+     programs and table entries on the event-driven dRMT model against the sequential P4 \
+     reference semantics; --substrate all alternates.  Cross-substrate divergences are shrunk \
+     and reported.  Trials are crash-contained and watchdogged \
+     (--trial-fuel/--trial-timeout); --max-failures stops early; --checkpoint/--resume survive \
+     kills; --faults adds hardware fault injection.  The JSON report is byte-identical for a \
+     fixed master seed regardless of --jobs."
   in
   Cmd.v
     (Cmd.info "campaign" ~doc)
@@ -451,6 +489,14 @@ let campaign_cmd =
       const run
       $ Arg.(value & opt int 100 & info [ "trials" ] ~docv:"N" ~doc:"Number of trials.")
       $ jobs_arg $ seed_arg
+      $ Arg.(
+          value
+          & opt (enum [ ("rmt", `Rmt); ("drmt", `Drmt); ("all", `All) ]) `Rmt
+          & info [ "substrate" ] ~docv:"FAMILY"
+              ~doc:
+                "Substrate family under test: $(b,rmt) (interpreter vs closure compiler at all \
+                 optimization levels), $(b,drmt) (event-driven dRMT vs sequential P4 reference \
+                 semantics), or $(b,all) (trials alternate between the two).")
       $ Arg.(value & opt int 100 & info [ "phvs" ] ~docv:"N" ~doc:"PHVs simulated per trial.")
       $ Arg.(value & flag & info [ "no-shrink" ] ~doc:"Skip counterexample shrinking.")
       $ Arg.(

@@ -273,6 +273,87 @@ let check_unused_decls (d : Ir.t) =
         (Alu_analysis.unused_decls spec))
     [ d.Ir.d_stateful_spec; d.Ir.d_stateless_spec ]
 
+(* --- dRMT table-dependency rules --------------------------------------------
+
+   The dRMT pipeline has its own statically-checkable defect classes: a
+   table-dependency graph with a cycle cannot be topologically scheduled at
+   all, and an acyclic program can still exceed the crossbar's per-cycle
+   match/action issue capacity (the scheduler's all-or-nothing line-rate
+   property).  Both are program-level errors a compiler should reject before
+   any packet is simulated, so [druzhba lint --p4] surfaces them with the
+   offending tables named. *)
+
+module Dag = Druzhba_drmt.Dag
+module Scheduler = Druzhba_drmt.Scheduler
+module P4 = Druzhba_drmt.P4
+
+let table_of_node = function Dag.Match t | Dag.Action t -> t
+
+(* cyclic-dag: Kahn's peel left nodes behind — the table-dependency graph
+   cannot be scheduled in any order. *)
+let check_cyclic_dag (dag : Dag.t) =
+  match Dag.find_cycle dag with
+  | None -> []
+  | Some nodes ->
+    let tables = List.sort_uniq compare (List.map table_of_node nodes) in
+    [
+      {
+        f_rule = "cyclic-dag";
+        f_severity = Error;
+        f_subject = String.concat ", " tables;
+        f_message =
+          Printf.sprintf
+            "table-dependency graph is cyclic: %d node(s) among tables [%s] can never be \
+             scheduled"
+            (List.length nodes) (String.concat "; " tables);
+      };
+    ]
+
+(* unschedulable-dag: the program is acyclic but cannot run at line rate
+   under [cfg] — more match (or action) nodes than the processors' residue
+   classes can issue.  The finding names the tables past the capacity
+   horizon (in control order): dropping or merging those would make the
+   program feasible again. *)
+let check_unschedulable_dag ~(cfg : Scheduler.config) (dag : Dag.t) =
+  match Scheduler.schedule cfg dag with
+  | _ -> []
+  | exception Scheduler.Infeasible msg ->
+    let beyond cap keep =
+      let tables = List.filter_map keep dag.Dag.nodes in
+      if List.length tables > cap then List.filteri (fun i _ -> i >= cap) tables else []
+    in
+    let over_match =
+      beyond
+        (cfg.Scheduler.processors * cfg.Scheduler.match_capacity)
+        (function Dag.Match t -> Some t | Dag.Action _ -> None)
+    in
+    let over_action =
+      beyond
+        (cfg.Scheduler.processors * cfg.Scheduler.action_capacity)
+        (function Dag.Action t -> Some t | Dag.Match _ -> None)
+    in
+    let offenders = List.sort_uniq compare (over_match @ over_action) in
+    [
+      {
+        f_rule = "unschedulable-dag";
+        f_severity = Error;
+        f_subject =
+          (match offenders with [] -> "schedule" | _ -> String.concat ", " offenders);
+        f_message = msg;
+      };
+    ]
+
+(* Lints a dRMT P4 program: extracts the table-dependency graph (or takes a
+   pre-built [dag], which hand-assembled graphs and future extractors can
+   pass directly) and checks it for cycles and line-rate schedulability
+   under [cfg].  A cyclic graph is not handed to the scheduler — greedy list
+   scheduling assumes a topological node order. *)
+let check_p4 ?dag ?(cfg = Scheduler.config ()) (p : P4.t) : finding list =
+  let dag = match dag with Some d -> d | None -> Dag.build p in
+  match check_cyclic_dag dag with
+  | _ :: _ as cyclic -> cyclic
+  | [] -> check_unschedulable_dag ~cfg dag
+
 (* --- Entry point ----------------------------------------------------------- *)
 
 (* Runs every rule; machine-code rules are skipped when no program is given

@@ -5,13 +5,25 @@
    {!Prng.derive}, so the campaign's results — and its JSON report — are
    bit-identical regardless of [--jobs]; parallelism only buys wall-clock.
 
-   One trial: draw a random small pipeline (dimensions and ALU atoms from
-   the trial seed), draw random well-formed machine code for it, and run the
-   cross-backend differential oracle ({!Oracle.check}): interpreter vs
-   closure-compiled execution at all three optimization levels.  Any
-   divergence is minimized by {!Shrink.minimize} before it is reported, so
-   the report carries the smallest PHV trace and the essential machine-code
-   pairs that reproduce the bug.
+   One trial runs a differential check over a substrate family:
+
+   - {b RMT}: draw a random small pipeline (dimensions and ALU atoms from
+     the trial seed), draw random well-formed machine code for it, and run
+     the cross-backend oracle ({!Oracle.check}): interpreter vs
+     closure-compiled execution at all three optimization levels.
+   - {b dRMT}: draw a random table-chain P4 program, random table entries
+     and a random processor count, and judge the event-driven dRMT model
+     against the sequential P4 reference semantics
+     ({!Oracle.diff_substrates} over {!Oracle.drmt_substrates}).  Generated
+     register updates are commutative and never feed back into matches or
+     field writes, so full trace+state equality is a sound oracle even
+     when packets overlap in the event-driven schedule.
+
+   [substrate] selects the family: [`Rmt], [`Drmt], or [`All] (trials
+   alternate by index, so a fixed master seed exercises both sides
+   deterministically).  Any divergence is minimized by {!Shrink} before it
+   is reported, so the report carries the smallest PHV trace (and, for RMT,
+   the essential machine-code pairs) that reproduces the bug.
 
    Robustness layer (this file's second job): a campaign must *finish* even
    when individual trials misbehave.
@@ -49,6 +61,11 @@ module Engine = Druzhba_dsim.Engine
 module Compiled = Druzhba_dsim.Compiled
 module Budget = Druzhba_dsim.Budget
 module Faults = Druzhba_dsim.Faults
+module Substrate = Druzhba_dsim.Substrate
+module Drmt_substrate = Druzhba_dsim.Drmt_substrate
+module P4 = Druzhba_drmt.P4
+module Scheduler = Druzhba_drmt.Scheduler
+module Entries = Druzhba_drmt.Entries
 module Fuzz = Druzhba_fuzz.Fuzz
 
 (* The atom pools a trial draws from.  Every stateful atom of the library
@@ -56,6 +73,22 @@ module Fuzz = Druzhba_fuzz.Fuzz
    is the only one the rule-based compiler targets, plus the small ones. *)
 let stateful_pool = [| "raw"; "sub"; "pred_raw"; "if_else_raw"; "nested_ifs"; "pair" |]
 let stateless_pool = [| "stateless_full"; "stateless_arith"; "stateless_rel"; "stateless_mux" |]
+
+(* Which substrate family a trial exercises. *)
+type family = Rmt | Drmt
+
+type selector = [ `Rmt | `Drmt | `All ]
+
+let selector_name = function `Rmt -> "rmt" | `Drmt -> "drmt" | `All -> "all"
+
+let selector_of_name = function
+  | "rmt" -> Some `Rmt
+  | "drmt" -> Some `Drmt
+  | "all" -> Some `All
+  | _ -> None
+
+(* Number of configurations each family's oracle compares. *)
+let family_configs = function Rmt -> 6 | Drmt -> 2
 
 type fault_config = {
   fc_runs : int; (* fault scenarios per agreeing trial *)
@@ -71,6 +104,7 @@ type config = {
   c_trials : int;
   c_jobs : int;
   c_master_seed : int;
+  c_substrate : selector; (* which substrate family trials exercise *)
   c_phvs : int; (* PHVs simulated per trial *)
   c_shrink : bool; (* minimize failing trials *)
   c_max_probes : int; (* shrink budget, in oracle re-runs *)
@@ -79,10 +113,16 @@ type config = {
   c_faults : fault_config option; (* fault-injection mode *)
   c_checkpoint_every : int; (* block size: trials between checkpoints *)
   c_hook : (int -> unit) option; (* test-only: runs at trial start (chaos injection) *)
+  c_sabotage : (int -> bool) option;
+      (* test-only: dRMT trials for which this answers true run the
+         event-driven candidate with semantically mutated table entries, so
+         the oracle MUST report a divergence (end-to-end proof that an
+         injected bug is caught with a replayable seed) *)
 }
 
-let config ?(trials = 100) ?(jobs = 1) ?(master_seed = 0xD52ba) ?(phvs = 100) ?(shrink = true)
-    ?(max_probes = 400) ?fuel ?max_failures ?faults ?(checkpoint_every = 64) ?hook () =
+let config ?(trials = 100) ?(jobs = 1) ?(master_seed = 0xD52ba) ?(substrate = `Rmt)
+    ?(phvs = 100) ?(shrink = true) ?(max_probes = 400) ?fuel ?max_failures ?faults
+    ?(checkpoint_every = 64) ?hook ?sabotage () =
   (match fuel with
   | Some f when f <= 0 -> invalid_arg "Campaign.config: fuel must be positive"
   | _ -> ());
@@ -90,9 +130,18 @@ let config ?(trials = 100) ?(jobs = 1) ?(master_seed = 0xD52ba) ?(phvs = 100) ?(
   | Some m when m <= 0 -> invalid_arg "Campaign.config: max_failures must be positive"
   | _ -> ());
   if checkpoint_every <= 0 then invalid_arg "Campaign.config: checkpoint_every must be positive";
-  { c_trials = trials; c_jobs = jobs; c_master_seed = master_seed; c_phvs = phvs;
-    c_shrink = shrink; c_max_probes = max_probes; c_fuel = fuel; c_max_failures = max_failures;
-    c_faults = faults; c_checkpoint_every = checkpoint_every; c_hook = hook }
+  { c_trials = trials; c_jobs = jobs; c_master_seed = master_seed; c_substrate = substrate;
+    c_phvs = phvs; c_shrink = shrink; c_max_probes = max_probes; c_fuel = fuel;
+    c_max_failures = max_failures; c_faults = faults; c_checkpoint_every = checkpoint_every;
+    c_hook = hook; c_sabotage = sabotage }
+
+(* Under [`All], trials alternate families by index — deterministic in the
+   index alone, so resume and any job count see the same split. *)
+let family_of ~(cfg : config) index =
+  match cfg.c_substrate with
+  | `Rmt -> Rmt
+  | `Drmt -> Drmt
+  | `All -> if index mod 2 = 0 then Rmt else Drmt
 
 (* Fault-mode verdict for one trial: how sensitive the program is to
    injected faults, whether the substrates stayed in lock-step under them,
@@ -110,14 +159,17 @@ type outcome =
   | Crashed of { cr_exn : string; cr_backtrace : string }
   | Timed_out of { to_fuel : int (* the budget that was exhausted *) }
 
+(* The drawn shape of one trial, per family.  Both variants are fully
+   determined by the trial seed, so a checkpoint only needs the seed to
+   reconstruct them. *)
+type params =
+  | Rmt_params of { depth : int; width : int; bits : int; stateful : string; stateless : string }
+  | Drmt_params of { tables : int; processors : int; entries : int }
+
 type trial = {
   t_index : int;
   t_seed : int; (* derived; reproduces the trial on its own *)
-  t_depth : int;
-  t_width : int;
-  t_bits : int;
-  t_stateful : string;
-  t_stateless : string;
+  t_params : params;
   t_outcome : outcome;
   t_shrunk : Shrink.result option; (* present iff the trial diverged and shrinking ran *)
   t_faults : fault_stats option; (* present iff fault mode ran on this trial *)
@@ -151,17 +203,100 @@ let trial_failed (t : trial) =
 
 (* --- One trial ------------------------------------------------------------ *)
 
-(* Pipeline parameters are the first five draws from the trial PRNG — kept
-   as a separate function because checkpoint resume re-derives them for
-   trials whose full record was not persisted. *)
-let trial_params seed =
+(* Trial parameters are the first draws from the trial PRNG — kept as a
+   separate function because checkpoint resume re-derives them for trials
+   whose full record was not persisted.  The returned PRNG continues the
+   stream (the trial body draws programs and traffic seeds from it). *)
+let trial_params family seed =
   let prng = Prng.create seed in
-  let depth = 1 + Prng.int prng 2 in
-  let width = 1 + Prng.int prng 2 in
-  let bits = [| 8; 16; 32 |].(Prng.int prng 3) in
-  let stateful = stateful_pool.(Prng.int prng (Array.length stateful_pool)) in
-  let stateless = stateless_pool.(Prng.int prng (Array.length stateless_pool)) in
-  (prng, depth, width, bits, stateful, stateless)
+  match family with
+  | Rmt ->
+    let depth = 1 + Prng.int prng 2 in
+    let width = 1 + Prng.int prng 2 in
+    let bits = [| 8; 16; 32 |].(Prng.int prng 3) in
+    let stateful = stateful_pool.(Prng.int prng (Array.length stateful_pool)) in
+    let stateless = stateless_pool.(Prng.int prng (Array.length stateless_pool)) in
+    (prng, Rmt_params { depth; width; bits; stateful; stateless })
+  | Drmt ->
+    (* feasible by construction: tables <= 4 and the default per-processor
+       crossbar capacities admit 4 matches/actions even at 1 processor *)
+    let tables = 1 + Prng.int prng 4 in
+    let processors = 1 + Prng.int prng 4 in
+    let entries = Prng.int prng (4 * tables) in
+    (prng, Drmt_params { tables; processors; entries })
+
+(* --- dRMT trial material -----------------------------------------------------
+
+   A generated dRMT program is a dependency chain: table i keys exactly on
+   8-bit field f_i and its action adds the matched argument into f_{i+1}
+   (so entries steer later matches) and bumps a private per-table register.
+   Register updates are commutative increments and registers are never read
+   into matches or field writes — the one program shape for which full
+   trace + final-state equality between the event-driven schedule and the
+   sequential reference is a sound oracle even when packets overlap. *)
+
+let drmt_program ~tables : P4.t =
+  let field i = "f" ^ string_of_int i in
+  let act i = "act" ^ string_of_int i in
+  let tbl i = "t" ^ string_of_int i in
+  let headers = [ { P4.h_name = "h"; h_fields = List.init (tables + 1) (fun i -> (field i, 8)) } ] in
+  let actions =
+    List.init tables (fun i ->
+        {
+          P4.a_name = act i;
+          a_params = [ "v" ];
+          a_body =
+            [
+              P4.Assign
+                ( P4.Header ("h", field (i + 1)),
+                  P4.Binop (P4.Add, P4.Ref (P4.Header ("h", field (i + 1))), P4.Param "v") );
+              P4.Assign
+                ( P4.Reg ("r" ^ string_of_int i),
+                  P4.Binop (P4.Add, P4.Ref (P4.Reg ("r" ^ string_of_int i)), P4.Int 1) );
+            ];
+        })
+  in
+  let tables_l =
+    List.init tables (fun i ->
+        {
+          P4.t_name = tbl i;
+          t_key = P4.Header ("h", field i);
+          t_match = P4.Exact;
+          t_actions = [ act i ];
+          t_default = (act i, [ 0 ]);
+        })
+  in
+  { P4.headers; actions; tables = tables_l; control = List.init tables tbl }
+
+let drmt_entries prng ~tables ~count =
+  List.init count (fun _ ->
+      let t = Prng.int prng tables in
+      {
+        Entries.en_table = "t" ^ string_of_int t;
+        en_pattern = Entries.Pexact (Prng.int prng 256);
+        en_action = "act" ^ string_of_int t;
+        en_args = [ 1 + Prng.int prng 255 ];
+      })
+
+(* Semantic mutation for the acceptance test: bump every installed entry's
+   argument and every table's default argument, so the mutated configuration
+   computes different field values on every packet. *)
+let sabotage_entries entries =
+  List.map
+    (fun (e : Entries.entry) ->
+      { e with Entries.en_args = List.map (fun v -> v + 1) e.Entries.en_args })
+    entries
+
+let sabotage_program (p : P4.t) =
+  {
+    p with
+    P4.tables =
+      List.map
+        (fun (t : P4.table) ->
+          let name, args = t.P4.t_default in
+          { t with P4.t_default = (name, List.map (fun v -> v + 1) args) })
+        p.P4.tables;
+  }
 
 (* Backtraces are captured where the exception is *caught* (inside the
    trial), so they contain only frames below the handler — identical
@@ -170,84 +305,175 @@ let trial_params seed =
 let backtrace_text () =
   match Printexc.get_backtrace () with "" -> "<backtrace not recorded>" | bt -> bt
 
-(* Runs [fc_runs] seeded fault scenarios against an already-agreeing trial.
-   Scenario seeds derive from the trial seed, so fault mode is as
+(* Runs [fc_runs] seeded fault scenarios against an already-agreeing trial,
+   on any substrate pair: the two substrates must agree *under* the same
+   fault plan, departing from the fault-free reference is mere sensitivity,
+   and a fault-free replay afterwards must match the pristine reference on
+   both (the overlay must leave no residue).  [gen_plan k] builds the k-th
+   scenario's plan — substrate-family-specific geometry lives in the
+   caller.  Scenario seeds derive from the trial seed, so fault mode is as
    reproducible as the trial itself. *)
-let run_faults ?budget ~(fc : fault_config) ~(desc : Ir.t) ~mc ~inputs ~seed () : fault_stats =
+let run_faults ?budget ~(fc : fault_config) ~(pair : Substrate.packed * Substrate.packed)
+    ~(gen_plan : int -> Faults.t) ~inputs () : fault_stats =
   (* every sub-run gets a full tank: the watchdog bounds each simulation,
      not their sum, so enabling faults never shifts timeout behaviour *)
   let refill () = match budget with Some b -> Budget.refill b | None -> () in
-  let width = desc.Ir.d_width in
+  let sub_a, sub_b = pair in
   let capacity = List.length inputs in
-  let ref_buf = Trace.Buffer.create ~width ~capacity in
-  let eng_buf = Trace.Buffer.create ~width ~capacity in
-  let cmp_buf = Trace.Buffer.create ~width ~capacity in
-  let engine = Engine.create desc ~mc in
-  let compiled = Compiled.create (Compile.compile desc ~mc) in
+  let ref_buf = Trace.Buffer.create ~width:(Substrate.width sub_a) ~capacity in
+  let a_buf = Trace.Buffer.create ~width:(Substrate.width sub_a) ~capacity in
+  let b_buf = Trace.Buffer.create ~width:(Substrate.width sub_b) ~capacity in
   refill ();
-  Engine.run_into ?budget engine ~inputs ref_buf;
-  let ref_state = Engine.current_state engine in
+  Substrate.run_into ?budget sub_a ~inputs ref_buf;
+  let ref_state = Substrate.current_state sub_a in
   let sensitive = ref 0 and mismatch = ref 0 in
   for k = 1 to fc.fc_runs do
-    let plan =
-      Faults.generate ~seed:(Prng.derive seed k) ~desc ~n_inputs:capacity ~count:fc.fc_per_run ()
-    in
+    let plan = gen_plan k in
     refill ();
-    Faults.run_engine ?budget plan engine ~inputs eng_buf;
-    let eng_state = Engine.current_state engine in
+    Substrate.run_into ?budget ~faults:plan sub_a ~inputs a_buf;
+    let a_state = Substrate.current_state sub_a in
     refill ();
-    Faults.run_compiled ?budget plan compiled ~inputs cmp_buf;
-    let cmp_state = Compiled.current_state compiled in
+    Substrate.run_into ?budget ~faults:plan sub_b ~inputs b_buf;
+    let b_state = Substrate.current_state sub_b in
     (* the two substrates must agree *under* the same faults... *)
-    if
-      Oracle.diff_runs ~ref_buf:eng_buf ~ref_state:eng_state ~act_buf:cmp_buf ~act_state:cmp_state
-      <> None
+    if Oracle.diff_runs ~ref_buf:a_buf ~ref_state:a_state ~act_buf:b_buf ~act_state:b_state <> None
     then incr mismatch;
     (* ...while departing from the fault-free reference is mere sensitivity *)
-    if Oracle.diff_runs ~ref_buf ~ref_state ~act_buf:eng_buf ~act_state:eng_state <> None then
+    if Oracle.diff_runs ~ref_buf ~ref_state ~act_buf:a_buf ~act_state:a_state <> None then
       incr sensitive
   done;
-  (* fault-free replay on the same engines: the overlay must leave no residue *)
+  (* fault-free replay on the same substrates: the overlay must leave no residue *)
   refill ();
-  Engine.reset engine;
-  Engine.run_into ?budget engine ~inputs eng_buf;
-  let replay_e =
-    Oracle.diff_runs ~ref_buf ~ref_state ~act_buf:eng_buf ~act_state:(Engine.current_state engine)
+  Substrate.run_into ?budget sub_a ~inputs a_buf;
+  let replay_a =
+    Oracle.diff_runs ~ref_buf ~ref_state ~act_buf:a_buf
+      ~act_state:(Substrate.current_state sub_a)
     = None
   in
   refill ();
-  Compiled.run_into ?budget compiled ~inputs cmp_buf;
-  let replay_c =
-    Oracle.diff_runs ~ref_buf ~ref_state ~act_buf:cmp_buf
-      ~act_state:(Compiled.current_state compiled)
+  Substrate.run_into ?budget sub_b ~inputs b_buf;
+  let replay_b =
+    Oracle.diff_runs ~ref_buf ~ref_state ~act_buf:b_buf
+      ~act_state:(Substrate.current_state sub_b)
     = None
   in
   {
     fs_runs = fc.fc_runs;
     fs_sensitive = !sensitive;
     fs_substrate_mismatch = !mismatch;
-    fs_replay_ok = replay_e && replay_c;
+    fs_replay_ok = replay_a && replay_b;
   }
+
+(* The RMT trial body: random pipeline + machine code, six-configuration
+   oracle, machine-code-aware shrinking, per-stage fault geometry. *)
+let run_rmt_trial ~(cfg : config) ~seed ~prng ~depth ~width ~bits ~stateful_name ~stateless_name
+    =
+  let desc =
+    Dgen.generate
+      (Dgen.config ~depth ~width ~bits ())
+      ~stateful:(Atoms.find_exn stateful_name) ~stateless:(Atoms.find_exn stateless_name)
+  in
+  let mc = Fuzz.random_mc prng desc in
+  let traffic_seed = Prng.bits prng 30 in
+  let inputs = Traffic.phvs (Traffic.create ~seed:traffic_seed ~width ~bits) cfg.c_phvs in
+  let budget = Option.map Budget.ticks cfg.c_fuel in
+  let outcome = Oracle.check ?budget ~desc ~mc ~inputs () in
+  let shrunk =
+    match outcome with
+    | Oracle.Divergence _ when cfg.c_shrink ->
+      let repro ~inputs ~mc =
+        (* each probe gets the full budget; a probe that still exhausts
+           it is treated as non-reproducing by the shrinker *)
+        (match budget with Some b -> Budget.refill b | None -> ());
+        match Oracle.check ?budget ~desc ~mc ~inputs () with
+        | Oracle.Divergence _ -> true
+        | Oracle.Agree _ | Oracle.Invalid_mc _ -> false
+      in
+      Some (Shrink.minimize ~max_probes:cfg.c_max_probes ~repro ~inputs ~mc ())
+    | _ -> None
+  in
+  let faults =
+    match (cfg.c_faults, outcome) with
+    | Some fc, Oracle.Agree _ ->
+      let pair =
+        ( Substrate.of_engine ~label:"interpreter@unoptimized" desc ~mc,
+          Substrate.of_compiled ~label:"closures@unoptimized" (Compile.compile desc ~mc) )
+      in
+      let gen_plan k =
+        Faults.generate ~seed:(Prng.derive seed k) ~desc ~n_inputs:(List.length inputs)
+          ~count:fc.fc_per_run ()
+      in
+      Some (run_faults ?budget ~fc ~pair ~gen_plan ~inputs ())
+    | _ -> None
+  in
+  (Finished outcome, shrunk, faults)
+
+(* The dRMT trial body: random chain program + entries, event-driven vs
+   sequential oracle, input-only shrinking, input-path fault geometry. *)
+let run_drmt_trial ~(cfg : config) ~seed ~prng ~index ~tables ~processors ~n_entries =
+  let p = drmt_program ~tables in
+  let entries = drmt_entries prng ~tables ~count:n_entries in
+  let traffic_seed = Prng.bits prng 30 in
+  let sched_cfg = Scheduler.config ~processors () in
+  let sabotaged = match cfg.c_sabotage with Some f -> f index | None -> false in
+  (* the reference always runs the pristine configuration; under sabotage
+     the event-driven candidate gets semantically mutated tables *)
+  let candidate_p = if sabotaged then sabotage_program p else p in
+  let candidate_entries = if sabotaged then sabotage_entries entries else entries in
+  let reference =
+    Drmt_substrate.create ~mode:Drmt_substrate.Sequential ~entries p
+  in
+  let substrates () =
+    [
+      Drmt_substrate.pack reference;
+      Drmt_substrate.of_p4 ~cfg:sched_cfg ~mode:Drmt_substrate.Event ~entries:candidate_entries
+        candidate_p;
+    ]
+  in
+  let inputs = Drmt_substrate.traffic ~seed:traffic_seed reference cfg.c_phvs in
+  let budget = Option.map Budget.ticks cfg.c_fuel in
+  let check inputs = Oracle.diff_substrates ?budget ~substrates:(substrates ()) ~inputs () in
+  let outcome = check inputs in
+  let shrunk =
+    match outcome with
+    | Oracle.Divergence _ when cfg.c_shrink ->
+      let repro ~inputs =
+        (match budget with Some b -> Budget.refill b | None -> ());
+        match check inputs with
+        | Oracle.Divergence _ -> true
+        | Oracle.Agree _ | Oracle.Invalid_mc _ -> false
+      in
+      Some (Shrink.minimize_inputs ~max_probes:cfg.c_max_probes ~repro ~inputs ())
+    | _ -> None
+  in
+  let faults =
+    match (cfg.c_faults, outcome) with
+    | Some fc, Oracle.Agree _ ->
+      let pair =
+        match substrates () with
+        | [ a; b ] -> (a, b)
+        | _ -> assert false
+      in
+      let gen_plan k =
+        (* input-path plan on the dRMT trace geometry; generated header
+           fields are 8-bit wide *)
+        Faults.generate_io ~seed:(Prng.derive seed k)
+          ~width:(Drmt_substrate.width reference)
+          ~bits:8 ~n_inputs:(List.length inputs) ~count:fc.fc_per_run ()
+      in
+      Some (run_faults ?budget ~fc ~pair ~gen_plan ~inputs ())
+    | _ -> None
+  in
+  (Finished outcome, shrunk, faults)
 
 let run_trial ~(cfg : config) index : trial =
   (* backtrace recording is per-domain in OCaml 5, so arm it here (on
      whichever worker runs the trial) rather than once in [run] *)
   Printexc.record_backtrace true;
   let seed = Prng.derive cfg.c_master_seed index in
-  let prng, depth, width, bits, stateful_name, stateless_name = trial_params seed in
+  let prng, params = trial_params (family_of ~cfg index) seed in
   let finish (t_outcome, t_shrunk, t_faults) =
-    {
-      t_index = index;
-      t_seed = seed;
-      t_depth = depth;
-      t_width = width;
-      t_bits = bits;
-      t_stateful = stateful_name;
-      t_stateless = stateless_name;
-      t_outcome;
-      t_shrunk;
-      t_faults;
-    }
+    { t_index = index; t_seed = seed; t_params = params; t_outcome; t_shrunk; t_faults }
   in
   (* Containment boundary: everything below — generation, simulation,
      shrinking, fault runs, the chaos hook — is folded into a structured
@@ -256,36 +482,12 @@ let run_trial ~(cfg : config) index : trial =
      trial). *)
   match
     (match cfg.c_hook with Some hook -> hook index | None -> ());
-    let desc =
-      Dgen.generate
-        (Dgen.config ~depth ~width ~bits ())
-        ~stateful:(Atoms.find_exn stateful_name) ~stateless:(Atoms.find_exn stateless_name)
-    in
-    let mc = Fuzz.random_mc prng desc in
-    let traffic_seed = Prng.bits prng 30 in
-    let inputs = Traffic.phvs (Traffic.create ~seed:traffic_seed ~width ~bits) cfg.c_phvs in
-    let budget = Option.map Budget.ticks cfg.c_fuel in
-    let outcome = Oracle.check ?budget ~desc ~mc ~inputs () in
-    let shrunk =
-      match outcome with
-      | Oracle.Divergence _ when cfg.c_shrink ->
-        let repro ~inputs ~mc =
-          (* each probe gets the full budget; a probe that still exhausts
-             it is treated as non-reproducing by the shrinker *)
-          (match budget with Some b -> Budget.refill b | None -> ());
-          match Oracle.check ?budget ~desc ~mc ~inputs () with
-          | Oracle.Divergence _ -> true
-          | Oracle.Agree _ | Oracle.Invalid_mc _ -> false
-        in
-        Some (Shrink.minimize ~max_probes:cfg.c_max_probes ~repro ~inputs ~mc ())
-      | _ -> None
-    in
-    let faults =
-      match (cfg.c_faults, outcome) with
-      | Some fc, Oracle.Agree _ -> Some (run_faults ?budget ~fc ~desc ~mc ~inputs ~seed ())
-      | _ -> None
-    in
-    (Finished outcome, shrunk, faults)
+    match params with
+    | Rmt_params { depth; width; bits; stateful; stateless } ->
+      run_rmt_trial ~cfg ~seed ~prng ~depth ~width ~bits ~stateful_name:stateful
+        ~stateless_name:stateless
+    | Drmt_params { tables; processors; entries } ->
+      run_drmt_trial ~cfg ~seed ~prng ~index ~tables ~processors ~n_entries:entries
   with
   | result -> finish result
   | exception Budget.Exhausted ->
@@ -294,21 +496,18 @@ let run_trial ~(cfg : config) index : trial =
     let cr_backtrace = backtrace_text () in
     finish (Crashed { cr_exn = Printexc.to_string e; cr_backtrace }, None, None)
 
-(* The overwhelmingly common trial — six configurations agree, no faults
+(* The overwhelmingly common trial — all configurations agree, no faults
    flagged — is fully determined by the campaign config and the trial
    index, so checkpoints do not store it; resume reconstructs it here. *)
 let default_trial ~(cfg : config) index : trial =
   let seed = Prng.derive cfg.c_master_seed index in
-  let _, depth, width, bits, stateful, stateless = trial_params seed in
+  let family = family_of ~cfg index in
+  let _, params = trial_params family seed in
   {
     t_index = index;
     t_seed = seed;
-    t_depth = depth;
-    t_width = width;
-    t_bits = bits;
-    t_stateful = stateful;
-    t_stateless = stateless;
-    t_outcome = Finished (Oracle.Agree { configs = 6; phvs = cfg.c_phvs });
+    t_params = params;
+    t_outcome = Finished (Oracle.Agree { configs = family_configs family; phvs = cfg.c_phvs });
     t_shrunk = None;
     t_faults =
       Option.map
@@ -322,7 +521,8 @@ let default_trial ~(cfg : config) index : trial =
    program-dependent and must be persisted. *)
 let is_default_trial ~(cfg : config) (t : trial) =
   (match t.t_outcome with
-  | Finished (Oracle.Agree { configs = 6; phvs }) -> phvs = cfg.c_phvs
+  | Finished (Oracle.Agree { configs; phvs }) ->
+    configs = family_configs (family_of ~cfg t.t_index) && phvs = cfg.c_phvs
   | _ -> false)
   && t.t_shrunk = None
   && (match (t.t_faults, cfg.c_faults) with
@@ -375,8 +575,7 @@ let json_of_outcome (o : outcome) : Report.json =
     Report.Obj
       [
         ("class", Report.Str "backend_divergence");
-        ("backend", Report.Str (Oracle.backend_name d.Oracle.dv_backend));
-        ("level", Report.Str (Optimizer.level_name d.Oracle.dv_level));
+        ("config", Report.Str d.Oracle.dv_config);
         ("kind", Report.Str kind);
         ("where", where);
         ("expected", Report.Int d.Oracle.dv_expected);
@@ -412,18 +611,29 @@ let json_of_faults (fs : fault_stats) : Report.json =
       ("replay_ok", Report.Bool fs.fs_replay_ok);
     ]
 
+let json_of_params = function
+  | Rmt_params { depth; width; bits; stateful; stateless } ->
+    [
+      ("substrate", Report.Str "rmt");
+      ("depth", Report.Int depth);
+      ("width", Report.Int width);
+      ("bits", Report.Int bits);
+      ("stateful", Report.Str stateful);
+      ("stateless", Report.Str stateless);
+    ]
+  | Drmt_params { tables; processors; entries } ->
+    [
+      ("substrate", Report.Str "drmt");
+      ("tables", Report.Int tables);
+      ("processors", Report.Int processors);
+      ("entries", Report.Int entries);
+    ]
+
 let json_of_trial (t : trial) : Report.json =
   let base =
-    [
-      ("index", Report.Int t.t_index);
-      ("seed", Report.Int t.t_seed);
-      ("depth", Report.Int t.t_depth);
-      ("width", Report.Int t.t_width);
-      ("bits", Report.Int t.t_bits);
-      ("stateful", Report.Str t.t_stateful);
-      ("stateless", Report.Str t.t_stateless);
-      ("outcome", json_of_outcome t.t_outcome);
-    ]
+    [ ("index", Report.Int t.t_index); ("seed", Report.Int t.t_seed) ]
+    @ json_of_params t.t_params
+    @ [ ("outcome", json_of_outcome t.t_outcome) ]
   in
   let shrunk =
     match t.t_shrunk with None -> [] | Some s -> [ ("shrunk", json_of_shrunk s) ]
@@ -450,17 +660,6 @@ let dfield j key conv =
 
 let dstr j key = dfield j key Report.to_str
 let dint j key = dfield j key Report.to_int
-
-let backend_of_name = function
-  | "interpreter" -> Oracle.Interpreter
-  | "closures" -> Oracle.Closures
-  | s -> rfail "unknown backend %S" s
-
-let level_of_name = function
-  | "unoptimized" -> Optimizer.Unoptimized
-  | "scc" -> Optimizer.Scc
-  | "scc+inline" -> Optimizer.Scc_inline
-  | s -> rfail "unknown optimization level %S" s
 
 let violation_of_json j : Machine_code.violation =
   match dstr j "kind" with
@@ -492,8 +691,7 @@ let outcome_of_json j : outcome =
     Finished
       (Oracle.Divergence
          {
-           dv_backend = backend_of_name (dstr j "backend");
-           dv_level = level_of_name (dstr j "level");
+           dv_config = dstr j "config";
            dv_kind;
            dv_expected = dint j "expected";
            dv_actual = dint j "actual";
@@ -538,15 +736,27 @@ let faults_of_json j : fault_stats =
     fs_replay_ok = dfield j "replay_ok" Report.to_bool;
   }
 
+let params_of_json j : params =
+  match dstr j "substrate" with
+  | "rmt" ->
+    Rmt_params
+      {
+        depth = dint j "depth";
+        width = dint j "width";
+        bits = dint j "bits";
+        stateful = dstr j "stateful";
+        stateless = dstr j "stateless";
+      }
+  | "drmt" ->
+    Drmt_params
+      { tables = dint j "tables"; processors = dint j "processors"; entries = dint j "entries" }
+  | s -> rfail "unknown trial substrate %S" s
+
 let trial_of_json j : trial =
   {
     t_index = dint j "index";
     t_seed = dint j "seed";
-    t_depth = dint j "depth";
-    t_width = dint j "width";
-    t_bits = dint j "bits";
-    t_stateful = dstr j "stateful";
-    t_stateless = dstr j "stateless";
+    t_params = params_of_json j;
     t_outcome = outcome_of_json (dfield j "outcome" Option.some);
     t_shrunk = Option.map shrunk_of_json (Report.member "shrunk" j);
     t_faults = Option.map faults_of_json (Report.member "faults" j);
@@ -556,7 +766,8 @@ let trial_of_json j : trial =
 
 let signature_of_config (cfg : config) : Checkpoint.signature =
   {
-    Checkpoint.sg_master_seed = cfg.c_master_seed;
+    Checkpoint.sg_substrate = selector_name cfg.c_substrate;
+    sg_master_seed = cfg.c_master_seed;
     sg_trials = cfg.c_trials;
     sg_phvs = cfg.c_phvs;
     sg_shrink = cfg.c_shrink;
@@ -710,9 +921,15 @@ let pp_faults ppf (fs : fault_stats) =
     fs.fs_runs fs.fs_substrate_mismatch
     (if fs.fs_replay_ok then "clean" else "CORRUPTED")
 
+let pp_params ppf = function
+  | Rmt_params { depth; width; bits; stateful; stateless } ->
+    Fmt.pf ppf "rmt %dx%d @ %d bits, %s/%s" depth width bits stateful stateless
+  | Drmt_params { tables; processors; entries } ->
+    Fmt.pf ppf "drmt %d table(s), %d processor(s), %d entrie(s)" tables processors entries
+
 let pp_trial ppf (t : trial) =
-  Fmt.pf ppf "trial %4d (seed %d, %dx%d @ %d bits, %s/%s): %a" t.t_index t.t_seed t.t_depth
-    t.t_width t.t_bits t.t_stateful t.t_stateless pp_outcome t.t_outcome;
+  Fmt.pf ppf "trial %4d (seed %d, %a): %a" t.t_index t.t_seed pp_params t.t_params pp_outcome
+    t.t_outcome;
   (match t.t_shrunk with None -> () | Some s -> Fmt.pf ppf "@,  %a" Shrink.pp s);
   match t.t_faults with
   | Some fs when fault_flagged t.t_faults -> Fmt.pf ppf "@,  %a" pp_faults fs
@@ -743,6 +960,7 @@ let to_json (r : report) : string =
     (Report.Obj
        [
          ("campaign", Report.Str "differential");
+         ("substrate", Report.Str (selector_name r.r_config.c_substrate));
          ("master_seed", Report.Int r.r_config.c_master_seed);
          ("trials", Report.Int r.r_config.c_trials);
          ("phvs_per_trial", Report.Int r.r_config.c_phvs);

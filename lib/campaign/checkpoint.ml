@@ -18,7 +18,7 @@
    blended in. *)
 
 let format_tag = "druzhba-campaign-checkpoint"
-let version = 1
+let version = 2
 
 (* Everything a checkpoint's trial records depend on.  Two campaigns with
    equal signatures derive identical per-trial seeds, draw identical
@@ -26,6 +26,7 @@ let version = 1
    condition under which resuming from the file is sound.  [sg_jobs] is
    deliberately absent: job count never affects results. *)
 type signature = {
+  sg_substrate : string; (* "rmt" | "drmt" | "all" *)
   sg_master_seed : int;
   sg_trials : int;
   sg_phvs : int;
@@ -57,6 +58,7 @@ let completed_prefix t =
 let json_of_signature (s : signature) : Report.json =
   Report.Obj
     [
+      ("substrate", Report.Str s.sg_substrate);
       ("master_seed", Report.Int s.sg_master_seed);
       ("trials", Report.Int s.sg_trials);
       ("phvs", Report.Int s.sg_phvs);
@@ -110,6 +112,7 @@ let field obj key conv =
 
 let signature_of_json j : signature =
   {
+    sg_substrate = field j "substrate" Report.to_str;
     sg_master_seed = field j "master_seed" Report.to_int;
     sg_trials = field j "trials" Report.to_int;
     sg_phvs = field j "phvs" Report.to_int;

@@ -1,17 +1,23 @@
-(* Differential cross-backend oracle.
+(* Differential cross-substrate oracle.
 
-   Gauntlet-style differential execution: the same machine code is run on
-   every execution substrate the simulator has — the tree-walking
-   interpreter ({!Druzhba_dsim.Engine}) and the closure-compiled pipeline
-   ({!Druzhba_dsim.Compiled}) — at all three optimization levels of the
-   paper's Table 1.  All six configurations must produce the same output
+   Gauntlet-style differential execution: the same program is run on every
+   execution substrate available and all runs must produce the same output
    trace and final state; any divergence is a bug in the simulator stack
-   itself (optimizer, closure compiler, or interpreter) and is reported as
-   its own failure class, distinct from the spec mismatches of Fig. 5.
+   itself (optimizer, closure compiler, interpreter, or the dRMT scheduler)
+   and is reported as its own failure class, distinct from the spec
+   mismatches of Fig. 5.
 
-   The reference configuration is the interpreter on the unoptimized
-   description: it is the most literal rendering of the hardware semantics,
-   so every other configuration is judged against it. *)
+   The oracle is polymorphic over a {!Druzhba_dsim.Substrate.packed} list:
+   the head of the list is the reference configuration and every other
+   entry is judged against it.  Two canonical substrate sets ship here:
+
+   - {!rmt_substrates}: the interpreter ({!Druzhba_dsim.Engine}) and the
+     closure-compiled pipeline ({!Druzhba_dsim.Compiled}) at all three
+     optimization levels of the paper's Table 1, referenced by the
+     interpreter on the unoptimized description (the most literal rendering
+     of the hardware semantics) — six configurations;
+   - {!drmt_substrates}: the event-driven dRMT model judged against the
+     sequential P4 reference semantics — two configurations. *)
 
 module Machine_code = Druzhba_machine_code.Machine_code
 module Ir = Druzhba_pipeline.Ir
@@ -19,21 +25,20 @@ module Compile = Druzhba_pipeline.Compile
 module Optimizer = Druzhba_optimizer.Optimizer
 module Engine = Druzhba_dsim.Engine
 module Compiled = Druzhba_dsim.Compiled
+module Substrate = Druzhba_dsim.Substrate
+module Drmt_substrate = Druzhba_dsim.Drmt_substrate
 module Phv = Druzhba_dsim.Phv
 module Trace = Druzhba_dsim.Trace
-
-type backend = Interpreter | Closures
-
-let backend_name = function Interpreter -> "interpreter" | Closures -> "closures"
 
 let all_levels = [ Optimizer.Unoptimized; Optimizer.Scc; Optimizer.Scc_inline ]
 
 (* Where and how a non-reference configuration departed from the reference
-   trace.  [`Shape] covers the pathological case of a different number of
-   outputs (a pipeline-depth bug would show up this way). *)
+   trace.  [dv_config] is the diverging substrate's label (e.g.
+   ["closures@scc"] or ["drmt@event"]).  [`Shape] covers the pathological
+   case of a different number of outputs (a pipeline-depth bug would show
+   up this way). *)
 type divergence = {
-  dv_backend : backend;
-  dv_level : Optimizer.level;
+  dv_config : string;
   dv_kind : [ `Output of int * int (* phv index, container *) | `State of string * int | `Shape ];
   dv_expected : int; (* reference value; 0 for `Shape *)
   dv_actual : int; (* diverging value; 0 for `Shape *)
@@ -51,8 +56,8 @@ let pp_divergence ppf d =
     | `State (alu, slot) -> Fmt.str "state %s[%d]" alu slot
     | `Shape -> "trace shape"
   in
-  Fmt.pf ppf "%s@%s diverges from reference at %s: expected %d, got %d" (backend_name d.dv_backend)
-    (Optimizer.level_name d.dv_level) where d.dv_expected d.dv_actual
+  Fmt.pf ppf "%s diverges from reference at %s: expected %d, got %d" d.dv_config where
+    d.dv_expected d.dv_actual
 
 let pp_outcome ppf = function
   | Agree { configs; phvs } -> Fmt.pf ppf "agree (%d configurations, %d PHVs)" configs phvs
@@ -108,7 +113,7 @@ let diff_traces ~(reference : Trace.t) ~(actual : Trace.t) :
     | None -> diff_states ~reference:reference.Trace.final_state ~actual:actual.Trace.final_state
   end
 
-(* As {!diff_traces}, but over the engines' preallocated output buffers —
+(* As {!diff_traces}, but over the substrates' preallocated output buffers —
    the oracle's hot path never freezes a {!Trace.t}. *)
 let diff_runs ~(ref_buf : Trace.Buffer.t) ~ref_state ~(act_buf : Trace.Buffer.t) ~act_state :
     ([ `Output of int * int | `State of string * int | `Shape ] * int * int) option =
@@ -133,63 +138,77 @@ let diff_runs ~(ref_buf : Trace.Buffer.t) ~ref_state ~(act_buf : Trace.Buffer.t)
     | None -> diff_states ~reference:ref_state ~actual:act_state
   end
 
-(* Runs [mc] on [inputs] in all (backend x level) configurations and diffs
-   each against the reference.  The per-level optimized descriptions are
-   shared between the two backends, so the optimizer runs once per level;
-   all six runs stream through two preallocated output buffers (reference +
-   candidate), so the simulation hot loop never allocates per PHV and no
-   intermediate trace is materialized. *)
-(* [budget] (if any) is shared by all six runs: one unit of fuel per
-   simulation tick, {!Druzhba_dsim.Budget.Exhausted} escaping to the caller
-   — the campaign runner turns it into a [Trial_timeout] outcome. *)
+(* --- Substrate sets ---------------------------------------------------------- *)
+
+(* The six RMT configurations, reference (interpreter on the unoptimized
+   description) first.  The per-level optimized descriptions are shared
+   between the two backends, so the optimizer runs once per level. *)
+let rmt_substrates ?(init = []) ~(desc : Ir.t) ~mc () : Substrate.packed list =
+  Substrate.of_engine ~label:"interpreter@unoptimized" ~init desc ~mc
+  :: List.concat_map
+       (fun level ->
+         let optimized = Optimizer.apply ~level ~mc desc in
+         let compiled = Compile.compile optimized ~mc in
+         let interp =
+           if level = Optimizer.Unoptimized then []
+           else
+             [
+               Substrate.of_engine
+                 ~label:("interpreter@" ^ Optimizer.level_name level)
+                 ~init optimized ~mc;
+             ]
+         in
+         interp
+         @ [ Substrate.of_compiled ~label:("closures@" ^ Optimizer.level_name level) ~init compiled ])
+       all_levels
+
+(* The two dRMT configurations, sequential P4 reference semantics first.
+   @raise Druzhba_drmt.Scheduler.Infeasible if the program cannot be
+   scheduled under [cfg]. *)
+let drmt_substrates ?cfg ~entries (p : Druzhba_drmt.P4.t) : Substrate.packed list =
+  [
+    Drmt_substrate.of_p4 ~mode:Drmt_substrate.Sequential ~entries p;
+    Drmt_substrate.of_p4 ?cfg ~mode:Drmt_substrate.Event ~entries p;
+  ]
+
+(* --- Differential check ------------------------------------------------------- *)
+
+(* Runs [inputs] through every substrate and diffs each candidate against
+   the head of the list.  All runs stream through preallocated output
+   buffers, so the simulation hot loop never allocates per PHV and no
+   intermediate trace is materialized.
+
+   [budget] (if any) is shared by all runs: one unit of fuel per simulation
+   tick (or scheduled event), {!Druzhba_dsim.Budget.Exhausted} escaping to
+   the caller — the campaign runner turns it into a timeout outcome. *)
+let diff_substrates ?budget ~(substrates : Substrate.packed list) ~inputs () : outcome =
+  match substrates with
+  | [] | [ _ ] ->
+    invalid_arg "Oracle.diff_substrates: need a reference and at least one candidate"
+  | reference :: candidates ->
+    let capacity = List.length inputs in
+    let ref_buf = Trace.Buffer.create ~width:(Substrate.width reference) ~capacity in
+    Substrate.run_into ?budget reference ~inputs ref_buf;
+    let ref_state = Substrate.current_state reference in
+    let act_buf = Trace.Buffer.create ~width:(Substrate.width reference) ~capacity in
+    let rec judge = function
+      | [] -> Agree { configs = 1 + List.length candidates; phvs = capacity }
+      | sub :: rest -> (
+        Substrate.run_into ?budget sub ~inputs act_buf;
+        let act_state = Substrate.current_state sub in
+        match diff_runs ~ref_buf ~ref_state ~act_buf ~act_state with
+        | None -> judge rest
+        | Some (dv_kind, dv_expected, dv_actual) ->
+          Divergence { dv_config = Substrate.name sub; dv_kind; dv_expected; dv_actual })
+    in
+    judge candidates
+
+(* Validates [mc] then runs the six-configuration RMT differential check. *)
 let check ?(init = []) ?budget ~(desc : Ir.t) ~mc ~inputs () : outcome =
   match Machine_code.validate ~domains:(Ir.control_domains desc) mc with
   | Error violations -> Invalid_mc violations
-  | Ok () -> (
-    let capacity = List.length inputs in
-    let width = desc.Ir.d_width in
-    let ref_buf = Trace.Buffer.create ~width ~capacity in
-    let act_buf = Trace.Buffer.create ~width ~capacity in
-    let ref_engine = Engine.create ~init desc ~mc in
-    Engine.run_into ?budget ref_engine ~inputs ref_buf;
-    let ref_state = Engine.current_state ref_engine in
-    let divergence = ref None in
-    (try
-       List.iter
-         (fun level ->
-           let optimized = Optimizer.apply ~level ~mc desc in
-           let compiled = Compile.compile optimized ~mc in
-           List.iter
-             (fun backend ->
-               if not (backend = Interpreter && level = Optimizer.Unoptimized) then begin
-                 let act_state =
-                   match backend with
-                   | Interpreter ->
-                     let engine = Engine.create ~init optimized ~mc in
-                     Engine.run_into ?budget engine ~inputs act_buf;
-                     Engine.current_state engine
-                   | Closures ->
-                     let t = Compiled.create compiled in
-                     Compiled.run_into ~init ?budget t ~inputs act_buf;
-                     Compiled.current_state t
-                 in
-                 match diff_runs ~ref_buf ~ref_state ~act_buf ~act_state with
-                 | None -> ()
-                 | Some (dv_kind, dv_expected, dv_actual) ->
-                   divergence :=
-                     Some
-                       {
-                         dv_backend = backend;
-                         dv_level = level;
-                         dv_kind;
-                         dv_expected;
-                         dv_actual;
-                       };
-                   raise_notrace Exit
-               end)
-             [ Interpreter; Closures ])
-         all_levels
-     with Exit -> ());
-    match !divergence with
-    | Some d -> Divergence d
-    | None -> Agree { configs = 2 * List.length all_levels; phvs = List.length inputs })
+  | Ok () -> diff_substrates ?budget ~substrates:(rmt_substrates ~init ~desc ~mc ()) ~inputs ()
+
+(* Event-driven dRMT vs sequential reference on a P4 program. *)
+let check_drmt ?budget ?cfg ~entries ~(p : Druzhba_drmt.P4.t) ~inputs () : outcome =
+  diff_substrates ?budget ~substrates:(drmt_substrates ?cfg ~entries p) ~inputs ()

@@ -102,6 +102,18 @@ let minimize ?(max_probes = 400) ~(repro : inputs:Phv.t list -> mc:Machine_code.
     (Machine_code.to_alist shrunk_mc);
   { sh_inputs = inputs; sh_mc = shrunk_mc; sh_essential = List.rev !essential; sh_probes = !probes }
 
+(* Input-only minimization (phases 1–2) for substrates with no machine code
+   to neutralize — dRMT trials, whose program is a generated P4 AST.  The
+   result's machine-code side is empty. *)
+let minimize_inputs ?(max_probes = 400) ~(repro : inputs:Phv.t list -> bool) ~inputs () : result
+    =
+  let r =
+    minimize ~max_probes
+      ~repro:(fun ~inputs ~mc:_ -> repro ~inputs)
+      ~inputs ~mc:(Machine_code.of_list []) ()
+  in
+  { r with sh_mc = Machine_code.of_list []; sh_essential = [] }
+
 let pp ppf r =
   Fmt.pf ppf "shrunk to %d PHVs, %d essential pairs (%d probes): %a" (List.length r.sh_inputs)
     (List.length r.sh_essential) r.sh_probes

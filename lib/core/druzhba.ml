@@ -41,6 +41,9 @@ module Traffic = Druzhba_dsim.Traffic
 module Trace = Druzhba_dsim.Trace
 module Engine = Druzhba_dsim.Engine
 module Compiled = Druzhba_dsim.Compiled
+module Substrate = Druzhba_dsim.Substrate
+module Drmt_substrate = Druzhba_dsim.Drmt_substrate
+module Debugger = Druzhba_dsim.Debugger
 module Budget = Druzhba_dsim.Budget
 module Faults = Druzhba_dsim.Faults
 module Atoms = Druzhba_atoms.Atoms

@@ -74,6 +74,42 @@ let build ?(delta_match = 22) ?(delta_action = 2) (p : P4.t) : t =
 let predecessors dag node =
   List.filter_map (fun e -> if equal_node e.e_to node then Some e else None) dag.edges
 
+(* Kahn's algorithm over the edge list: returns the nodes left with a
+   non-zero in-degree after peeling, i.e. a witness set containing at least
+   one cycle, or [None] when the graph is acyclic.  [build] only emits
+   forward edges so its output is always acyclic, but hand-assembled graphs
+   (and future dependency extractors) are not guaranteed to be — the lint
+   rule for cyclic table DAGs goes through here. *)
+let find_cycle dag : node list option =
+  let indeg = Hashtbl.create 16 in
+  List.iter (fun n -> Hashtbl.replace indeg (show_node n) 0) dag.nodes;
+  List.iter
+    (fun e ->
+      match Hashtbl.find_opt indeg (show_node e.e_to) with
+      | Some d -> Hashtbl.replace indeg (show_node e.e_to) (d + 1)
+      | None -> ())
+    dag.edges;
+  let queue = Queue.create () in
+  List.iter (fun n -> if Hashtbl.find indeg (show_node n) = 0 then Queue.add n queue) dag.nodes;
+  let peeled = ref 0 in
+  while not (Queue.is_empty queue) do
+    let n = Queue.pop queue in
+    incr peeled;
+    List.iter
+      (fun e ->
+        if equal_node e.e_from n then
+          match Hashtbl.find_opt indeg (show_node e.e_to) with
+          | Some d ->
+            Hashtbl.replace indeg (show_node e.e_to) (d - 1);
+            if d - 1 = 0 then Queue.add e.e_to queue
+          | None -> ())
+      dag.edges
+  done;
+  if !peeled = List.length dag.nodes then None
+  else
+    Some
+      (List.filter (fun n -> Hashtbl.find indeg (show_node n) > 0) dag.nodes)
+
 (* Nodes in a topological order (the node list is already one: all edges go
    forward in control order, and Match precedes Action per table). *)
 let topological dag = dag.nodes

@@ -137,16 +137,37 @@ let do_action (p : P4.t) registers (pk : packet) (table : P4.table) =
 
 (* --- Traffic ------------------------------------------------------------------ *)
 
-let random_packet (p : P4.t) prng ~id ~arrival ~processor =
+(* Each packet draws its fields from its own PRNG stream, derived from the
+   run seed and the packet id ([Prng.derive]).  Packet [k] of seed [s] is
+   therefore reproducible in isolation — a campaign can replay any single
+   packet of a trial from the trial seed alone, matching the RMT determinism
+   contract. *)
+let random_packet (p : P4.t) ~seed ~id ~arrival ~processor =
+  let prng = Prng.create (Prng.derive seed id) in
   let fields = Hashtbl.create 16 in
   List.iter
     (fun (r, w) -> Hashtbl.replace fields r (Prng.bits prng (min w 62)))
     (P4.packet_fields p.P4.headers);
   { pk_id = id; pk_arrival = arrival; pk_processor = processor; fields; selected = []; dropped = false }
 
+(* Builds a packet from explicit field values (a substrate adapter feeding
+   externally generated traffic).  Unlisted fields read as 0. *)
+let packet_of_fields ~id ~arrival ~processor assignments =
+  let fields = Hashtbl.create 16 in
+  List.iter (fun (r, v) -> Hashtbl.replace fields r v) assignments;
+  { pk_id = id; pk_arrival = arrival; pk_processor = processor; fields; selected = []; dropped = false }
+
 (* --- Scheduled (dRMT) execution ------------------------------------------------- *)
 
-let run ?(seed = 0xD52ba) ~(cfg : Scheduler.config) ~entries ~packets (p : P4.t) : result =
+(* Event-driven execution of pre-built packets.  [spend] is a fuel hook
+   invoked once per (packet, node) event — callers with a tick budget thread
+   [Budget.spend] through it without this library depending on the budget
+   module.  [registers] preloads the global register file (control-plane
+   initialization).  Packets are mutated in place: pass fresh packets per
+   run. *)
+let run_packets ?(spend = fun () -> ()) ?(registers = []) ~(cfg : Scheduler.config) ~entries
+    (pks : packet list) (p : P4.t) : result =
+  let preload = registers in
   let dag = Dag.build p in
   let sched = Scheduler.schedule cfg dag in
   (match Scheduler.validate dag sched with
@@ -156,11 +177,6 @@ let run ?(seed = 0xD52ba) ~(cfg : Scheduler.config) ~entries ~packets (p : P4.t)
       (Fmt.str "Drmt.Sim: scheduler produced an invalid schedule: %a"
          Fmt.(list ~sep:(any "; ") Scheduler.pp_violation)
          violations));
-  let prng = Prng.create seed in
-  let pks =
-    List.init packets (fun k ->
-        random_packet p prng ~id:k ~arrival:k ~processor:(k mod cfg.Scheduler.processors))
-  in
   (* every (packet, node) pair is an event at arrival + node time *)
   let events =
     List.concat_map
@@ -175,6 +191,7 @@ let run ?(seed = 0xD52ba) ~(cfg : Scheduler.config) ~entries ~packets (p : P4.t)
       events
   in
   let registers = Hashtbl.create 16 in
+  List.iter (fun (k, v) -> Hashtbl.replace registers k v) preload;
   let matches = ref 0 and actions = ref 0 in
   let hits = Hashtbl.create 8 in
   let per_cycle_match = Hashtbl.create 64 and per_cycle_action = Hashtbl.create 64 in
@@ -183,6 +200,7 @@ let run ?(seed = 0xD52ba) ~(cfg : Scheduler.config) ~entries ~packets (p : P4.t)
   let last_cycle = ref 0 in
   List.iter
     (fun (cycle, pk, node) ->
+      spend ();
       last_cycle := max !last_cycle cycle;
       match node with
       | Dag.Match name ->
@@ -205,7 +223,7 @@ let run ?(seed = 0xD52ba) ~(cfg : Scheduler.config) ~entries ~packets (p : P4.t)
       |> List.sort (fun (a, _) (b, _) -> String.compare a b);
     r_stats =
       {
-        st_packets = packets;
+        st_packets = List.length pks;
         st_cycles = !last_cycle + 1;
         st_matches = !matches;
         st_actions = !actions;
@@ -219,15 +237,23 @@ let run ?(seed = 0xD52ba) ~(cfg : Scheduler.config) ~entries ~packets (p : P4.t)
       };
   }
 
+let run ?(seed = 0xD52ba) ?spend ~(cfg : Scheduler.config) ~entries ~packets (p : P4.t) : result =
+  let pks =
+    List.init packets (fun k ->
+        random_packet p ~seed ~id:k ~arrival:k ~processor:(k mod cfg.Scheduler.processors))
+  in
+  run_packets ?spend ~cfg ~entries pks p
+
 (* --- Sequential reference semantics ---------------------------------------------- *)
 
 (* Runs packets one at a time, tables in control order — standard P4
    semantics, used as the golden model for differential testing of the
-   scheduled execution. *)
-let run_sequential ?(seed = 0xD52ba) ~entries ~packets (p : P4.t) : result =
-  let prng = Prng.create seed in
-  let pks = List.init packets (fun k -> random_packet p prng ~id:k ~arrival:k ~processor:0) in
+   scheduled execution.  [spend] fires once per (packet, table) step. *)
+let run_sequential_packets ?(spend = fun () -> ()) ?(registers = []) ~entries
+    (pks : packet list) (p : P4.t) : result =
+  let preload = registers in
   let registers = Hashtbl.create 16 in
+  List.iter (fun (k, v) -> Hashtbl.replace registers k v) preload;
   let matches = ref 0 and actions = ref 0 in
   let hits = Hashtbl.create 8 in
   let bump tbl key = Hashtbl.replace tbl key (1 + (try Hashtbl.find tbl key with Not_found -> 0)) in
@@ -235,6 +261,7 @@ let run_sequential ?(seed = 0xD52ba) ~entries ~packets (p : P4.t) : result =
     (fun pk ->
       List.iter
         (fun name ->
+          spend ();
           let table = Option.get (P4.find_table p name) in
           incr matches;
           if do_match p entries registers pk table then bump hits name;
@@ -249,8 +276,8 @@ let run_sequential ?(seed = 0xD52ba) ~entries ~packets (p : P4.t) : result =
       |> List.sort (fun (a, _) (b, _) -> String.compare a b);
     r_stats =
       {
-        st_packets = packets;
-        st_cycles = packets;
+        st_packets = List.length pks;
+        st_cycles = List.length pks;
         st_matches = !matches;
         st_actions = !actions;
         st_table_hits =
@@ -262,6 +289,12 @@ let run_sequential ?(seed = 0xD52ba) ~entries ~packets (p : P4.t) : result =
         st_peak_action_per_processor = 0;
       };
   }
+
+let run_sequential ?(seed = 0xD52ba) ?spend ~entries ~packets (p : P4.t) : result =
+  let pks =
+    List.init packets (fun k -> random_packet p ~seed ~id:k ~arrival:k ~processor:0)
+  in
+  run_sequential_packets ?spend ~entries pks p
 
 (* Compares packet-local outcomes of two runs (register interleavings may
    differ when packets overlap; packet fields must not). *)

@@ -120,6 +120,13 @@ let step t ~input =
   (match input with Some phv -> inject t phv | None -> no_inject t);
   if tick_once t then Some (Array.sub t.cur (t.depth * t.width) t.width) else None
 
+(* The PHV at each stage boundary (fresh copies); see {!Engine.boundaries}.
+   Index s = input of stage s, index depth = the PHV that exited on the last
+   tick — the register-file view the time-travel debugger snapshots. *)
+let boundaries t : Phv.t option array =
+  Array.init (t.depth + 1) (fun s ->
+      if t.occ land (1 lsl s) <> 0 then Some (Array.sub t.cur (s * t.width) t.width) else None)
+
 let current_state t =
   Array.to_list t.compiled.Compile.c_stages
   |> List.concat_map (fun (cs : Compile.compiled_stage) ->

@@ -6,11 +6,12 @@
    testers to rewind pipeline simulation ticks to past pipeline states to
    trace origins of erroneous behavior."
 
-   The debugger wraps {!Engine} and records a full snapshot per tick (the
-   inter-stage registers and every stateful ALU's state vector), so a
-   session can step forward, rewind to any earlier tick in O(1), and scan
-   for the first tick where a predicate fires (breakpoints on container or
-   state values). *)
+   The debugger drives any {!Substrate.packed} through the substrate
+   interface ([step]/[boundaries]/[current_state]) and records a full
+   snapshot per tick (the inter-stage registers and every persistent state
+   vector), so a session can step forward, rewind to any earlier tick in
+   O(1), and scan for the first tick where a predicate fires (breakpoints
+   on container or state values). *)
 
 module Machine_code = Druzhba_machine_code.Machine_code
 module Ir = Druzhba_pipeline.Ir
@@ -18,36 +19,40 @@ module Ir = Druzhba_pipeline.Ir
 type snapshot = {
   snap_tick : int;
   snap_regs : Phv.t option array; (* PHV at each stage boundary *)
-  snap_state : (string * int array) list; (* per stateful ALU *)
+  snap_state : (string * int array) list; (* per stateful ALU / register *)
   snap_output : Phv.t option; (* PHV that exited on this tick *)
 }
 
 type t = {
-  engine : Engine.t;
+  substrate : Substrate.packed;
   inputs : Phv.t array; (* one per tick; missing ticks inject nothing *)
   mutable history : snapshot list; (* newest first; index = tick *)
   mutable cursor : int; (* tick the debugger is looking at *)
 }
 
-let snapshot_of engine ~tick ~output =
+let snapshot_of substrate ~tick ~output =
   {
     snap_tick = tick;
-    (* [Engine.boundaries] already returns fresh copies of the rows *)
-    snap_regs = Engine.boundaries engine;
-    snap_state = Engine.current_state engine;
+    (* [Substrate.boundaries] already returns fresh copies of the rows *)
+    snap_regs = Substrate.boundaries substrate;
+    snap_state = Substrate.current_state substrate;
     snap_output = Option.map Phv.copy output;
   }
 
 (* Starts a session over a fixed input trace (tick t injects [inputs.(t)] if
-   present). *)
-let start ?init (desc : Ir.t) ~mc ~inputs =
-  let engine = Engine.create ?init desc ~mc in
+   present) on any substrate. *)
+let start_on substrate ~inputs =
   {
-    engine;
+    substrate;
     inputs = Array.of_list inputs;
-    history = [ snapshot_of engine ~tick:0 ~output:None ];
+    history = [ snapshot_of substrate ~tick:0 ~output:None ];
     cursor = 0;
   }
+
+(* Starts a session on the interpreter engine (the historical entry point;
+   [start_on] takes any backend). *)
+let start ?init (desc : Ir.t) ~mc ~inputs =
+  start_on (Substrate.of_engine ?init desc ~mc) ~inputs
 
 let ticks_recorded t = List.length t.history
 
@@ -58,12 +63,12 @@ let current t : snapshot =
   let back = ticks_recorded t - 1 - t.cursor in
   List.nth t.history back
 
-(* Runs the engine one tick past the recorded history. *)
+(* Runs the substrate one tick past the recorded history. *)
 let extend t =
   let tick = ticks_recorded t - 1 in
   let input = if tick < Array.length t.inputs then Some t.inputs.(tick) else None in
-  let output = Engine.step t.engine ~input in
-  t.history <- snapshot_of t.engine ~tick:(tick + 1) ~output :: t.history
+  let output = Substrate.step t.substrate ~input in
+  t.history <- snapshot_of t.substrate ~tick:(tick + 1) ~output :: t.history
 
 (* Moves the cursor forward one tick, simulating on demand. *)
 let step t =

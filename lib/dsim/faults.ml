@@ -82,6 +82,53 @@ let generate ~seed ~(desc : Ir.t) ~n_inputs ~count () : t =
   done;
   { fp_seed = seed; fp_flips = List.rev !flips; fp_stuck = List.rev !stuck; fp_dropped = dropped }
 
+(* [generate_io] draws an input-path-only plan (bit flips + drops, no
+   stuck-at sites) for substrates without a stateful-ALU geometry — the dRMT
+   adapter, whose registers live behind the match-action tables rather than
+   in per-stage ALUs.  Pure in (seed, width, bits, n_inputs, count). *)
+let generate_io ~seed ~width ~bits ~n_inputs ~count () : t =
+  let prng = Prng.create seed in
+  let flips = ref [] in
+  let dropped = Array.make (max 1 n_inputs) false in
+  for _ = 1 to count do
+    match Prng.int prng 2 with
+    | 0 when n_inputs > 0 ->
+      flips :=
+        {
+          bf_phv = Prng.int prng n_inputs;
+          bf_container = Prng.int prng width;
+          bf_bit = Prng.int prng bits;
+        }
+        :: !flips
+    | 1 when n_inputs > 0 -> dropped.(Prng.int prng n_inputs) <- true
+    | _ -> ()
+  done;
+  { fp_seed = seed; fp_flips = List.rev !flips; fp_stuck = []; fp_dropped = dropped }
+
+(* Applies the input-path faults of [plan] to an input list without touching
+   any engine: flipped PHVs are replaced by fresh copies with the planned
+   bits inverted, dropped injection slots are removed.  Substrates that run
+   whole input batches at once (the dRMT adapter) inject faults by
+   transforming their inputs through this and running normally — the
+   stuck-at overlay does not apply to them. *)
+let overlay_inputs plan (inputs : Phv.t list) : Phv.t list =
+  List.filteri
+    (fun i _ -> not (i < Array.length plan.fp_dropped && plan.fp_dropped.(i)))
+    (List.mapi
+       (fun i phv ->
+         let flips = List.filter (fun f -> f.bf_phv = i) plan.fp_flips in
+         if flips = [] then phv
+         else begin
+           let phv = Array.copy phv in
+           List.iter
+             (fun f ->
+               if f.bf_container < Array.length phv then
+                 phv.(f.bf_container) <- phv.(f.bf_container) lxor (1 lsl f.bf_bit))
+             flips;
+           phv
+         end)
+       inputs)
+
 (* --- Overlay application --------------------------------------------------- *)
 
 (* Flips the planned bits of injection slot [i] directly in row 0 of the

@@ -43,19 +43,18 @@ let run_benchmark ?(phvs = 50_000) ?(seed = 0xD52ba) ~(mode : mode) (bm : Spec.b
   let inputs = Traffic.phvs (Traffic.create ~seed ~width:bm.Spec.bm_width ~bits:32) phvs in
   let v2 = Optimizer.scc_propagate ~mc desc in
   let v3 = Optimizer.inline_functions v2 in
-  (* Engine, output buffer and trace freeze sit outside the timer: the
-     measurement is the steady-state tick path (the paper's Table 1 likewise
-     excludes rustc compilation time). *)
+  (* Substrate construction, output buffer and trace freeze sit outside the
+     timer: the measurement is the steady-state tick path (the paper's
+     Table 1 likewise excludes rustc compilation time).  Both modes run
+     through the uniform {!Substrate} interface. *)
   let buf = Trace.Buffer.create ~width:bm.Spec.bm_width ~capacity:phvs in
   let measure d =
-    match mode with
-    | `Interpreted ->
-      let engine = Engine.create ~init d ~mc in
-      time_ms (fun () -> Engine.run_into engine ~inputs buf)
-    | `Compiled ->
-      let c = Compile.compile d ~mc in
-      let t = Compiled.create c in
-      time_ms (fun () -> Compiled.run_into ~init t ~inputs buf)
+    let substrate =
+      match mode with
+      | `Interpreted -> Substrate.of_engine ~init d ~mc
+      | `Compiled -> Substrate.of_compiled ~init (Compile.compile d ~mc)
+    in
+    time_ms (fun () -> Substrate.run_into substrate ~inputs buf)
   in
   {
     row_program = bm.Spec.bm_name;

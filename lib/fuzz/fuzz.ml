@@ -15,8 +15,8 @@ module Prng = Druzhba_util.Prng
 module Machine_code = Druzhba_machine_code.Machine_code
 module Ir = Druzhba_pipeline.Ir
 module Optimizer = Druzhba_optimizer.Optimizer
-module Engine = Druzhba_dsim.Engine
 module Phv = Druzhba_dsim.Phv
+module Substrate = Druzhba_dsim.Substrate
 module Traffic = Druzhba_dsim.Traffic
 module Trace = Druzhba_dsim.Trace
 
@@ -154,9 +154,14 @@ let compare_traces ?(seed = 0) ~observed ~(spec : spec) ~state_layout ~(trace : 
 (* Runs the full Fig. 5 workflow for one machine-code program: validate the
    machine code, optimize the description at [level], simulate [n] random
    PHVs, and compare the output trace (restricted to [observed] containers
-   and [state_layout] state) against the specification. *)
-let run_equivalence ?(level = Optimizer.Scc) ?(seed = 0xD52ba) ?init ~desc ~mc ~spec ~observed
-    ~state_layout ~n () =
+   and [state_layout] state) against the specification.
+
+   [substrate_of] picks the execution substrate for the (already optimized)
+   description — the interpreter engine by default; tests can swap in the
+   closure compiler or any other {!Substrate.packed} without touching the
+   workflow. *)
+let run_equivalence ?(level = Optimizer.Scc) ?(seed = 0xD52ba) ?init ?substrate_of ~desc ~mc
+    ~spec ~observed ~state_layout ~n () =
   match Machine_code.validate ~domains:(Ir.control_domains desc) mc with
   | Error violations -> (
     let missing =
@@ -176,12 +181,25 @@ let run_equivalence ?(level = Optimizer.Scc) ?(seed = 0xD52ba) ?init ~desc ~mc ~
            violations))
   | Ok () -> (
     let optimized = Optimizer.apply ~level ~mc desc in
+    let substrate =
+      match substrate_of with
+      | Some f -> f optimized ~mc
+      | None -> Substrate.of_engine ?init optimized ~mc
+    in
     let traffic =
       Traffic.create ~seed ~width:desc.Ir.d_width ~bits:desc.Ir.d_bits
     in
     let inputs = Traffic.phvs traffic n in
-    match Engine.run ?init optimized ~mc ~inputs with
-    | trace -> (
+    let buf = Trace.Buffer.create ~width:(Substrate.width substrate) ~capacity:n in
+    match Substrate.run_into substrate ~inputs buf with
+    | () -> (
+      let trace =
+        {
+          Trace.inputs;
+          outputs = Trace.Buffer.contents buf;
+          final_state = Substrate.current_state substrate;
+        }
+      in
       match compare_traces ~seed ~observed ~spec ~state_layout ~trace () with
       | None -> Pass { phvs = n }
       | Some mm -> Mismatch mm)

@@ -15,6 +15,7 @@ module Machine_code = Druzhba_machine_code.Machine_code
 module Ir = Druzhba_pipeline.Ir
 module Optimizer = Druzhba_optimizer.Optimizer
 module Phv = Druzhba_dsim.Phv
+module Substrate = Druzhba_dsim.Substrate
 module Trace = Druzhba_dsim.Trace
 
 val random_mc : ?imm_bits:int -> Prng.t -> Ir.t -> Machine_code.t
@@ -72,6 +73,7 @@ val run_equivalence :
   ?level:Optimizer.level ->
   ?seed:int ->
   ?init:(string * int array) list ->
+  ?substrate_of:(Ir.t -> mc:Machine_code.t -> Substrate.packed) ->
   desc:Ir.t ->
   mc:Machine_code.t ->
   spec:spec ->
@@ -84,4 +86,6 @@ val run_equivalence :
     machine code against the description's required names, optimize at
     [level] (default {!Optimizer.Scc}), simulate [n] random PHVs from
     [seed], and compare traces.  [init] preloads stateful-ALU state
-    (control-plane register initialization). *)
+    (control-plane register initialization).  [substrate_of] selects the
+    execution substrate for the optimized description (default: the
+    interpreter engine via {!Substrate.of_engine}). *)

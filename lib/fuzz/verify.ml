@@ -27,8 +27,8 @@ module Value = Druzhba_util.Value
 module Machine_code = Druzhba_machine_code.Machine_code
 module Ir = Druzhba_pipeline.Ir
 module Dataflow = Druzhba_analysis.Dataflow
-module Engine = Druzhba_dsim.Engine
 module Phv = Druzhba_dsim.Phv
+module Substrate = Druzhba_dsim.Substrate
 module Trace = Druzhba_dsim.Trace
 
 type counterexample = {
@@ -65,18 +65,25 @@ let all_phvs ~bits ~width =
 let state_key pipeline_state spec_state =
   (List.map (fun (n, v) -> (n, Array.to_list v)) pipeline_state, Array.to_list spec_state)
 
-let exhaustive_check ?(max_states = 200_000) ~(desc : Ir.t) ~mc ~(spec : Fuzz.spec) ~observed
-    ~(state_layout : Fuzz.state_layout) ~init () : result =
+let exhaustive_check ?(max_states = 200_000) ?substrate ~(desc : Ir.t) ~mc ~(spec : Fuzz.spec)
+    ~observed ~(state_layout : Fuzz.state_layout) ~init () : result =
   let bits = desc.Ir.d_bits in
   let width = desc.Ir.d_width in
   let inputs = all_phvs ~bits ~width in
   let inputs_per_state = List.length inputs in
-  (* run one packet from a given pipeline state; return (outputs, new state) *)
+  (* The substrate under proof — the interpreter engine unless the caller
+     swaps in another backend (the closure compiler, a dRMT adapter). *)
+  let sub =
+    match substrate with Some s -> s | None -> Substrate.of_engine ~init desc ~mc
+  in
+  let buf = Trace.Buffer.create ~width:(Substrate.width sub) ~capacity:1 in
+  (* run one packet from a given pipeline state; return (output, new state) *)
   let run_one pipeline_state input =
-    let trace = Engine.run ~init:pipeline_state desc ~mc ~inputs:[ input ] in
-    match trace.Trace.outputs with
-    | [ output ] -> (output, trace.Trace.final_state)
-    | _ -> invalid_arg "Verify: expected exactly one output"
+    Trace.Buffer.clear buf;
+    Substrate.load_state sub pipeline_state;
+    Substrate.run_into sub ~inputs:[ input ] buf;
+    if Trace.Buffer.length buf <> 1 then invalid_arg "Verify: expected exactly one output";
+    (Array.copy (Trace.Buffer.row buf 0), Substrate.current_state sub)
   in
   let spec_step spec_state input =
     let s = Array.copy spec_state in
@@ -84,9 +91,13 @@ let exhaustive_check ?(max_states = 200_000) ~(desc : Ir.t) ~mc ~(spec : Fuzz.sp
     (out, s)
   in
   let initial_spec = spec.Fuzz.spec_init () in
-  (* normalize the initial pipeline state to cover every stateful ALU *)
+  (* normalize the initial pipeline state to cover every stateful ALU: an
+     empty run re-arms the substrate from [init] and leaves its full state
+     vector observable *)
   let initial_pipeline =
-    Engine.current_state (Engine.create ~init desc ~mc)
+    Substrate.load_state sub init;
+    Substrate.run_into sub ~inputs:[] buf;
+    Substrate.current_state sub
   in
   let seen = Hashtbl.create 1024 in
   let queue = Queue.create () in

@@ -244,6 +244,57 @@ let test_lint_unused_decls () =
   let findings = Lint.check desc in
   Alcotest.(check bool) "unused-decl fires" true (List.mem "unused-decl" (rules findings))
 
+(* --- lint: dRMT table-dependency DAG rules ------------------------------------ *)
+
+module P4 = Druzhba_drmt.P4
+module Dag = Druzhba_drmt.Dag
+module Scheduler = Druzhba_drmt.Scheduler
+
+let two_table_p4 () =
+  P4.parse
+    {|
+header h { a : 8; b : 8; }
+action set_a(v) { h.a = v; }
+action set_b(v) { h.b = v; }
+table ta { key : h.a; match : exact; actions : { set_a }; default : set_a 1; }
+table tb { key : h.b; match : exact; actions : { set_b }; default : set_b 2; }
+control { apply ta; apply tb; }
+|}
+
+let test_lint_p4_clean () =
+  Alcotest.(check (list string)) "no findings" [] (rules (Lint.check_p4 (two_table_p4 ())))
+
+let test_lint_p4_cyclic_dag () =
+  (* [Dag.build] never produces a back edge, so seed one by hand: ta's match
+     depends on its own action — unschedulable in any order *)
+  let p = two_table_p4 () in
+  let dag = Dag.build p in
+  let back = { Dag.e_from = Dag.Action "ta"; e_to = Dag.Match "ta"; e_latency = 2 } in
+  let dag = { dag with Dag.edges = back :: dag.Dag.edges } in
+  match Lint.check_p4 ~dag p with
+  | [ f ] ->
+    Alcotest.(check string) "rule" "cyclic-dag" f.Lint.f_rule;
+    Alcotest.(check bool) "error severity" true (f.Lint.f_severity = Lint.Error);
+    (* the witness covers the cycle and everything stuck behind it: tb's
+       nodes can never be scheduled either *)
+    Alcotest.(check string) "names the stuck tables" "ta, tb" f.Lint.f_subject;
+    Alcotest.(check bool) "message says cyclic" true (contains ~sub:"cyclic" f.Lint.f_message)
+  | fs -> Alcotest.failf "expected one cyclic-dag finding, got %d" (List.length fs)
+
+let test_lint_p4_unschedulable_dag () =
+  (* 2 match nodes, P * match_capacity = 1: line rate is impossible and the
+     finding names the table past the capacity horizon *)
+  let p = two_table_p4 () in
+  let cfg = Scheduler.config ~processors:1 ~match_capacity:1 ~action_capacity:32 () in
+  (match Lint.check_p4 ~cfg p with
+  | [ f ] ->
+    Alcotest.(check string) "rule" "unschedulable-dag" f.Lint.f_rule;
+    Alcotest.(check bool) "error severity" true (f.Lint.f_severity = Lint.Error);
+    Alcotest.(check string) "names the table beyond the horizon" "tb" f.Lint.f_subject
+  | fs -> Alcotest.failf "expected one unschedulable-dag finding, got %d" (List.length fs));
+  (* the default config fits the program comfortably *)
+  Alcotest.(check (list string)) "feasible by default" [] (rules (Lint.check_p4 p))
+
 (* --- lint: clean baselines ---------------------------------------------------- *)
 
 let test_lint_benchmarks_error_free () =
@@ -347,6 +398,9 @@ let () =
           Alcotest.test_case "write-only state slot" `Quick test_lint_write_only_state;
           Alcotest.test_case "helper-call errors" `Quick test_lint_helper_call_errors;
           Alcotest.test_case "unused declarations" `Quick test_lint_unused_decls;
+          Alcotest.test_case "p4: clean program" `Quick test_lint_p4_clean;
+          Alcotest.test_case "p4: cyclic dag" `Quick test_lint_p4_cyclic_dag;
+          Alcotest.test_case "p4: unschedulable dag" `Quick test_lint_p4_unschedulable_dag;
           Alcotest.test_case "Table-1 benchmarks are error-free" `Slow
             test_lint_benchmarks_error_free;
           Alcotest.test_case "json output" `Quick test_lint_json_shape;

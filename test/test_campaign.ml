@@ -343,6 +343,123 @@ let test_faults_mode () =
     (Campaign.to_json (Campaign.run (mk 1)))
     (Campaign.to_json r)
 
+(* --- dRMT as a differential-testing target --------------------------------------- *)
+
+(* A healthy dRMT stack: the event-driven schedule agrees with the
+   sequential P4 reference on every generated trial, and the report is
+   byte-identical whatever the job count. *)
+let test_drmt_campaign_agrees_across_jobs () =
+  let mk jobs = Campaign.config ~trials:10 ~jobs ~substrate:`Drmt ~phvs:30 () in
+  let r = Campaign.run (mk 2) in
+  Alcotest.(check int) "no divergence in a healthy dRMT model" 0 r.Campaign.r_divergent;
+  Alcotest.(check int) "all agree" 10 r.Campaign.r_agree;
+  List.iter
+    (fun t ->
+      (match t.Campaign.t_params with
+      | Campaign.Drmt_params _ -> ()
+      | Campaign.Rmt_params _ -> Alcotest.fail "expected dRMT params on a dRMT campaign");
+      match t.Campaign.t_outcome with
+      | Campaign.Finished (Oracle.Agree { configs; _ }) ->
+        Alcotest.(check int) "two configurations: event vs sequential" 2 configs
+      | o -> Alcotest.failf "trial %d: %a" t.Campaign.t_index Campaign.pp_outcome o)
+    r.Campaign.r_trials;
+  Alcotest.(check string) "dRMT report identical across jobs"
+    (Campaign.to_json (Campaign.run (mk 1)))
+    (Campaign.to_json r)
+
+(* Under [--substrate all] trials alternate family by index, so resume and
+   sharding stay deterministic. *)
+let test_all_selector_alternates () =
+  let r = Campaign.run (Campaign.config ~trials:6 ~substrate:`All ~phvs:15 ()) in
+  List.iter
+    (fun t ->
+      match (t.Campaign.t_index mod 2, t.Campaign.t_params) with
+      | 0, Campaign.Rmt_params _ | 1, Campaign.Drmt_params _ -> ()
+      | _ -> Alcotest.failf "trial %d: wrong family" t.Campaign.t_index)
+    r.Campaign.r_trials;
+  Alcotest.(check int) "all six agree" 6 r.Campaign.r_agree
+
+(* The acceptance bar for dRMT as a first-class target: an injected
+   semantic divergence (mutated table entries and defaults on the
+   event-driven candidate only) MUST surface as a campaign failure, with a
+   shrunk counterexample, and must replay from the recorded seed alone. *)
+let test_drmt_sabotage_is_caught () =
+  let sabotage i = i = 1 in
+  let cfg = Campaign.config ~trials:3 ~substrate:`Drmt ~phvs:25 ~sabotage () in
+  let r = Campaign.run cfg in
+  Alcotest.(check int) "exactly the sabotaged trial diverges" 1 r.Campaign.r_divergent;
+  Alcotest.(check int) "the other trials agree" 2 r.Campaign.r_agree;
+  let bad = List.nth r.Campaign.r_trials 1 in
+  (match bad.Campaign.t_outcome with
+  | Campaign.Finished (Oracle.Divergence d) ->
+    Alcotest.(check string) "the event-driven candidate is named" "drmt@event"
+      d.Oracle.dv_config
+  | o -> Alcotest.failf "expected divergence, got %a" Campaign.pp_outcome o);
+  (match bad.Campaign.t_shrunk with
+  | Some s ->
+    Alcotest.(check bool) "counterexample shrunk to few packets" true
+      (List.length s.Shrink.sh_inputs <= 25)
+  | None -> Alcotest.fail "divergent trial was not shrunk");
+  (* replayability: re-running the trial from its index reproduces the
+     exact divergence — the seed in the report is all a human needs *)
+  let again = Campaign.run_trial ~cfg 1 in
+  Alcotest.(check int) "derived seed is stable" bad.Campaign.t_seed again.Campaign.t_seed;
+  match (bad.Campaign.t_outcome, again.Campaign.t_outcome) with
+  | Campaign.Finished (Oracle.Divergence a), Campaign.Finished (Oracle.Divergence b) ->
+    Alcotest.(check bool) "replay reproduces the same divergence" true (a = b)
+  | _ -> Alcotest.fail "replay did not reproduce the divergence"
+
+(* Fault injection on the dRMT pair: input-path faults (flips + drops) keep
+   the event and sequential substrates in lock-step, and the fault-free
+   replay stays pristine. *)
+let test_drmt_faults_mode () =
+  let mk jobs =
+    Campaign.config ~trials:5 ~jobs ~substrate:`Drmt ~phvs:20
+      ~faults:(Campaign.fault_config ~runs:3 ()) ()
+  in
+  let r = Campaign.run (mk 2) in
+  Alcotest.(check int) "no fault-flagged dRMT trials" 0 r.Campaign.r_fault_flagged;
+  List.iter
+    (fun t ->
+      match t.Campaign.t_faults with
+      | Some fs ->
+        Alcotest.(check int) "all scenarios ran" 3 fs.Campaign.fs_runs;
+        Alcotest.(check int) "event = sequential under faults" 0
+          fs.Campaign.fs_substrate_mismatch;
+        Alcotest.(check bool) "fault-free replay is clean" true fs.Campaign.fs_replay_ok
+      | None -> Alcotest.fail "fault stats missing on an agreeing dRMT trial")
+    r.Campaign.r_trials;
+  Alcotest.(check string) "dRMT fault campaign deterministic across jobs"
+    (Campaign.to_json (Campaign.run (mk 1)))
+    (Campaign.to_json r)
+
+(* JSON round-trip across the substrate families: params and divergences
+   keyed by config label survive serialization (checkpoint format v2). *)
+let test_mixed_checkpoint_resume () =
+  let tmp = Filename.temp_file "druzhba-drmt-ck" ".json" in
+  Fun.protect
+    ~finally:(fun () -> if Sys.file_exists tmp then Sys.remove tmp)
+    (fun () ->
+      let mk jobs =
+        Campaign.config ~trials:10 ~jobs ~substrate:`All ~phvs:15 ~checkpoint_every:3 ()
+      in
+      let expected = Campaign.to_json (Campaign.run (mk 1)) in
+      (match Campaign.run_resumable ~checkpoint:tmp ~stop_after:6 (mk 1) with
+      | None -> ()
+      | Some _ -> Alcotest.fail "stop_after should abort the campaign");
+      (match Campaign.run_resumable ~checkpoint:tmp ~resume:true (mk 2) with
+      | Some r ->
+        Alcotest.(check string) "resumed mixed campaign = uninterrupted" expected
+          (Campaign.to_json r)
+      | None -> Alcotest.fail "resume did not complete");
+      (* a checkpoint from one substrate family must not resume another *)
+      match
+        Campaign.run_resumable ~checkpoint:tmp ~resume:true
+          (Campaign.config ~trials:10 ~substrate:`Rmt ~phvs:15 ~checkpoint_every:3 ())
+      with
+      | exception Campaign.Resume_error _ -> ()
+      | _ -> Alcotest.fail "substrate-mismatched checkpoint accepted")
+
 let () =
   Alcotest.run "campaign"
     [
@@ -381,6 +498,19 @@ let () =
           Alcotest.test_case "JSON identical across job counts" `Quick
             test_campaign_reports_identical_across_jobs;
           Alcotest.test_case "summary counts" `Quick test_campaign_counts;
+        ] );
+      ( "drmt substrate",
+        [
+          Alcotest.test_case "healthy dRMT campaign agrees across jobs" `Quick
+            test_drmt_campaign_agrees_across_jobs;
+          Alcotest.test_case "`All alternates families by index" `Quick
+            test_all_selector_alternates;
+          Alcotest.test_case "injected divergence is caught and replayable" `Quick
+            test_drmt_sabotage_is_caught;
+          Alcotest.test_case "input-path fault injection stays in lock-step" `Quick
+            test_drmt_faults_mode;
+          Alcotest.test_case "mixed-family checkpoint resume" `Quick
+            test_mixed_checkpoint_resume;
         ] );
       ( "robustness",
         [

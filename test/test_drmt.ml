@@ -145,6 +145,31 @@ control { apply tf; apply tg; }
   Alcotest.(check int) "tf match at 0" 0 (Scheduler.time_of sched (Dag.Match "tf"));
   Alcotest.(check int) "tg match at 0" 0 (Scheduler.time_of sched (Dag.Match "tg"))
 
+let test_dag_find_cycle () =
+  (* [Dag.build] only emits forward edges, so its output is always acyclic *)
+  Alcotest.(check bool) "built DAGs acyclic" true (Dag.find_cycle (Dag.build (l2l3 ())) = None);
+  (* hand-assembled back edge: Action t -> Match t closes a cycle *)
+  let cyclic =
+    {
+      Dag.nodes = [ Dag.Match "t"; Dag.Action "t"; Dag.Match "u"; Dag.Action "u" ];
+      edges =
+        [
+          { Dag.e_from = Dag.Match "t"; e_to = Dag.Action "t"; e_latency = 22 };
+          { Dag.e_from = Dag.Action "t"; e_to = Dag.Match "t"; e_latency = 2 };
+          { Dag.e_from = Dag.Match "u"; e_to = Dag.Action "u"; e_latency = 22 };
+        ];
+      delta_match = 22;
+      delta_action = 2;
+    }
+  in
+  match Dag.find_cycle cyclic with
+  | None -> Alcotest.fail "cycle not detected"
+  | Some witness ->
+    (* the witness set is exactly the strongly-connected remainder *)
+    Alcotest.(check bool) "Match t in witness" true (List.mem (Dag.Match "t") witness);
+    Alcotest.(check bool) "Action t in witness" true (List.mem (Dag.Action "t") witness);
+    Alcotest.(check bool) "acyclic u not in witness" false (List.mem (Dag.Match "u") witness)
+
 (* --- Scheduler -------------------------------------------------------------------- *)
 
 let test_schedule_valid_l2l3 () =
@@ -192,6 +217,37 @@ control { apply tf; apply tg; }
   let t_tf = Scheduler.time_of sched (Dag.Match "tf") in
   let t_tg = Scheduler.time_of sched (Dag.Match "tg") in
   Alcotest.(check bool) "different residues" true (t_tf mod 2 <> t_tg mod 2)
+
+let test_schedule_empty_dag () =
+  (* a program with no applied tables schedules trivially: makespan 0 *)
+  let p = P4.parse {| header h { f : 8; } control { } |} in
+  let dag = Dag.build p in
+  Alcotest.(check int) "no nodes" 0 (List.length dag.Dag.nodes);
+  let sched = Scheduler.schedule (Scheduler.config ()) dag in
+  Alcotest.(check int) "makespan 0" 0 sched.Scheduler.makespan;
+  Alcotest.(check int) "valid" 0 (List.length (Scheduler.validate dag sched))
+
+let test_schedule_single_processor () =
+  (* P=1: every node lands on processor 0 and the schedule is still valid,
+     provided the per-cycle capacity can hold the whole program *)
+  let dag = Dag.build (l2l3 ()) in
+  let cfg = Scheduler.config ~processors:1 ~match_capacity:2 ~action_capacity:2 () in
+  let sched = Scheduler.schedule cfg dag in
+  Alcotest.(check int) "valid" 0 (List.length (Scheduler.validate dag sched));
+  Alcotest.(check bool)
+    "makespan covers the critical path" true
+    (sched.Scheduler.makespan >= Dag.critical_path dag)
+
+let test_schedule_infeasible () =
+  (* 2 match nodes but P * match_capacity = 1: no line-rate schedule exists *)
+  let dag = Dag.build (l2l3 ()) in
+  let cfg = Scheduler.config ~processors:1 ~match_capacity:1 ~action_capacity:1 () in
+  (match Scheduler.schedule cfg dag with
+  | _ -> Alcotest.fail "expected Infeasible"
+  | exception Scheduler.Infeasible msg ->
+    Alcotest.(check bool) "message names the bottleneck" true (String.length msg > 0));
+  (* check_feasible is the only source of Infeasible: a big-enough config passes *)
+  Scheduler.check_feasible (Scheduler.config ()) dag
 
 (* random chain programs: the greedy schedule is always valid *)
 let gen_chain_program : P4.t QCheck.Gen.t =
@@ -395,11 +451,15 @@ let () =
           Alcotest.test_case "shape" `Quick test_dag_shape;
           Alcotest.test_case "match dependency" `Quick test_dag_match_dependency;
           Alcotest.test_case "independent tables" `Quick test_dag_independent_tables;
+          Alcotest.test_case "find cycle" `Quick test_dag_find_cycle;
         ] );
       ( "scheduler",
         [
           Alcotest.test_case "valid across configs" `Quick test_schedule_valid_l2l3;
           Alcotest.test_case "capacity forces stagger" `Quick test_capacity_forces_stagger;
+          Alcotest.test_case "empty dag" `Quick test_schedule_empty_dag;
+          Alcotest.test_case "single processor" `Quick test_schedule_single_processor;
+          Alcotest.test_case "infeasible" `Quick test_schedule_infeasible;
         ]
         @ qsuite [ prop_scheduler_always_valid; prop_schedule_respects_critical_path ] );
       ( "entries",

@@ -389,6 +389,186 @@ let test_faults_substrates_agree_and_replay_clean () =
   Alcotest.(check bool) "compiled replay is pristine" true
     (Trace.Buffer.contents cmp_buf = pristine.Trace.outputs)
 
+(* --- Substrate interface --------------------------------------------------------- *)
+
+module Substrate = Druzhba_dsim.Substrate
+module Drmt_substrate = Druzhba_dsim.Drmt_substrate
+module Sim = Druzhba_drmt.Sim
+module P4 = Druzhba_drmt.P4
+
+let run_into_trace packed ~inputs =
+  let buf = Trace.Buffer.create ~width:(Substrate.width packed) ~capacity:(List.length inputs) in
+  Substrate.run_into packed ~inputs buf;
+  (Trace.Buffer.contents buf, Substrate.current_state packed)
+
+let check_same_run msg (rows_a, state_a) (rows_b, state_b) =
+  Alcotest.(check int) (msg ^ ": same row count") (List.length rows_a) (List.length rows_b);
+  List.iteri
+    (fun i (a, b) ->
+      if not (Phv.equal a b) then
+        Alcotest.failf "%s: row %d differs (%a vs %a)" msg i Phv.pp a Phv.pp b)
+    (List.combine rows_a rows_b);
+  Alcotest.(check bool) (msg ^ ": same final state") true
+    (List.for_all2
+       (fun (n1, v1) (n2, v2) -> n1 = n2 && Array.to_list v1 = Array.to_list v2)
+       state_a state_b)
+
+(* The two RMT adapters honor the same contract: identical rows and final
+   state for identical (init, inputs), and [run_into] is an independent,
+   repeatable run. *)
+let test_substrate_rmt_adapters_agree () =
+  let desc = gen ~depth:2 ~width:2 ~bits:8 () in
+  let mc = Fuzz.random_mc (Prng.create 3) desc in
+  let init = [ (Druzhba_pipeline.Names.stateful_alu ~stage:0 ~alu:0, [| 9 |]) ] in
+  let engine = Substrate.of_engine ~init desc ~mc in
+  let compiled = Substrate.of_compiled ~init (Compile.compile desc ~mc) in
+  Alcotest.(check int) "same width" (Substrate.width engine) (Substrate.width compiled);
+  Alcotest.(check string) "default labels" "interpreter" (Substrate.name engine);
+  let inputs = Traffic.phvs (Traffic.create ~seed:4 ~width:2 ~bits:8) 40 in
+  let a = run_into_trace engine ~inputs and b = run_into_trace compiled ~inputs in
+  check_same_run "engine vs compiled" a b;
+  (* independent-run contract: replaying the same value repeats the run *)
+  check_same_run "engine replay" a (run_into_trace engine ~inputs);
+  (* load_state re-arms subsequent runs *)
+  Substrate.load_state engine [];
+  Substrate.load_state compiled [];
+  check_same_run "after state reload" (run_into_trace engine ~inputs)
+    (run_into_trace compiled ~inputs)
+
+let drmt_test_program =
+  P4.parse
+    {|
+header h {
+  a : 8;
+  b : 8;
+}
+action bump(v) {
+  h.b = h.b + v;
+  reg.hits = reg.hits + 1;
+}
+action relay() {
+  reg.relayed = reg.relayed + 1;
+}
+table t0 {
+  key : h.a;
+  match : exact;
+  actions : { bump };
+  default : bump 1;
+}
+table t1 {
+  key : h.b;
+  match : exact;
+  actions : { relay };
+  default : relay;
+}
+control {
+  apply t0;
+  apply t1;
+}
+|}
+
+(* The dRMT substrate replays {!Sim.run_sequential} exactly: same per-packet
+   traffic streams, same final registers. *)
+let test_drmt_substrate_replays_sim () =
+  let sub = Drmt_substrate.create ~mode:Drmt_substrate.Sequential ~entries:[] drmt_test_program in
+  let packed = Drmt_substrate.pack sub in
+  let inputs = Drmt_substrate.traffic ~seed:42 sub 25 in
+  let _, state = run_into_trace packed ~inputs in
+  let r = Sim.run_sequential ~seed:42 ~entries:[] ~packets:25 drmt_test_program in
+  List.iter
+    (fun (name, v) ->
+      match List.assoc_opt name state with
+      | Some vec -> Alcotest.(check int) ("register " ^ name) v vec.(0)
+      | None -> Alcotest.failf "register %s missing from substrate state" name)
+    r.Sim.r_registers
+
+(* Event-driven and sequential dRMT substrates agree through the generic
+   trace contract (the single-trial core of the dRMT campaign). *)
+let test_drmt_substrate_event_vs_sequential () =
+  let seq = Drmt_substrate.of_p4 ~mode:Drmt_substrate.Sequential ~entries:[] drmt_test_program in
+  let evt = Drmt_substrate.of_p4 ~mode:Drmt_substrate.Event ~entries:[] drmt_test_program in
+  Alcotest.(check string) "labels" "drmt@sequential" (Substrate.name seq);
+  Alcotest.(check string) "labels" "drmt@event" (Substrate.name evt);
+  (* layout: h.a, h.b + trailing drop flag *)
+  Alcotest.(check int) "row width" 3 (Substrate.width seq);
+  let sub = Drmt_substrate.create ~mode:Drmt_substrate.Sequential ~entries:[] drmt_test_program in
+  let inputs = Drmt_substrate.traffic ~seed:7 sub 30 in
+  check_same_run "event vs sequential" (run_into_trace seq ~inputs) (run_into_trace evt ~inputs);
+  (* register preload flows through load_state on both *)
+  Substrate.load_state seq [ ("hits", [| 100 |]) ];
+  Substrate.load_state evt [ ("hits", [| 100 |]) ];
+  let _, state = run_into_trace seq ~inputs in
+  check_same_run "preloaded event vs sequential" (run_into_trace seq ~inputs)
+    (run_into_trace evt ~inputs);
+  match List.assoc_opt "hits" state with
+  | Some vec -> Alcotest.(check int) "preload counted" (100 + 30) vec.(0)
+  | None -> Alcotest.fail "hits register missing"
+
+(* The debugger drives any substrate: a compiled-backend session steps in
+   lock-step with the interpreter session on the same inputs. *)
+let test_debugger_on_compiled_substrate () =
+  let desc, mc = accumulator () in
+  let inputs = [ [| 3 |]; [| 5 |]; [| 7 |] ] in
+  let interp = Debugger.start desc ~mc ~inputs in
+  let closures = Debugger.start_on (Substrate.of_compiled (Compile.compile desc ~mc)) ~inputs in
+  for _ = 1 to 6 do
+    let a = Debugger.step interp and b = Debugger.step closures in
+    Alcotest.(check bool) "same tick output" true
+      (match (a.Debugger.snap_output, b.Debugger.snap_output) with
+      | Some x, Some y -> Phv.equal x y
+      | None, None -> true
+      | _ -> false)
+  done
+
+(* A dRMT debugger session: each step runs one packet to completion under
+   the reference semantics; registers persist across steps and rewinding
+   revisits recorded snapshots. *)
+let test_debugger_on_drmt_substrate () =
+  let sub = Drmt_substrate.create ~mode:Drmt_substrate.Sequential ~entries:[] drmt_test_program in
+  let inputs = [ [| 1; 2; 0 |]; [| 3; 4; 0 |] ] in
+  let session = Debugger.start_on (Drmt_substrate.pack sub) ~inputs in
+  let s1 = Debugger.step session in
+  (match List.assoc_opt "hits" s1.Debugger.snap_state with
+  | Some v -> Alcotest.(check int) "one packet through t0" 1 v.(0)
+  | None -> Alcotest.fail "hits register missing");
+  let s2 = Debugger.step session in
+  (match List.assoc_opt "hits" s2.Debugger.snap_state with
+  | Some v -> Alcotest.(check int) "registers persist across steps" 2 v.(0)
+  | None -> Alcotest.fail "hits register missing");
+  (* time travel: back to tick 1, state as recorded then *)
+  let back = Debugger.step_back session in
+  Alcotest.(check int) "rewound to tick 1" 1 back.Debugger.snap_tick;
+  match List.assoc_opt "hits" back.Debugger.snap_state with
+  | Some v -> Alcotest.(check int) "historical state" 1 v.(0)
+  | None -> Alcotest.fail "hits register missing"
+
+(* --- Input-path fault plans ------------------------------------------------------ *)
+
+let test_faults_generate_io () =
+  let plan = Faults.generate_io ~seed:9 ~width:3 ~bits:8 ~n_inputs:20 ~count:6 () in
+  let again = Faults.generate_io ~seed:9 ~width:3 ~bits:8 ~n_inputs:20 ~count:6 () in
+  Alcotest.(check bool) "pure in the seed" true (plan = again);
+  Alcotest.(check int) "no stuck-at sites on the input path" 0 (Faults.n_stuck plan);
+  Alcotest.(check bool) "drew something" true (not (Faults.is_empty plan))
+
+let test_faults_overlay_inputs () =
+  let inputs = List.init 8 (fun i -> [| i; 10 + i |]) in
+  (* hand-built plan: flip bit 2 of container 1 of PHV 3; drop PHV 5 *)
+  let plan =
+    {
+      Faults.fp_seed = 0;
+      fp_flips = [ { Faults.bf_phv = 3; bf_container = 1; bf_bit = 2 } ];
+      fp_stuck = [];
+      fp_dropped = Array.init 8 (fun i -> i = 5);
+    }
+  in
+  let out = Faults.overlay_inputs plan inputs in
+  Alcotest.(check int) "dropped slot removed" 7 (List.length out);
+  Alcotest.(check int) "flip applied" (13 lxor 4) (List.nth out 3).(1);
+  Alcotest.(check int) "drop shifts later slots" 16 (List.nth out 5).(1);
+  (* originals untouched: the overlay copies before flipping *)
+  Alcotest.(check int) "input list not mutated" 13 (List.nth inputs 3).(1)
+
 let () =
   Alcotest.run "dsim"
     [
@@ -427,6 +607,20 @@ let () =
           Alcotest.test_case "plans are pure in their seed" `Quick test_faults_deterministic;
           Alcotest.test_case "substrates agree, replay is clean" `Quick
             test_faults_substrates_agree_and_replay_clean;
+          Alcotest.test_case "input-path plans (generate_io)" `Quick test_faults_generate_io;
+          Alcotest.test_case "overlay_inputs flips and drops" `Quick test_faults_overlay_inputs;
+        ] );
+      ( "substrate",
+        [
+          Alcotest.test_case "RMT adapters honor the contract" `Quick
+            test_substrate_rmt_adapters_agree;
+          Alcotest.test_case "dRMT substrate replays Sim" `Quick test_drmt_substrate_replays_sim;
+          Alcotest.test_case "dRMT event = sequential through the contract" `Quick
+            test_drmt_substrate_event_vs_sequential;
+          Alcotest.test_case "debugger drives the compiled substrate" `Quick
+            test_debugger_on_compiled_substrate;
+          Alcotest.test_case "debugger drives the dRMT substrate" `Quick
+            test_debugger_on_drmt_substrate;
         ] );
       ( "verification",
         [

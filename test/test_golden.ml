@@ -30,6 +30,10 @@ module Trace = Druzhba_dsim.Trace
 module Spec = Druzhba_spec.Spec
 module Codegen = Druzhba_compiler.Codegen
 module Oracle = Druzhba_campaign.Oracle
+module Substrate = Druzhba_dsim.Substrate
+module Drmt_substrate = Druzhba_dsim.Drmt_substrate
+module P4 = Druzhba_drmt.P4
+module Entries = Druzhba_drmt.Entries
 
 let golden_seed = 0x601d
 let golden_phvs = 10
@@ -50,6 +54,118 @@ let render (bm : Spec.benchmark) (trace : Trace.t) =
 
 let fixture_path bm = Filename.concat "golden" (bm.Spec.bm_name ^ ".trace")
 
+(* --- dRMT fixture ---------------------------------------------------------------- *)
+
+(* One committed fixture for the dRMT substrate: an exact + lpm + ternary
+   pipeline with register side effects, replayed through both the sequential
+   reference and the event-driven scheduler.  The fixture pins the sequential
+   semantics; the event run must additionally equal the reference, so a
+   regression in either the scheduler or the P4 interpreter fails loudly. *)
+
+let drmt_name = "drmt_router"
+
+let drmt_p4 =
+  {|
+header eth {
+  dst : 48;
+  etype : 16;
+}
+header ip {
+  ttl : 8;
+  src : 32;
+  dst : 32;
+}
+
+action bridge(port) {
+  meta.egress = port;
+  reg.bridged = reg.bridged + 1;
+}
+action route(port) {
+  meta.egress = port;
+  ip.ttl = ip.ttl - 1;
+  reg.routed = reg.routed + 1;
+}
+action toss() {
+  drop;
+  reg.tossed = reg.tossed + 1;
+}
+action audit() {
+  reg.audited = reg.audited + 1;
+}
+
+table bridge_tbl {
+  key : eth.dst;
+  match : exact;
+  actions : { bridge };
+  default : bridge 1;
+}
+table route_tbl {
+  key : ip.dst;
+  match : lpm;
+  actions : { route, toss };
+  default : toss;
+}
+table audit_tbl {
+  key : ip.src;
+  match : ternary;
+  actions : { audit, toss };
+  default : audit;
+}
+
+control {
+  apply bridge_tbl;
+  apply route_tbl;
+  apply audit_tbl;
+}
+|}
+
+let drmt_entries_src =
+  {|
+# two learned MACs
+entry bridge_tbl exact 51966 bridge 4
+entry bridge_tbl exact 47806 bridge 6
+
+# a /16 nested in a /8 over a catch-all: longest prefix must win, and the
+# /0 keeps the field-mutating route action live on random traffic
+entry route_tbl lpm 3232235520/8  route 2
+entry route_tbl lpm 3232301056/16 route 8
+entry route_tbl lpm 0/0 route 3
+
+# sources with low byte 7 are tossed by the audit stage
+entry audit_tbl ternary 7&255 toss
+|}
+
+let drmt_substrate mode =
+  let p = P4.parse drmt_p4 in
+  let entries =
+    match Entries.parse drmt_entries_src with
+    | Ok e -> e
+    | Error msg -> failwith ("drmt golden entries: " ^ msg)
+  in
+  Drmt_substrate.create ~mode ~entries p
+
+let run_substrate packed ~inputs =
+  let buf =
+    Trace.Buffer.create ~width:(Substrate.width packed) ~capacity:(max 1 (List.length inputs))
+  in
+  Substrate.run_into packed ~inputs buf;
+  {
+    Trace.inputs;
+    outputs = Trace.Buffer.contents buf;
+    final_state = Substrate.current_state packed;
+  }
+
+let drmt_reference_trace () =
+  let sub = drmt_substrate Drmt_substrate.Sequential in
+  let inputs = Drmt_substrate.traffic ~seed:golden_seed sub golden_phvs in
+  (run_substrate (Drmt_substrate.pack sub) ~inputs, inputs)
+
+let drmt_render (trace : Trace.t) =
+  Fmt.str "# golden trace: %s (dRMT, seed %d, %d PHVs)@.%a@." drmt_name golden_seed golden_phvs
+    Trace.pp trace
+
+let drmt_fixture_path = Filename.concat "golden" (drmt_name ^ ".trace")
+
 let read_file path =
   let ic = open_in_bin path in
   let n = in_channel_length ic in
@@ -68,7 +184,13 @@ let update_fixtures dir =
       output_string oc (render bm trace);
       close_out oc;
       Printf.printf "wrote %s\n" path)
-    Spec.all
+    Spec.all;
+  let trace, _ = drmt_reference_trace () in
+  let path = Filename.concat dir (drmt_name ^ ".trace") in
+  let oc = open_out_bin path in
+  output_string oc (drmt_render trace);
+  close_out oc;
+  Printf.printf "wrote %s\n" path
 
 (* --- Checks ---------------------------------------------------------------------- *)
 
@@ -107,6 +229,27 @@ let test_all_configs_match (bm : Spec.benchmark) () =
         ])
     Oracle.all_levels
 
+let test_drmt_fixture_matches () =
+  let trace, _ = drmt_reference_trace () in
+  let expected = read_file drmt_fixture_path in
+  Alcotest.(check string) (drmt_name ^ " matches its golden trace") expected (drmt_render trace)
+
+let test_drmt_event_matches_reference () =
+  let reference, inputs = drmt_reference_trace () in
+  let event = run_substrate (Drmt_substrate.pack (drmt_substrate Drmt_substrate.Event)) ~inputs in
+  if not (Trace.equal reference event) then
+    match Oracle.diff_traces ~reference ~actual:event with
+    | Some (kind, expected, actual) ->
+      let where =
+        match kind with
+        | `Output (i, c) -> Printf.sprintf "output phv %d container %d" i c
+        | `State (reg, slot) -> Printf.sprintf "register %s[%d]" reg slot
+        | `Shape -> "trace shape"
+      in
+      Alcotest.failf "%s: event substrate diverges from sequential reference at %s (%d vs %d)"
+        drmt_name where expected actual
+    | None -> Alcotest.failf "%s: traces differ only in inputs?" drmt_name
+
 let () =
   match Sys.getenv_opt "GOLDEN_UPDATE" with
   | Some dir -> update_fixtures dir
@@ -117,10 +260,15 @@ let () =
           List.map
             (fun (bm : Spec.benchmark) ->
               Alcotest.test_case bm.Spec.bm_name `Quick (test_fixture_matches bm))
-            Spec.all );
+            Spec.all
+          @ [ Alcotest.test_case drmt_name `Quick test_drmt_fixture_matches ] );
         ( "all configurations",
           List.map
             (fun (bm : Spec.benchmark) ->
               Alcotest.test_case bm.Spec.bm_name `Quick (test_all_configs_match bm))
-            Spec.all );
+            Spec.all
+          @ [
+              Alcotest.test_case (drmt_name ^ " event=sequential") `Quick
+                test_drmt_event_matches_reference;
+            ] );
       ]
