@@ -6,6 +6,7 @@
      druzhba dsim       simulate machine code on a pipeline (RMT dsim)
      druzhba compile    compile a packet program to machine code
      druzhba lint       static checks on a pipeline + machine code
+     druzhba vet        translation validation: prove the optimizer and backend correct
      druzhba fuzz       compiler-testing workflow of Fig. 5
      druzhba campaign   multicore differential fuzz campaign
      druzhba synth      synthesis backend + wide-width verification (§5.2)
@@ -281,16 +282,11 @@ let lint_cmd =
           in
           [ ("pipeline", findings) ]
     in
-    if json then begin
-      let parts =
-        List.map
-          (fun (name, findings) ->
-            Printf.sprintf "{\"name\":\"%s\",\"report\":%s}" (Lint.json_escape name)
-              (Lint.to_json findings))
-          targets
-      in
-      print_string ("[" ^ String.concat "," parts ^ "]\n")
-    end
+    if json then
+      print_string
+        (Lint.report_to_json ~tool:"lint"
+           (List.map (fun (name, findings) -> Lint.target ~name findings) targets)
+        ^ "\n")
     else
       List.iter (fun (name, findings) -> Fmt.pr "@[<v>%s:@,%a@]@." name Lint.pp findings) targets;
     let failed =
@@ -424,11 +420,108 @@ let fuzz_cmd =
               ~doc:"Run $(docv) independent fuzz trials with derived seeds.")
       $ jobs_arg)
 
+(* --- witness files -------------------------------------------------------------------
+
+   [druzhba vet --witnesses FILE] exports refutation witnesses and
+   undecided-obligation candidates; [druzhba campaign --directed FILE]
+   replays them as directed trials (the candidate packet first, from reset,
+   then random traffic).  Line format:
+
+     druzhba-witnesses/1
+     depth 2
+     width 2
+     bits 10
+     stateful if_else_raw
+     stateless stateless_full
+     trial <program> <subject-id> <v0,v1,...>                              *)
+
+let witness_schema = "druzhba-witnesses/1"
+
+let parse_witness_file path =
+  let lines =
+    String.split_on_char '\n' (read_file path)
+    |> List.filter_map (fun l ->
+           let l = String.trim l in
+           if l = "" || l.[0] = '#' then None else Some l)
+  in
+  match lines with
+  | [] -> usage_error "%s: empty witness file" path
+  | schema :: rest ->
+    if schema <> witness_schema then
+      usage_error "%s: expected '%s', got '%s'" path witness_schema schema;
+    let header = Hashtbl.create 8 in
+    let trials = ref [] in
+    List.iter
+      (fun line ->
+        match String.split_on_char ' ' line with
+        | [ "trial"; program; subject; vals ] ->
+          let phv =
+            List.map
+              (fun v ->
+                match int_of_string_opt v with
+                | Some n -> n
+                | None -> usage_error "%s: bad container value '%s'" path v)
+              (String.split_on_char ',' vals)
+          in
+          trials := (program, subject, phv) :: !trials
+        | [ key; value ] -> Hashtbl.replace header key value
+        | _ -> usage_error "%s: malformed line '%s'" path line)
+      rest;
+    (header, List.rev !trials)
+
+let run_directed path ~phvs ~seed =
+  let header, trials = parse_witness_file path in
+  let get key default = Option.value (Hashtbl.find_opt header key) ~default in
+  let geti key default =
+    match int_of_string_opt (get key (string_of_int default)) with
+    | Some n -> n
+    | None -> usage_error "%s: bad header value for '%s'" path key
+  in
+  let depth = geti "depth" 2 and width = geti "width" 2 and bits = geti "bits" 32 in
+  let stateful = get "stateful" "if_else_raw" and stateless = get "stateless" "stateless_full" in
+  let programs =
+    List.fold_left
+      (fun acc (p, _, _) -> if List.mem p acc then acc else p :: acc)
+      [] trials
+    |> List.rev
+  in
+  let failures = ref 0 in
+  List.iter
+    (fun name ->
+      let program, target = load_program_and_target name depth width bits stateful stateless in
+      match Compiler.Codegen.compile ~target program with
+      | Error e ->
+        Printf.eprintf "compile error (%s): %s\n" name e;
+        exit 2
+      | Ok compiled ->
+        let w = compiled.Compiler.Codegen.c_desc.Ir.d_width in
+        List.iter
+          (fun (p, subject, vals) ->
+            if p = name then begin
+              let phv = Array.make w 0 in
+              List.iteri (fun i v -> if i < w then phv.(i) <- v) vals;
+              (* maximal optimization level: directed trials exist to chase
+                 what static validation could not prove about the optimizer *)
+              let outcome =
+                Compiler.Testing.check_directed ~level:Optimizer.Scc_inline ~seed
+                  ~prefix:[ phv ] ~n:phvs compiled
+              in
+              Fmt.pr "directed %s %s: %a@." p subject Fuzz.pp_outcome outcome;
+              if not (Fuzz.outcome_is_pass outcome) then incr failures
+            end)
+          trials)
+    programs;
+  Fmt.pr "%d directed trial(s), %d failure(s)@." (List.length trials) !failures;
+  if !failures > 0 then exit 1
+
 (* --- campaign ----------------------------------------------------------------------- *)
 
 let campaign_cmd =
   let run trials jobs seed substrate phvs no_shrink max_probes fuel timeout max_failures faults
-      fault_runs faults_per_run checkpoint resume checkpoint_every stop_after json out =
+      fault_runs faults_per_run checkpoint resume checkpoint_every stop_after json out directed =
+    match directed with
+    | Some path -> run_directed path ~phvs ~seed
+    | None ->
     if resume && checkpoint = None then usage_error "--resume requires --checkpoint FILE";
     (* --trial-fuel is exact ticks; --trial-timeout converts seconds at the
        fixed nominal tick rate so the watchdog stays deterministic *)
@@ -555,7 +648,16 @@ let campaign_cmd =
       $ Arg.(
           value
           & opt (some string) None
-          & info [ "report" ] ~docv:"FILE" ~doc:"Write the JSON report to $(docv)."))
+          & info [ "report" ] ~docv:"FILE" ~doc:"Write the JSON report to $(docv).")
+      $ Arg.(
+          value
+          & opt (some file) None
+          & info [ "directed" ] ~docv:"FILE"
+              ~doc:
+                "Replay the witness candidates in $(docv) (from $(b,druzhba vet --witnesses)) \
+                 as directed trials instead of a random campaign: each candidate packet is fed \
+                 first, from the reset state, followed by --phvs random PHVs.  Exits non-zero \
+                 if any directed trial diverges."))
 
 (* --- synth -------------------------------------------------------------------------- *)
 
@@ -634,6 +736,267 @@ let verify_cmd =
       $ Arg.(value & opt int 3 & info [ "bits" ] ~docv:"B" ~doc:"Datapath width (keep small).")
       $ stateful_arg $ stateless_arg
       $ Arg.(value & opt int 500_000 & info [ "max-states" ] ~docv:"N" ~doc:"State budget."))
+
+(* --- vet ---------------------------------------------------------------------------- *)
+
+(* Translation validation (static, no PHV ever executed): prove each
+   optimizer pass and the backend's machine code correct by symbolic
+   equivalence, and emit what cannot be proved as directed-trial witness
+   candidates for the fuzzing campaign. *)
+
+(* A witness candidate's PHV part: the [Aphv] atoms of an assignment laid
+   out as an input packet (unconstrained containers are 0). *)
+let phv_of_assign ~width assign =
+  let phv = Array.make width 0 in
+  List.iter
+    (function Symbolic.Aphv k, v when k < width -> phv.(k) <- v | _ -> ())
+    assign;
+  phv
+
+let write_witness_file path ~bits ~depth ~width ~stateful ~stateless trials =
+  let oc = open_out path in
+  Printf.fprintf oc "%s\n" witness_schema;
+  Printf.fprintf oc "depth %d\nwidth %d\nbits %d\nstateful %s\nstateless %s\n" depth width bits
+    stateful stateless;
+  let seen = Hashtbl.create 64 in
+  let count = ref 0 in
+  List.iter
+    (fun (program, subject, phv) ->
+      let key = (program, Array.to_list phv) in
+      if not (Hashtbl.mem seen key) then begin
+        Hashtbl.replace seen key ();
+        incr count;
+        Printf.fprintf oc "trial %s %s %s\n" program subject
+          (String.concat "," (List.map string_of_int (Array.to_list phv)))
+      end)
+    trials;
+  close_out oc;
+  !count
+
+let vet_cmd =
+  let run program benchmarks depth width bits stateful stateless levels synth synth_bits budget
+      json witnesses =
+    let max_level =
+      let names = String.split_on_char ',' levels in
+      if List.mem "scc-inline" names then Optimizer.Scc_inline
+      else if List.mem "scc" names then Optimizer.Scc
+      else if names = [ "unoptimized" ] then Optimizer.Unoptimized
+      else usage_error "--opt-levels: unknown level in '%s' (unoptimized, scc, scc-inline)" levels
+    in
+    let compile_target name =
+      let program, target = load_program_and_target name depth width bits stateful stateless in
+      if synth then
+        match
+          Compiler.Synth.synthesize
+            {
+              Compiler.Synth.p_program = program;
+              p_target = target;
+              p_synth_bits = synth_bits;
+              p_examples = 16;
+              p_budget = budget;
+              p_seed = 42;
+            }
+        with
+        | Compiler.Synth.Budget_exhausted { candidates } ->
+          usage_error "%s: synthesis budget exhausted after %d candidates" name candidates
+        | Compiler.Synth.Synthesized compiled -> (program.Compiler.Ast.name, compiled)
+      else
+        match Compiler.Codegen.compile ~target program with
+        | Error e ->
+          Printf.eprintf "compile error: %s\n" e;
+          exit 2
+        | Ok compiled -> (program.Compiler.Ast.name, compiled)
+    in
+    let names =
+      if benchmarks then List.map (fun (bm : Spec.benchmark) -> bm.Spec.bm_name) Spec.all
+      else
+        match program with
+        | Some p -> [ p ]
+        | None -> usage_error "vet needs --program or --benchmarks"
+    in
+    let any_refuted = ref false in
+    let witness_trials = ref [] in
+    let vet_target spec_name =
+      (* [spec_name] (the benchmark name or file path, reloadable by
+         [campaign --directed]) identifies witness trials; the parsed
+         program name labels the report *)
+      let name, compiled = compile_target spec_name in
+      let desc = compiled.Compiler.Codegen.c_desc and mc = compiled.Compiler.Codegen.c_mc in
+      (* obligations, two families: consecutive optimizer passes against each
+         other (per-pass IR snapshots from [apply_staged]), and the final
+         artifact against the program's reference semantics at full width *)
+      let chain =
+        ("unoptimized", desc)
+        :: List.map
+             (fun st -> (st.Optimizer.st_pass, st.Optimizer.st_desc))
+             (Optimizer.apply_staged ~level:max_level ~mc desc)
+      in
+      let pass_obs = Equiv.check_chain ~mc chain in
+      let spec_obs = Compiler.Vet.check compiled in
+      let statuses =
+        List.map (fun ob -> ob.Equiv.ob_status) pass_obs
+        @ List.map (fun ob -> ob.Compiler.Vet.vo_status) spec_obs
+      in
+      let counts =
+        List.map
+          (fun b ->
+            (b, List.length (List.filter (fun st -> Equiv.taxonomy st = b) statuses)))
+          Equiv.buckets
+      in
+      (* harvest witness candidates: refuted witnesses replay the bug,
+         deferred candidates direct the fuzzer at what symbolic analysis
+         could not decide *)
+      let width = desc.Ir.d_width in
+      let harvest subject = function
+        | Equiv.Refuted (_, w) ->
+          witness_trials :=
+            (spec_name, subject, phv_of_assign ~width w.Equiv.w_assign) :: !witness_trials
+        | Equiv.Deferred candidates ->
+          List.iter
+            (fun assign ->
+              witness_trials :=
+                (spec_name, subject, phv_of_assign ~width assign) :: !witness_trials)
+            candidates
+        | Equiv.Proved _ -> ()
+      in
+      List.iter (fun ob -> harvest (Equiv.subject_id ob.Equiv.ob_subject) ob.Equiv.ob_status)
+        pass_obs;
+      List.iter
+        (fun ob -> harvest (Compiler.Vet.subject_id ob.Compiler.Vet.vo_subject) ob.Compiler.Vet.vo_status)
+        spec_obs;
+      let refuted_pass = List.filter Equiv.is_refuted pass_obs in
+      let refuted_spec = List.filter Compiler.Vet.is_refuted spec_obs in
+      if refuted_pass <> [] || refuted_spec <> [] then any_refuted := true;
+      if not json then begin
+        Fmt.pr "@[<v>%s: %d obligations (%s)@]@." name (List.length statuses)
+          (String.concat ", "
+             (List.filter_map
+                (fun (b, n) -> if n > 0 then Some (Printf.sprintf "%d %s" n b) else None)
+                counts));
+        (* a refutation names the pass pair, the subject, the witness, and —
+           via the provenance slice — the machine-code pairs that steer it *)
+        List.iter
+          (fun ob ->
+            Fmt.pr "  REFUTED %a@." Equiv.pp_obligation ob;
+            let kind =
+              match ob.Equiv.ob_subject with
+              | Equiv.Container (stage, c) -> `Container (stage, c)
+              | Equiv.State_slot (alu, k) -> `State (alu, k)
+            in
+            Fmt.pr "  %a@." Verify.pp_triage (Verify.triage ~desc ~mc kind))
+          refuted_pass;
+        List.iter
+          (fun ob ->
+            Fmt.pr "  REFUTED %a@." Compiler.Vet.pp_obligation ob;
+            let kind =
+              match ob.Compiler.Vet.vo_subject with
+              | Compiler.Vet.Output (_, c) -> `Output c
+              | Compiler.Vet.State (_, alu, k) -> `State (alu, k)
+            in
+            Fmt.pr "  %a@." Verify.pp_triage (Verify.triage ~desc ~mc kind))
+          refuted_spec;
+        List.iter
+          (fun ob ->
+            match ob.Equiv.ob_status with
+            | Equiv.Deferred _ -> Fmt.pr "  deferred %a@." Equiv.pp_obligation ob
+            | _ -> ())
+          pass_obs
+      end;
+      (* findings for the shared druzhba-report/1 schema *)
+      let finding_of_status subject lhs rhs status =
+        let message =
+          Fmt.str "%s vs %s: %a" lhs rhs Equiv.pp_status status
+        in
+        match status with
+        | Equiv.Refuted _ ->
+          Some
+            { Lint.f_rule = "refuted-obligation"; f_severity = Lint.Error; f_subject = subject;
+              f_message = message }
+        | Equiv.Deferred _ ->
+          Some
+            { Lint.f_rule = "deferred-obligation"; f_severity = Lint.Warning; f_subject = subject;
+              f_message = message }
+        | Equiv.Proved _ -> None
+      in
+      let findings =
+        List.filter_map
+          (fun ob ->
+            finding_of_status (Equiv.subject_id ob.Equiv.ob_subject) ob.Equiv.ob_lhs_name
+              ob.Equiv.ob_rhs_name ob.Equiv.ob_status)
+          pass_obs
+        @ List.filter_map
+            (fun ob ->
+              finding_of_status
+                (Compiler.Vet.subject_id ob.Compiler.Vet.vo_subject)
+                "spec" "pipeline" ob.Compiler.Vet.vo_status)
+            spec_obs
+      in
+      let taxonomy_json =
+        "{"
+        ^ String.concat ","
+            (List.map (fun (b, n) -> Printf.sprintf "\"%s\":%d" b n) counts)
+        ^ "}"
+      in
+      Lint.target ~extra:[ ("taxonomy", taxonomy_json) ] ~name findings
+    in
+    let targets = List.map vet_target names in
+    if json then print_string (Lint.report_to_json ~tool:"vet" targets ^ "\n");
+    (match witnesses with
+    | None -> ()
+    | Some path ->
+      let n =
+        write_witness_file path ~bits ~depth ~width ~stateful ~stateless
+          (List.rev !witness_trials)
+      in
+      if not json then Fmt.pr "%d witness candidate(s) written to %s@." n path);
+    if !any_refuted then exit 1
+  in
+  let doc =
+    "Translation validation: statically prove, per output container and state slot, that every \
+     optimizer pass preserves the pipeline's symbolic transfer function, and that the compiled \
+     (or synthesized) machine code implements the program's reference semantics at the full \
+     datapath width — no PHV is ever executed.  Refutations come with replayable witness \
+     packets and a provenance slice naming the pass, the container, and the machine-code pairs \
+     involved; undecided obligations are exported with --witnesses as directed trials for \
+     $(b,druzhba campaign --directed).  Exits non-zero if any obligation is refuted."
+  in
+  Cmd.v
+    (Cmd.info "vet" ~doc)
+    Term.(
+      const run
+      $ Arg.(
+          value
+          & opt (some string) None
+          & info [ "program" ] ~docv:"FILE|BENCHMARK"
+              ~doc:"Packet program: a .domino file or a Table-1 benchmark name.")
+      $ Arg.(
+          value & flag
+          & info [ "benchmarks" ] ~doc:"Vet every Table-1 benchmark program (used by CI).")
+      $ depth_arg $ width_arg $ bits_arg $ stateful_arg $ stateless_arg
+      $ Arg.(
+          value & opt string "scc,scc-inline"
+          & info [ "opt-levels" ] ~docv:"LEVELS"
+              ~doc:
+                "Comma-separated optimization levels whose passes to validate (the maximal one \
+                 determines the pass chain): unoptimized, scc, scc-inline.")
+      $ Arg.(
+          value & flag
+          & info [ "synth" ]
+              ~doc:"Vet the synthesis backend's output instead of the rule-based compiler's.")
+      $ Arg.(
+          value & opt int 4
+          & info [ "synth-bits" ] ~docv:"B" ~doc:"Synthesis width (with --synth).")
+      $ Arg.(
+          value & opt int 150_000
+          & info [ "budget" ] ~docv:"N" ~doc:"Synthesis candidate budget (with --synth).")
+      $ Arg.(value & flag & info [ "json" ] ~doc:"Machine-readable druzhba-report/1 JSON output.")
+      $ Arg.(
+          value
+          & opt (some string) None
+          & info [ "witnesses" ] ~docv:"FILE"
+              ~doc:
+                "Write refutation witnesses and undecided-obligation candidates to $(docv) as \
+                 directed trials for the fuzzing campaign."))
 
 (* --- drmt --------------------------------------------------------------------------- *)
 
@@ -737,6 +1100,7 @@ let () =
             dsim_cmd;
             compile_cmd;
             lint_cmd;
+            vet_cmd;
             fuzz_cmd;
             campaign_cmd;
             verify_cmd;

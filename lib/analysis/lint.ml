@@ -19,6 +19,7 @@
      behind (every Table-1 benchmark does), so warnings do not fail the
      lint unless the caller opts in ([--strict]). *)
 
+module Value = Druzhba_util.Value
 module Machine_code = Druzhba_machine_code.Machine_code
 module Ir = Druzhba_pipeline.Ir
 module Alu_analysis = Druzhba_alu_dsl.Analysis
@@ -105,6 +106,58 @@ let check_unknown_pairs ~domains mc =
             f_message = "machine-code pair matches no control of this pipeline";
           })
     (Machine_code.to_alist mc)
+
+(* truncated-immediate: a machine-code immediate whose high bits the
+   datapath silently drops.  Every immediate enters the IR as [Trunc (Mc _)]
+   (the generators mask all constants onto the datapath), so on the
+   known-bits domain the pair's value contributes at most the low [d_bits]
+   bits — any bit above that is unrepresentable and vanishes without a
+   diagnostic.  This is the paper's §5.2 representability class: a compiler
+   that believes it installed [100] while the 4-bit hardware computes with
+   [4].  The program still simulates deterministically, hence a warning. *)
+let check_truncated_immediates ~mc (d : Ir.t) =
+  let bits = d.Ir.d_bits in
+  let keep = Value.max_value bits in
+  let seen = Hashtbl.create 16 in
+  let findings = ref [] in
+  let mc_names acc e = match e with Ir.Mc name -> name :: acc | _ -> acc in
+  let visit () e =
+    match e with
+    | Ir.Trunc sub ->
+      List.iter
+        (fun name ->
+          if not (Hashtbl.mem seen name) then begin
+            Hashtbl.add seen name ();
+            match Machine_code.find_opt mc name with
+            | Some v when v land lnot keep <> 0 ->
+              findings :=
+                {
+                  f_rule = "truncated-immediate";
+                  f_severity = Warning;
+                  f_subject = name;
+                  f_message =
+                    Printf.sprintf
+                      "immediate %d does not fit the %d-bit datapath: Trunc keeps %d and \
+                       silently drops high bits 0x%x"
+                      v bits (Value.mask bits v) (v land lnot keep);
+                }
+                :: !findings
+            | _ -> ()
+          end)
+        (Ir.fold_expr mc_names [] sub)
+    | _ -> ()
+  in
+  let visit_alu (a : Ir.alu) =
+    List.iter (fun s -> Ir.fold_stmt visit () s) a.Ir.a_body;
+    Ir.fold_expr visit () a.Ir.a_default_output
+  in
+  Array.iter
+    (fun (st : Ir.stage) ->
+      Array.iter visit_alu st.Ir.s_stateless;
+      Array.iter visit_alu st.Ir.s_stateful)
+    d.Ir.d_stages;
+  Ir.iter_helpers d (fun h -> Ir.fold_expr visit () h.Ir.h_body);
+  List.rev !findings
 
 (* dead-alu: with machine code in hand each output mux selects exactly one
    arm, so an ALU whose output (and, for stateful ALUs, new state) no mux in
@@ -366,7 +419,10 @@ let check ?mc ?(pairs = []) (d : Ir.t) : finding list =
   let mc_findings =
     match mc with
     | None -> []
-    | Some mc -> check_machine_code ~domains mc @ check_unknown_pairs ~domains mc
+    | Some mc ->
+      check_machine_code ~domains mc
+      @ check_unknown_pairs ~domains mc
+      @ check_truncated_immediates ~mc d
   in
   let findings =
     check_duplicate_pairs pairs
@@ -402,6 +458,11 @@ let json_escape s =
     s;
   Buffer.contents b
 
+let finding_to_json f =
+  Printf.sprintf "{\"rule\":\"%s\",\"severity\":\"%s\",\"subject\":\"%s\",\"message\":\"%s\"}"
+    (json_escape f.f_rule) (severity_name f.f_severity) (json_escape f.f_subject)
+    (json_escape f.f_message)
+
 let to_json findings =
   let errors, warnings = summary findings in
   let b = Buffer.create 1024 in
@@ -409,10 +470,59 @@ let to_json findings =
   List.iteri
     (fun i f ->
       if i > 0 then Buffer.add_char b ',';
-      Buffer.add_string b
-        (Printf.sprintf "{\"rule\":\"%s\",\"severity\":\"%s\",\"subject\":\"%s\",\"message\":\"%s\"}"
-           (json_escape f.f_rule) (severity_name f.f_severity) (json_escape f.f_subject)
-           (json_escape f.f_message)))
+      Buffer.add_string b (finding_to_json f))
     findings;
   Buffer.add_string b (Printf.sprintf "],\"errors\":%d,\"warnings\":%d}" errors warnings);
+  Buffer.contents b
+
+(* --- Versioned report envelope ---------------------------------------------
+
+   [druzhba lint --json] and [druzhba vet --json] share one schema,
+   [druzhba-report/1], so CI can gate and diff both with the same tooling:
+
+     {"schema":"druzhba-report/1","tool":<tool>,
+      "targets":[{"name":...,"findings":[...],"errors":N,"warnings":N,...}]}
+
+   Ordering is deterministic: targets sort by name, findings keep the
+   rule-order-within-severity produced by {!check} (vet emits obligations in
+   pipeline order), so reports for unchanged inputs are byte-identical. *)
+
+let report_schema = "druzhba-report/1"
+
+type target = {
+  t_name : string;
+  t_findings : finding list;
+  t_extra : (string * string) list;  (* extra JSON fields: key -> rendered value *)
+}
+
+let target ?(extra = []) ~name findings = { t_name = name; t_findings = findings; t_extra = extra }
+
+let target_to_json t =
+  let errors, warnings = summary t.t_findings in
+  let b = Buffer.create 1024 in
+  Buffer.add_string b (Printf.sprintf "{\"name\":\"%s\",\"findings\":[" (json_escape t.t_name));
+  List.iteri
+    (fun i f ->
+      if i > 0 then Buffer.add_char b ',';
+      Buffer.add_string b (finding_to_json f))
+    t.t_findings;
+  Buffer.add_string b (Printf.sprintf "],\"errors\":%d,\"warnings\":%d" errors warnings);
+  List.iter
+    (fun (k, v) -> Buffer.add_string b (Printf.sprintf ",\"%s\":%s" (json_escape k) v))
+    t.t_extra;
+  Buffer.add_char b '}';
+  Buffer.contents b
+
+let report_to_json ~tool targets =
+  let targets = List.sort (fun a b -> String.compare a.t_name b.t_name) targets in
+  let b = Buffer.create 4096 in
+  Buffer.add_string b
+    (Printf.sprintf "{\"schema\":\"%s\",\"tool\":\"%s\",\"targets\":[" report_schema
+       (json_escape tool));
+  List.iteri
+    (fun i t ->
+      if i > 0 then Buffer.add_char b ',';
+      Buffer.add_string b (target_to_json t))
+    targets;
+  Buffer.add_string b "]}";
   Buffer.contents b

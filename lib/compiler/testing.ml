@@ -53,3 +53,11 @@ let check ?level ?seed ~n (c : Codegen.compiled) : Fuzz.outcome =
   Fuzz.run_equivalence ?level ?seed ~init:c.Codegen.c_layout.Codegen.l_init
     ~desc:c.Codegen.c_desc ~mc:c.Codegen.c_mc ~spec:(spec_of c) ~observed:(observed c)
     ~state_layout:(state_layout c) ~n ()
+
+(* Directed trial: feed [prefix] PHVs first — witness candidates from
+   translation validation — from the reset state, then [n] random PHVs to
+   keep exploring from wherever the directed packets led. *)
+let check_directed ?level ?seed ~prefix ~n (c : Codegen.compiled) : Fuzz.outcome =
+  Fuzz.run_equivalence ?level ?seed ~prefix ~init:c.Codegen.c_layout.Codegen.l_init
+    ~desc:c.Codegen.c_desc ~mc:c.Codegen.c_mc ~spec:(spec_of c) ~observed:(observed c)
+    ~state_layout:(state_layout c) ~n ()

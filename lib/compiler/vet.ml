@@ -1,0 +1,198 @@
+(* Static validation of compiled pipelines against the reference semantics.
+
+   [druzhba vet] on a {!Codegen.compiled} (rule-based or synthesized)
+   compares, at the *full* datapath width of the target, the end-to-end
+   symbolic transfer function of the generated pipeline + machine code
+   against the program's predicate semantics ({!Predicate.predicate} — the
+   write-once spec of each output field and state variable).  No PHV is
+   ever pushed through the simulator: both sides are normalized symbolic
+   expressions over the input containers and the resident state, and a
+   verdict comes from {!Druzhba_analysis.Equiv}'s decision ladder.
+
+   This is the static form of the paper's §5.2 case study: a backend that
+   synthesizes at a narrow width and installs a truncated immediate (100
+   masked to 4) produces a pipeline whose symbolic output differs from the
+   spec at the full width — refuted here with a concrete witness packet,
+   where width-4 fuzzing would have passed.
+
+   Refutation witnesses must be *reachable* to be replayable, so state
+   atoms are handled in two rounds: an obligation is first decided with the
+   resident state universally quantified (a proof there is a proof for
+   every reachable state); if that refutes at a state other than the
+   program's initial values, the obligation is re-decided with the state
+   pinned to the reset image — a refutation of the pinned obligation is a
+   first-packet counterexample, replayable from reset.  A separator that
+   needs an unverified state is only ever *deferred*, as a directed-trial
+   candidate for the fuzzing campaign. *)
+
+module Value = Druzhba_util.Value
+module Ir = Druzhba_pipeline.Ir
+module Symbolic = Druzhba_analysis.Symbolic
+module Equiv = Druzhba_analysis.Equiv
+
+type subject =
+  | Output of string * int  (* output field name, container *)
+  | State of string * string * int  (* state var, ALU name, slot *)
+
+let pp_subject ppf = function
+  | Output (f, c) -> Fmt.pf ppf "output field '%s' (container %d)" f c
+  | State (v, alu, k) -> Fmt.pf ppf "state '%s' (%s slot %d)" v alu k
+
+let subject_id = function
+  | Output (f, c) -> Printf.sprintf "output/%s/container%d" f c
+  | State (v, alu, k) -> Printf.sprintf "state/%s/%s/slot%d" v alu k
+
+type obligation = {
+  vo_subject : subject;
+  vo_spec : Symbolic.sym;  (* reference semantics (lhs of the witness) *)
+  vo_impl : Symbolic.sym;  (* pipeline + machine code (rhs) *)
+  vo_status : Equiv.status;
+  vo_note : string;
+}
+
+let is_refuted ob = match ob.vo_status with Equiv.Refuted _ -> true | _ -> false
+
+let taxonomy ob = Equiv.taxonomy ob.vo_status
+
+let summary obs =
+  List.map (fun b -> (b, List.length (List.filter (fun ob -> taxonomy ob = b) obs))) Equiv.buckets
+
+let pp_obligation ppf ob =
+  Fmt.pf ppf "@[<v>%a: %a" pp_subject ob.vo_subject Equiv.pp_status ob.vo_status;
+  if ob.vo_note <> "" then Fmt.pf ppf "@,  note: %s" ob.vo_note;
+  Fmt.pf ppf "@]"
+
+(* --- Spec side: predicate sexpr -> symbolic normal form -------------------- *)
+
+(* [Predicate.sexpr] operators are {!Druzhba_alu_dsl.Ast} operators — the
+   same variants the IR uses — so the spec lowers into the shared normal
+   form directly; the layout maps field and state names onto atoms. *)
+let rec sym_of_sexpr ~bits ~(layout : Codegen.layout) (s : Predicate.sexpr) : Symbolic.sym =
+  match s with
+  | Predicate.SInt n -> Symbolic.Const n
+  | Predicate.SIn f -> (
+    match List.assoc_opt f layout.Codegen.l_inputs with
+    | Some c -> Symbolic.Phv c
+    | None -> raise (Symbolic.Unsupported (Printf.sprintf "input field '%s' has no container" f)))
+  | Predicate.SState v -> (
+    match List.assoc_opt v layout.Codegen.l_state with
+    | Some (alu, k) -> Symbolic.State (alu, k)
+    | None -> raise (Symbolic.Unsupported (Printf.sprintf "state var '%s' has no slot" v)))
+  | Predicate.SBin (op, a, b) ->
+    Symbolic.mk_binop bits op (sym_of_sexpr ~bits ~layout a) (sym_of_sexpr ~bits ~layout b)
+  | Predicate.SUn (op, a) -> Symbolic.mk_unop bits op (sym_of_sexpr ~bits ~layout a)
+  | Predicate.SCond (c, a, b) ->
+    Symbolic.mk_cond bits (sym_of_sexpr ~bits ~layout c) (sym_of_sexpr ~bits ~layout a)
+      (sym_of_sexpr ~bits ~layout b)
+
+(* --- Reset-state handling -------------------------------------------------- *)
+
+let init_of (layout : Codegen.layout) alu k =
+  match List.assoc_opt alu layout.Codegen.l_init with
+  | Some arr when k < Array.length arr -> arr.(k)
+  | _ -> 0
+
+let pin_to_init ~bits ~layout sym =
+  Symbolic.substitute ~bits
+    ~subst:(function
+      | Symbolic.Astate (alu, k) -> Some (Symbolic.Const (init_of layout alu k))
+      | _ -> None)
+    sym
+
+let witness_at_init layout (w : Equiv.witness) =
+  List.for_all
+    (function
+      | Symbolic.Astate (alu, k), v -> v = init_of layout alu k
+      | _ -> true)
+    w.Equiv.w_assign
+
+(* Universal proof, or reachable (first-packet) refutation, or deferral. *)
+let decide_with_init cfg ~bits ~layout spec impl =
+  let universal = Equiv.decide cfg spec impl in
+  match universal with
+  | Equiv.Proved _ -> (universal, "")
+  | Equiv.Refuted (_, w) when witness_at_init layout w ->
+    (universal, "witness holds at the reset state; replayable as the first packet")
+  | _ -> (
+    let spec0 = pin_to_init ~bits ~layout spec and impl0 = pin_to_init ~bits ~layout impl in
+    match Equiv.decide cfg spec0 impl0 with
+    | Equiv.Refuted (m, w) ->
+      (Equiv.Refuted (m, w), "refuted at the reset state; replayable as the first packet")
+    | _ -> (
+      match universal with
+      | Equiv.Refuted (_, w) ->
+        ( Equiv.Deferred [ w.Equiv.w_assign ],
+          "a separating assignment exists but needs a state not proven reachable; deferred \
+           as a directed trial" )
+      | s -> (s, "")))
+
+(* --- Entry point ----------------------------------------------------------- *)
+
+(* Vets one compiled artifact: every observed output field and every state
+   variable yields one obligation, in layout order.  Works unchanged for
+   {!Synth} results — they are packaged as {!Codegen.compiled} against the
+   full-width description, which is exactly where narrow-synthesis bugs
+   become visible. *)
+let check ?config (c : Codegen.compiled) : obligation list =
+  let d = c.Codegen.c_desc in
+  let bits = d.Ir.d_bits in
+  let layout = c.Codegen.c_layout in
+  let cfg = match config with Some cfg -> cfg | None -> Equiv.config bits in
+  let pred = Predicate.predicate ~bits c.Codegen.c_program in
+  let defer subject note =
+    {
+      vo_subject = subject;
+      vo_spec = Symbolic.Const 0;
+      vo_impl = Symbolic.Const 0;
+      vo_status = Equiv.Deferred [];
+      vo_note = note;
+    }
+  in
+  match Symbolic.run_pipeline ~mc:c.Codegen.c_mc d with
+  | exception Symbolic.Unsupported msg ->
+    (* Cannot evaluate the pipeline symbolically: defer everything. *)
+    List.map (fun (f, c) -> defer (Output (f, c)) msg) layout.Codegen.l_outputs
+    @ List.map
+        (fun (v, (alu, k)) -> defer (State (v, alu, k)) msg)
+        layout.Codegen.l_state
+  | pipe ->
+    let decide subject spec impl =
+      match decide_with_init cfg ~bits ~layout spec impl with
+      | status, note ->
+        { vo_subject = subject; vo_spec = spec; vo_impl = impl; vo_status = status; vo_note = note }
+      | exception Symbolic.Unsupported msg -> defer subject msg
+    in
+    let outputs =
+      List.map
+        (fun (f, container) ->
+          match List.assoc_opt f pred.Predicate.field_updates with
+          | None -> defer (Output (f, container)) "output field has no spec update"
+          | Some sexpr -> (
+            match sym_of_sexpr ~bits ~layout sexpr with
+            | spec -> decide (Output (f, container)) spec pipe.Symbolic.pl_containers.(container)
+            | exception Symbolic.Unsupported msg -> defer (Output (f, container)) msg))
+        layout.Codegen.l_outputs
+    in
+    let states =
+      List.map
+        (fun (v, sexpr) ->
+          match List.assoc_opt v layout.Codegen.l_state with
+          | None -> defer (State (v, "?", 0)) "state var has no pipeline slot"
+          | Some (alu, k) -> (
+            let subject = State (v, alu, k) in
+            let impl =
+              match List.assoc_opt alu pipe.Symbolic.pl_state with
+              | Some slots when k < Array.length slots -> Some slots.(k)
+              | _ -> None
+            in
+            match impl with
+            | None -> defer subject "stateful ALU not present in pipeline"
+            | Some impl -> (
+              match sym_of_sexpr ~bits ~layout sexpr with
+              | spec -> decide subject spec impl
+              | exception Symbolic.Unsupported msg -> defer subject msg)))
+        pred.Predicate.state_updates
+    in
+    outputs @ states
+
+let has_refuted obs = List.exists is_refuted obs

@@ -63,6 +63,8 @@ module Campaign = struct
 end
 module Dataflow = Druzhba_analysis.Dataflow
 module Lint = Druzhba_analysis.Lint
+module Symbolic = Druzhba_analysis.Symbolic
+module Equiv = Druzhba_analysis.Equiv
 
 module Compiler = struct
   module Ast = Druzhba_compiler.Ast
@@ -74,6 +76,7 @@ module Compiler = struct
   module Codegen = Druzhba_compiler.Codegen
   module Synth = Druzhba_compiler.Synth
   module Testing = Druzhba_compiler.Testing
+  module Vet = Druzhba_compiler.Vet
 end
 
 module Spec = Druzhba_spec.Spec

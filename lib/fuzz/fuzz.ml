@@ -159,9 +159,13 @@ let compare_traces ?(seed = 0) ~observed ~(spec : spec) ~state_layout ~(trace : 
    [substrate_of] picks the execution substrate for the (already optimized)
    description — the interpreter engine by default; tests can swap in the
    closure compiler or any other {!Substrate.packed} without touching the
-   workflow. *)
-let run_equivalence ?(level = Optimizer.Scc) ?(seed = 0xD52ba) ?init ?substrate_of ~desc ~mc
-    ~spec ~observed ~state_layout ~n () =
+   workflow.
+
+   [prefix] PHVs are fed before the [n] random ones: directed trials (e.g.
+   witness candidates from translation validation) hit their target packet
+   first, from the reset state, then keep fuzzing from wherever it led. *)
+let run_equivalence ?(level = Optimizer.Scc) ?(seed = 0xD52ba) ?(prefix = []) ?init ?substrate_of
+    ~desc ~mc ~spec ~observed ~state_layout ~n () =
   match Machine_code.validate ~domains:(Ir.control_domains desc) mc with
   | Error violations -> (
     let missing =
@@ -189,8 +193,9 @@ let run_equivalence ?(level = Optimizer.Scc) ?(seed = 0xD52ba) ?init ?substrate_
     let traffic =
       Traffic.create ~seed ~width:desc.Ir.d_width ~bits:desc.Ir.d_bits
     in
-    let inputs = Traffic.phvs traffic n in
-    let buf = Trace.Buffer.create ~width:(Substrate.width substrate) ~capacity:n in
+    let inputs = prefix @ Traffic.phvs traffic n in
+    let total = List.length inputs in
+    let buf = Trace.Buffer.create ~width:(Substrate.width substrate) ~capacity:total in
     match Substrate.run_into substrate ~inputs buf with
     | () -> (
       let trace =
@@ -201,6 +206,6 @@ let run_equivalence ?(level = Optimizer.Scc) ?(seed = 0xD52ba) ?init ?substrate_
         }
       in
       match compare_traces ~seed ~observed ~spec ~state_layout ~trace () with
-      | None -> Pass { phvs = n }
+      | None -> Pass { phvs = total }
       | Some mm -> Mismatch mm)
     | exception Machine_code.Missing name -> Missing_pairs [ name ])

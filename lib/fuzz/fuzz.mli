@@ -72,6 +72,7 @@ val compare_traces :
 val run_equivalence :
   ?level:Optimizer.level ->
   ?seed:int ->
+  ?prefix:Druzhba_dsim.Phv.t list ->
   ?init:(string * int array) list ->
   ?substrate_of:(Ir.t -> mc:Machine_code.t -> Substrate.packed) ->
   desc:Ir.t ->
@@ -85,7 +86,8 @@ val run_equivalence :
 (** The full Fig. 5 workflow for one machine-code program: validate the
     machine code against the description's required names, optimize at
     [level] (default {!Optimizer.Scc}), simulate [n] random PHVs from
-    [seed], and compare traces.  [init] preloads stateful-ALU state
+    [seed] — after the directed [prefix] PHVs, if any, which run first from
+    the reset state — and compare traces.  [init] preloads stateful-ALU state
     (control-plane register initialization).  [substrate_of] selects the
     execution substrate for the optimized description (default: the
     interpreter engine via {!Substrate.of_engine}). *)

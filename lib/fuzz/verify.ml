@@ -186,13 +186,17 @@ type triage = {
 
 (* Backward-slices the provenance graph from a diverging output container or
    state slot.  The machine code makes the slice sharp: each output mux
-   contributes only its selected arm. *)
-let triage ~(desc : Ir.t) ~mc (kind : [ `Output of int | `State of string * int ]) : triage =
+   contributes only its selected arm.  [`Container] starts from a mid-
+   pipeline stage boundary — translation validation refutes per-stage
+   obligations, not just final outputs. *)
+let triage ~(desc : Ir.t) ~mc
+    (kind : [ `Output of int | `State of string * int | `Container of int * int ]) : triage =
   let pv = Dataflow.provenance ~mc desc in
   let start =
     match kind with
     | `Output c -> Dataflow.output_node pv c
     | `State (alu, slot) -> Dataflow.Nstate (alu, slot)
+    | `Container (stage, c) -> Dataflow.Ncontainer (stage + 1, c)
   in
   let nodes = Dataflow.slice pv start in
   let alus = List.filter_map (function Dataflow.Nalu n -> Some n | _ -> None) nodes in

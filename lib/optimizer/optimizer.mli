@@ -59,5 +59,16 @@ type level =
 
 val level_name : level -> string
 
+type staged = {
+  st_pass : string;  (** the pass that produced this snapshot *)
+  st_desc : Ir.t;  (** the description after the pass ran *)
+}
+
+val apply_staged : level:level -> mc:Machine_code.t -> Ir.t -> staged list
+(** The per-pass IR snapshots behind {!apply}, in execution order; the last
+    snapshot is what {!apply} returns.  [Unoptimized] yields []. Translation
+    validation ([druzhba vet]) diffs consecutive snapshots so a refutation
+    names the offending pass. *)
+
 val apply : level:level -> mc:Machine_code.t -> Ir.t -> Ir.t
 (** Applies the requested level to a freshly generated description. *)
