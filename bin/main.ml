@@ -518,11 +518,17 @@ let run_directed path ~phvs ~seed =
 
 let campaign_cmd =
   let run trials jobs seed substrate phvs no_shrink max_probes fuel timeout max_failures faults
-      fault_runs faults_per_run checkpoint resume checkpoint_every stop_after json out directed =
+      fault_runs faults_per_run checkpoint resume checkpoint_every stop_after coverage corpus_dir
+      sabotage_pass json out directed =
     match directed with
     | Some path -> run_directed path ~phvs ~seed
     | None ->
     if resume && checkpoint = None then usage_error "--resume requires --checkpoint FILE";
+    if corpus_dir <> None && not coverage then usage_error "--corpus requires --coverage";
+    if coverage && (checkpoint <> None || resume) then
+      usage_error "--coverage is incompatible with --checkpoint/--resume";
+    if sabotage_pass && (checkpoint <> None || resume) then
+      usage_error "--sabotage-pass is incompatible with --checkpoint/--resume";
     (* --trial-fuel is exact ticks; --trial-timeout converts seconds at the
        fixed nominal tick rate so the watchdog stays deterministic *)
     let fuel =
@@ -540,7 +546,7 @@ let campaign_cmd =
       try
         Campaign.config ~trials ~jobs:(resolve_jobs jobs) ~master_seed:seed ~substrate ~phvs
           ~shrink:(not no_shrink) ~max_probes ?fuel ?max_failures ?faults:faults_cfg
-          ~checkpoint_every ()
+          ~checkpoint_every ~coverage ?corpus_dir ~sabotage_pass ()
       with Invalid_argument msg -> usage_error "%s" msg
     in
     match Campaign.run_resumable ?checkpoint ~resume ?stop_after cfg with
@@ -644,6 +650,28 @@ let campaign_cmd =
           & opt (some int) None
           & info [ "stop-after" ] ~docv:"N"
               ~doc:"Testing aid: abort the campaign after $(docv) trials as if killed.")
+      $ Arg.(
+          value & flag
+          & info [ "coverage" ]
+              ~doc:
+                "Coverage-guided mode: track the structural coverage each trial exercises \
+                 (ALU branch arms, output-mux selector arms, stateful latch paths, \
+                 machine-code value classes, dRMT DAG shapes), keep coverage-novel programs \
+                 in a corpus, and bias later trials toward structural mutations of corpus \
+                 members.  Corpus evolution is deterministic and byte-identical across \
+                 --jobs; the report gains a druzhba-coverage/1 section.")
+      $ Arg.(
+          value
+          & opt (some string) None
+          & info [ "corpus" ] ~docv:"DIR"
+              ~doc:"Persist the evolved corpus to $(docv) (requires --coverage).")
+      $ Arg.(
+          value & flag
+          & info [ "sabotage-pass" ]
+              ~doc:
+                "Testing aid: plant a buggy optimizer pass whose trigger needs a boundary \
+                 immediate value that uniform-random generation cannot produce — the \
+                 acceptance gate showing coverage-guided mode finds what random misses.")
       $ Arg.(value & flag & info [ "json" ] ~doc:"Print the JSON report to stdout.")
       $ Arg.(
           value

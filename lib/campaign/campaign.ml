@@ -112,6 +112,12 @@ type config = {
   c_max_failures : int option; (* circuit breaker; None = run to completion *)
   c_faults : fault_config option; (* fault-injection mode *)
   c_checkpoint_every : int; (* block size: trials between checkpoints *)
+  c_coverage : bool; (* coverage-guided mode: track coverage, evolve a corpus *)
+  c_corpus_dir : string option; (* where to persist the corpus (coverage mode) *)
+  c_sabotage_pass : bool;
+      (* plant {!Sabotage}'s buggy optimizer pass in every RMT trial's
+         oracle: the acceptance gate for coverage-guided mode (the trigger
+         is provably unreachable by uniform-random machine code) *)
   c_hook : (int -> unit) option; (* test-only: runs at trial start (chaos injection) *)
   c_sabotage : (int -> bool) option;
       (* test-only: dRMT trials for which this answers true run the
@@ -122,7 +128,8 @@ type config = {
 
 let config ?(trials = 100) ?(jobs = 1) ?(master_seed = 0xD52ba) ?(substrate = `Rmt)
     ?(phvs = 100) ?(shrink = true) ?(max_probes = 400) ?fuel ?max_failures ?faults
-    ?(checkpoint_every = 64) ?hook ?sabotage () =
+    ?(checkpoint_every = 64) ?(coverage = false) ?corpus_dir ?(sabotage_pass = false) ?hook
+    ?sabotage () =
   (match fuel with
   | Some f when f <= 0 -> invalid_arg "Campaign.config: fuel must be positive"
   | _ -> ());
@@ -130,9 +137,12 @@ let config ?(trials = 100) ?(jobs = 1) ?(master_seed = 0xD52ba) ?(substrate = `R
   | Some m when m <= 0 -> invalid_arg "Campaign.config: max_failures must be positive"
   | _ -> ());
   if checkpoint_every <= 0 then invalid_arg "Campaign.config: checkpoint_every must be positive";
+  if corpus_dir <> None && not coverage then
+    invalid_arg "Campaign.config: corpus_dir requires coverage mode";
   { c_trials = trials; c_jobs = jobs; c_master_seed = master_seed; c_substrate = substrate;
     c_phvs = phvs; c_shrink = shrink; c_max_probes = max_probes; c_fuel = fuel;
     c_max_failures = max_failures; c_faults = faults; c_checkpoint_every = checkpoint_every;
+    c_coverage = coverage; c_corpus_dir = corpus_dir; c_sabotage_pass = sabotage_pass;
     c_hook = hook; c_sabotage = sabotage }
 
 (* Under [`All], trials alternate families by index — deterministic in the
@@ -170,14 +180,33 @@ type trial = {
   t_index : int;
   t_seed : int; (* derived; reproduces the trial on its own *)
   t_params : params;
+  t_origin : Corpus.origin option; (* coverage mode: how this trial's program arose *)
   t_outcome : outcome;
   t_shrunk : Shrink.result option; (* present iff the trial diverged and shrinking ran *)
   t_faults : fault_stats option; (* present iff fault mode ran on this trial *)
 }
 
+(* What a coverage-mode trial hands back to the block loop besides its
+   trial record: the coverage it reached and the material the corpus would
+   store if that coverage turns out to be novel.  Novelty itself is judged
+   at the block boundary, in index order, against the merged global map —
+   never inside the (parallel) trial. *)
+type trial_extra = { x_coverage : Coverage.t; x_material : Corpus.material }
+
+(* Coverage-mode accounting surfaced in the report (and rendered as the
+   druzhba-coverage/1 section of the JSON). *)
+type coverage_stats = {
+  cv_coverage : Coverage.t;
+  cv_novel_trials : int;
+  cv_corpus_entries : int;
+  cv_corpus_fresh : int;
+  cv_corpus_mutated : int;
+}
+
 type report = {
   r_config : config;
   r_trials : trial list; (* in index order; trimmed at the breaker's cutoff *)
+  r_coverage : coverage_stats option; (* present iff coverage mode ran *)
   r_agree : int;
   r_divergent : int;
   r_invalid : int;
@@ -203,12 +232,10 @@ let trial_failed (t : trial) =
 
 (* --- One trial ------------------------------------------------------------ *)
 
-(* Trial parameters are the first draws from the trial PRNG — kept as a
-   separate function because checkpoint resume re-derives them for trials
-   whose full record was not persisted.  The returned PRNG continues the
-   stream (the trial body draws programs and traffic seeds from it). *)
-let trial_params family seed =
-  let prng = Prng.create seed in
+(* Fresh-trial parameter draws, shared between the uniform-random path and
+   coverage mode's "sample fresh" arm (which has already consumed decision
+   draws from the same PRNG). *)
+let draw_params family prng =
   match family with
   | Rmt ->
     let depth = 1 + Prng.int prng 2 in
@@ -216,14 +243,22 @@ let trial_params family seed =
     let bits = [| 8; 16; 32 |].(Prng.int prng 3) in
     let stateful = stateful_pool.(Prng.int prng (Array.length stateful_pool)) in
     let stateless = stateless_pool.(Prng.int prng (Array.length stateless_pool)) in
-    (prng, Rmt_params { depth; width; bits; stateful; stateless })
+    Rmt_params { depth; width; bits; stateful; stateless }
   | Drmt ->
     (* feasible by construction: tables <= 4 and the default per-processor
        crossbar capacities admit 4 matches/actions even at 1 processor *)
     let tables = 1 + Prng.int prng 4 in
     let processors = 1 + Prng.int prng 4 in
     let entries = Prng.int prng (4 * tables) in
-    (prng, Drmt_params { tables; processors; entries })
+    Drmt_params { tables; processors; entries }
+
+(* Trial parameters are the first draws from the trial PRNG — kept as a
+   separate function because checkpoint resume re-derives them for trials
+   whose full record was not persisted.  The returned PRNG continues the
+   stream (the trial body draws programs and traffic seeds from it). *)
+let trial_params family seed =
+  let prng = Prng.create seed in
+  (prng, draw_params family prng)
 
 (* --- dRMT trial material -----------------------------------------------------
 
@@ -365,19 +400,27 @@ let run_faults ?budget ~(fc : fault_config) ~(pair : Substrate.packed * Substrat
   }
 
 (* The RMT trial body: random pipeline + machine code, six-configuration
-   oracle, machine-code-aware shrinking, per-stage fault geometry. *)
-let run_rmt_trial ~(cfg : config) ~seed ~prng ~depth ~width ~bits ~stateful_name ~stateless_name
-    =
+   oracle, machine-code-aware shrinking, per-stage fault geometry.
+
+   [mc_override] (coverage mode) supplies a corpus mutant instead of a
+   fresh random draw.  Under [c_sabotage_pass] the oracle runs with
+   {!Sabotage.transform} planted on the post-optimizer candidates —
+   rebuilt per shrink probe so the trigger tracks the neutralized code.
+   In coverage mode the trial also replays its inputs on an instrumented
+   reference engine and returns the structural coverage reached. *)
+let run_rmt_trial ~(cfg : config) ~seed ~prng ?mc_override ~depth ~width ~bits ~stateful_name
+    ~stateless_name () =
   let desc =
     Dgen.generate
       (Dgen.config ~depth ~width ~bits ())
       ~stateful:(Atoms.find_exn stateful_name) ~stateless:(Atoms.find_exn stateless_name)
   in
-  let mc = Fuzz.random_mc prng desc in
+  let mc = match mc_override with Some mc -> mc | None -> Fuzz.random_mc prng desc in
   let traffic_seed = Prng.bits prng 30 in
   let inputs = Traffic.phvs (Traffic.create ~seed:traffic_seed ~width ~bits) cfg.c_phvs in
   let budget = Option.map Budget.ticks cfg.c_fuel in
-  let outcome = Oracle.check ?budget ~desc ~mc ~inputs () in
+  let transform_for mc = if cfg.c_sabotage_pass then Some (Sabotage.transform ~mc) else None in
+  let outcome = Oracle.check ?budget ?transform:(transform_for mc) ~desc ~mc ~inputs () in
   let shrunk =
     match outcome with
     | Oracle.Divergence _ when cfg.c_shrink ->
@@ -385,7 +428,7 @@ let run_rmt_trial ~(cfg : config) ~seed ~prng ~depth ~width ~bits ~stateful_name
         (* each probe gets the full budget; a probe that still exhausts
            it is treated as non-reproducing by the shrinker *)
         (match budget with Some b -> Budget.refill b | None -> ());
-        match Oracle.check ?budget ~desc ~mc ~inputs () with
+        match Oracle.check ?budget ?transform:(transform_for mc) ~desc ~mc ~inputs () with
         | Oracle.Divergence _ -> true
         | Oracle.Agree _ | Oracle.Invalid_mc _ -> false
       in
@@ -406,13 +449,37 @@ let run_rmt_trial ~(cfg : config) ~seed ~prng ~depth ~width ~bits ~stateful_name
       Some (run_faults ?budget ~fc ~pair ~gen_plan ~inputs ())
     | _ -> None
   in
-  (Finished outcome, shrunk, faults)
+  let extra =
+    if not cfg.c_coverage then None
+    else begin
+      (* coverage replay runs on the pristine reference engine with its own
+         full tank, like every other sub-run *)
+      (match budget with Some b -> Budget.refill b | None -> ());
+      let shape =
+        Coverage.rmt_shape ~depth ~width ~bits ~stateful:stateful_name ~stateless:stateless_name
+      in
+      let x_coverage = Coverage.of_rmt_trial ?budget ~shape ~desc ~mc ~inputs () in
+      let x_material =
+        Corpus.Rmt_material
+          { depth; width; bits; stateful = stateful_name; stateless = stateless_name; mc }
+      in
+      Some { x_coverage; x_material }
+    end
+  in
+  (Finished outcome, shrunk, faults, extra)
 
 (* The dRMT trial body: random chain program + entries, event-driven vs
-   sequential oracle, input-only shrinking, input-path fault geometry. *)
-let run_drmt_trial ~(cfg : config) ~seed ~prng ~index ~tables ~processors ~n_entries =
+   sequential oracle, input-only shrinking, input-path fault geometry.
+   [entries_override] (coverage mode) installs a corpus mutant's entry list
+   instead of a fresh random draw. *)
+let run_drmt_trial ~(cfg : config) ~seed ~prng ~index ?entries_override ~tables ~processors
+    ~n_entries () =
   let p = drmt_program ~tables in
-  let entries = drmt_entries prng ~tables ~count:n_entries in
+  let entries =
+    match entries_override with
+    | Some entries -> entries
+    | None -> drmt_entries prng ~tables ~count:n_entries
+  in
   let traffic_seed = Prng.bits prng 30 in
   let sched_cfg = Scheduler.config ~processors () in
   let sabotaged = match cfg.c_sabotage with Some f -> f index | None -> false in
@@ -464,16 +531,88 @@ let run_drmt_trial ~(cfg : config) ~seed ~prng ~index ~tables ~processors ~n_ent
       Some (run_faults ?budget ~fc ~pair ~gen_plan ~inputs ())
     | _ -> None
   in
-  (Finished outcome, shrunk, faults)
+  let extra =
+    if not cfg.c_coverage then None
+    else begin
+      (match budget with Some b -> Budget.refill b | None -> ());
+      let shape = Coverage.drmt_shape ~tables ~processors in
+      let x_coverage = Coverage.of_drmt_trial ?budget ~shape ~p ~entries ~inputs () in
+      Some { x_coverage; x_material = Corpus.Drmt_material { tables; processors; entries } }
+    end
+  in
+  (Finished outcome, shrunk, faults, extra)
 
-let run_trial ~(cfg : config) index : trial =
+(* --- Coverage-mode generation -------------------------------------------------
+
+   A coverage-mode trial first decides — from its own derived PRNG, before
+   any parameter draw — whether to mutate a corpus member of its family
+   (3 in 4, when the block-start snapshot has one) or to sample fresh.
+   Mutants re-enter the normal trial body with the mutated material
+   overriding the random draw; a mutation that does not apply falls back
+   to fresh sampling with the same PRNG.  Everything is a pure function of
+   (master seed, index, snapshot), and the snapshot only changes at block
+   boundaries, so generation is byte-deterministic across [--jobs]. *)
+
+let pick_mutation prng family (snapshot : Corpus.entry array) =
+  let mine =
+    Array.of_list
+      (List.filter
+         (fun e -> match family with Rmt -> Corpus.is_rmt e | Drmt -> not (Corpus.is_rmt e))
+         (Array.to_list snapshot))
+  in
+  if Array.length mine = 0 || Prng.int prng 4 >= 3 then None
+  else begin
+    let parent = mine.(Prng.int prng (Array.length mine)) in
+    match parent.Corpus.e_material with
+    | Corpus.Rmt_material { depth; width; bits; stateful; stateless; mc } -> (
+      (* domains come from the regenerated description — a pure function of
+         the stored parameters *)
+      let desc =
+        Dgen.generate
+          (Dgen.config ~depth ~width ~bits ())
+          ~stateful:(Atoms.find_exn stateful) ~stateless:(Atoms.find_exn stateless)
+      in
+      match Corpus.mutate_rmt prng ~domains:(Ir.control_domains desc) ~bits mc with
+      | None -> None
+      | Some (op, mc') ->
+        Some
+          ( Corpus.Mutated { parent = parent.Corpus.e_id; op },
+            Rmt_params { depth; width; bits; stateful; stateless },
+            `Rmt_mc mc' ))
+    | Corpus.Drmt_material { tables; processors; entries } -> (
+      match Corpus.mutate_drmt prng ~tables ~entries with
+      | None -> None
+      | Some (op, tables', entries') ->
+        Some
+          ( Corpus.Mutated { parent = parent.Corpus.e_id; op },
+            Drmt_params { tables = tables'; processors; entries = List.length entries' },
+            `Drmt_entries entries' ))
+  end
+
+let run_trial ?(snapshot = [||]) ~(cfg : config) index : trial * trial_extra option =
   (* backtrace recording is per-domain in OCaml 5, so arm it here (on
      whichever worker runs the trial) rather than once in [run] *)
   Printexc.record_backtrace true;
   let seed = Prng.derive cfg.c_master_seed index in
-  let prng, params = trial_params (family_of ~cfg index) seed in
-  let finish (t_outcome, t_shrunk, t_faults) =
-    { t_index = index; t_seed = seed; t_params = params; t_outcome; t_shrunk; t_faults }
+  let family = family_of ~cfg index in
+  let prng, t_origin, params, override =
+    if not cfg.c_coverage then
+      let prng, params = trial_params family seed in
+      (prng, None, params, `None)
+    else begin
+      (* coverage mode: the mutate-or-fresh decision draws come first on the
+         same trial PRNG, so the whole trial — including a fresh fallback —
+         is a pure function of (master seed, index, block-start snapshot) *)
+      let prng = Prng.create seed in
+      match pick_mutation prng family snapshot with
+      | Some (origin, params, override) -> (prng, Some origin, params, override)
+      | None -> (prng, Some Corpus.Fresh, draw_params family prng, `None)
+    end
+  in
+  let finish (t_outcome, t_shrunk, t_faults, extra) =
+    ( { t_index = index; t_seed = seed; t_params = params; t_origin; t_outcome; t_shrunk;
+        t_faults },
+      extra )
   in
   (* Containment boundary: everything below — generation, simulation,
      shrinking, fault runs, the chaos hook — is folded into a structured
@@ -484,17 +623,20 @@ let run_trial ~(cfg : config) index : trial =
     (match cfg.c_hook with Some hook -> hook index | None -> ());
     match params with
     | Rmt_params { depth; width; bits; stateful; stateless } ->
-      run_rmt_trial ~cfg ~seed ~prng ~depth ~width ~bits ~stateful_name:stateful
-        ~stateless_name:stateless
+      let mc_override = match override with `Rmt_mc mc -> Some mc | _ -> None in
+      run_rmt_trial ~cfg ~seed ~prng ?mc_override ~depth ~width ~bits ~stateful_name:stateful
+        ~stateless_name:stateless ()
     | Drmt_params { tables; processors; entries } ->
-      run_drmt_trial ~cfg ~seed ~prng ~index ~tables ~processors ~n_entries:entries
+      let entries_override = match override with `Drmt_entries e -> Some e | _ -> None in
+      run_drmt_trial ~cfg ~seed ~prng ~index ?entries_override ~tables ~processors
+        ~n_entries:entries ()
   with
   | result -> finish result
   | exception Budget.Exhausted ->
-    finish (Timed_out { to_fuel = Option.value cfg.c_fuel ~default:0 }, None, None)
+    finish (Timed_out { to_fuel = Option.value cfg.c_fuel ~default:0 }, None, None, None)
   | exception e ->
     let cr_backtrace = backtrace_text () in
-    finish (Crashed { cr_exn = Printexc.to_string e; cr_backtrace }, None, None)
+    finish (Crashed { cr_exn = Printexc.to_string e; cr_backtrace }, None, None, None)
 
 (* The overwhelmingly common trial — all configurations agree, no faults
    flagged — is fully determined by the campaign config and the trial
@@ -507,6 +649,7 @@ let default_trial ~(cfg : config) index : trial =
     t_index = index;
     t_seed = seed;
     t_params = params;
+    t_origin = None;
     t_outcome = Finished (Oracle.Agree { configs = family_configs family; phvs = cfg.c_phvs });
     t_shrunk = None;
     t_faults =
@@ -630,9 +773,12 @@ let json_of_params = function
     ]
 
 let json_of_trial (t : trial) : Report.json =
+  let origin =
+    match t.t_origin with None -> [] | Some o -> [ ("origin", Corpus.origin_json o) ]
+  in
   let base =
     [ ("index", Report.Int t.t_index); ("seed", Report.Int t.t_seed) ]
-    @ json_of_params t.t_params
+    @ json_of_params t.t_params @ origin
     @ [ ("outcome", json_of_outcome t.t_outcome) ]
   in
   let shrunk =
@@ -757,6 +903,9 @@ let trial_of_json j : trial =
     t_index = dint j "index";
     t_seed = dint j "seed";
     t_params = params_of_json j;
+    (* coverage mode is incompatible with checkpoints, so a decoded trial
+       never carries an origin *)
+    t_origin = None;
     t_outcome = outcome_of_json (dfield j "outcome" Option.some);
     t_shrunk = Option.map shrunk_of_json (Report.member "shrunk" j);
     t_faults = Option.map faults_of_json (Report.member "faults" j);
@@ -794,6 +943,18 @@ let checkpoint_of ~(cfg : config) (results : trial option array) completed : Che
     ck_records = !records;
   }
 
+(* The report's coverage accounting as a {!Coverage.summary} — the shape
+   shared by the druzhba-coverage/1 report section and the corpus manifest. *)
+let coverage_summary (cv : coverage_stats) : Coverage.summary =
+  {
+    Coverage.sm_features = Coverage.cardinal cv.cv_coverage;
+    sm_classes = Coverage.classes cv.cv_coverage;
+    sm_novel_trials = cv.cv_novel_trials;
+    sm_corpus_entries = cv.cv_corpus_entries;
+    sm_corpus_fresh = cv.cv_corpus_fresh;
+    sm_corpus_mutated = cv.cv_corpus_mutated;
+  }
+
 (* --- The campaign ----------------------------------------------------------- *)
 
 (* [run_resumable] is the full-featured entry point: trials execute in
@@ -803,6 +964,14 @@ let checkpoint_of ~(cfg : config) (results : trial option array) completed : Che
    [--jobs], preserving byte-determinism.  Returns [None] only when
    [stop_after] aborted the run mid-campaign (simulating a kill). *)
 let run_resumable ?checkpoint ?(resume = false) ?stop_after (cfg : config) : report option =
+  (* Coverage and sabotage-pass modes are not part of the checkpoint
+     signature, so a resumed run could silently change semantics mid-stream;
+     refuse the combination outright. *)
+  if cfg.c_coverage && (checkpoint <> None || resume) then
+    invalid_arg "Campaign.run_resumable: coverage mode is incompatible with checkpoint/resume";
+  if cfg.c_sabotage_pass && (checkpoint <> None || resume) then
+    invalid_arg
+      "Campaign.run_resumable: sabotage-pass mode is incompatible with checkpoint/resume";
   (* crash records carry backtraces; recording is per-process and cheap *)
   Printexc.record_backtrace true;
   (* the atom library is lazy and [Lazy] is not domain-safe: force it on
@@ -857,14 +1026,44 @@ let run_resumable ?checkpoint ?(resume = false) ?stop_after (cfg : config) : rep
       done
   in
   note_failures 0 start;
+  (* Coverage-mode state, all owned by the main domain: the global coverage
+     map, the corpus, and the frozen snapshot the *next* block's trials will
+     mutate from.  Workers only ever read a snapshot; merging, novelty
+     judgement and corpus admission happen here, at block boundaries, in
+     trial-index order — the whole evolution is a fold over trial indices
+     and therefore byte-identical across [--jobs]. *)
+  let coverage = ref Coverage.empty in
+  let corpus = Corpus.create () in
+  let novel_trials = ref 0 in
+  let snapshot = ref [||] in
   let i = ref start and killed = ref false in
   while !i < n && !stopped_after = None && not !killed do
     let base = !i in
     let hi = min n (base + cfg.c_checkpoint_every) in
+    let snap = !snapshot in
     let chunk =
-      Runner.parallel_init ~jobs:cfg.c_jobs (hi - base) (fun k -> run_trial ~cfg (base + k))
+      Runner.parallel_init ~jobs:cfg.c_jobs (hi - base) (fun k ->
+          run_trial ~snapshot:snap ~cfg (base + k))
     in
-    Array.iteri (fun k t -> results.(base + k) <- Some t) chunk;
+    Array.iteri (fun k (t, _) -> results.(base + k) <- Some t) chunk;
+    if cfg.c_coverage then begin
+      Array.iter
+        (fun ((t : trial), extra) ->
+          match extra with
+          | None -> ()
+          | Some x ->
+            let nvl = Coverage.novel ~existing:!coverage x.x_coverage in
+            if nvl > 0 then begin
+              incr novel_trials;
+              ignore
+                (Corpus.add corpus ~trial:t.t_index
+                   ~origin:(Option.value t.t_origin ~default:Corpus.Fresh)
+                   ~material:x.x_material ~novel:nvl)
+            end;
+            coverage := Coverage.union !coverage x.x_coverage)
+        chunk;
+      snapshot := Corpus.snapshot corpus
+    end;
     note_failures base hi;
     i := hi;
     (match checkpoint with
@@ -884,10 +1083,30 @@ let run_resumable ?checkpoint ?(resume = false) ?stop_after (cfg : config) : rep
           match results.(i) with Some t -> t | None -> assert false (* filled above *))
     in
     let count p = List.length (List.filter p trials) in
+    let r_coverage =
+      if not cfg.c_coverage then None
+      else begin
+        let entries, fresh, mutated = Corpus.stats corpus in
+        Some
+          {
+            cv_coverage = !coverage;
+            cv_novel_trials = !novel_trials;
+            cv_corpus_entries = entries;
+            cv_corpus_fresh = fresh;
+            cv_corpus_mutated = mutated;
+          }
+      end
+    in
+    (match (cfg.c_corpus_dir, r_coverage) with
+    | Some dir, Some cv ->
+      Corpus.save dir ~master_seed:cfg.c_master_seed ~coverage:cv.cv_coverage
+        ~summary:(coverage_summary cv) corpus
+    | _ -> ());
     Some
       {
         r_config = cfg;
         r_trials = trials;
+        r_coverage;
         r_agree =
           count (fun t -> match t.t_outcome with Finished (Oracle.Agree _) -> true | _ -> false);
         r_divergent =
@@ -946,6 +1165,9 @@ let pp ppf (r : report) =
   (match r.r_config.c_faults with
   | Some _ -> Fmt.pf ppf "  fault-flagged: %d@," r.r_fault_flagged
   | None -> ());
+  (match r.r_coverage with
+  | Some cv -> Fmt.pf ppf "  %a@," Coverage.pp_summary (coverage_summary cv)
+  | None -> ());
   (match r.r_stopped_after with
   | Some i ->
     Fmt.pf ppf "  stopped early: failure limit reached at trial %d (%d/%d trials ran)@," i
@@ -958,7 +1180,7 @@ let to_json (r : report) : string =
   let opt_int = function Some v -> Report.Int v | None -> Report.Null in
   Report.to_string
     (Report.Obj
-       [
+       ([
          ("campaign", Report.Str "differential");
          ("substrate", Report.Str (selector_name r.r_config.c_substrate));
          ("master_seed", Report.Int r.r_config.c_master_seed);
@@ -982,6 +1204,11 @@ let to_json (r : report) : string =
                ("timeouts", Report.Int r.r_timeout);
                ("fault_flagged", Report.Int r.r_fault_flagged);
              ] );
-         ("stopped_after", opt_int r.r_stopped_after);
-         ("results", Report.List (List.map json_of_trial r.r_trials));
-       ])
+       ]
+       @ (match r.r_coverage with
+         | Some cv -> [ ("coverage", Coverage.summary_json (coverage_summary cv)) ]
+         | None -> [])
+       @ [
+           ("stopped_after", opt_int r.r_stopped_after);
+           ("results", Report.List (List.map json_of_trial r.r_trials));
+         ]))

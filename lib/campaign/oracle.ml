@@ -142,12 +142,21 @@ let diff_runs ~(ref_buf : Trace.Buffer.t) ~ref_state ~(act_buf : Trace.Buffer.t)
 
 (* The six RMT configurations, reference (interpreter on the unoptimized
    description) first.  The per-level optimized descriptions are shared
-   between the two backends, so the optimizer runs once per level. *)
-let rmt_substrates ?(init = []) ~(desc : Ir.t) ~mc () : Substrate.packed list =
+   between the two backends, so the optimizer runs once per level.
+
+   [transform] (if any) rewrites each optimized description before the
+   candidate substrates are built from it — the reference never sees it.
+   This is the seam campaign sabotage mode uses to plant a buggy optimizer
+   pass: both backends at the affected level inherit the bug, exactly as a
+   real mis-compiling pass would propagate. *)
+let rmt_substrates ?(init = []) ?transform ~(desc : Ir.t) ~mc () : Substrate.packed list =
+  let apply_transform level d =
+    match transform with None -> d | Some f -> f level d
+  in
   Substrate.of_engine ~label:"interpreter@unoptimized" ~init desc ~mc
   :: List.concat_map
        (fun level ->
-         let optimized = Optimizer.apply ~level ~mc desc in
+         let optimized = apply_transform level (Optimizer.apply ~level ~mc desc) in
          let compiled = Compile.compile optimized ~mc in
          let interp =
            if level = Optimizer.Unoptimized then []
@@ -203,11 +212,14 @@ let diff_substrates ?budget ~(substrates : Substrate.packed list) ~inputs () : o
     in
     judge candidates
 
-(* Validates [mc] then runs the six-configuration RMT differential check. *)
-let check ?(init = []) ?budget ~(desc : Ir.t) ~mc ~inputs () : outcome =
+(* Validates [mc] then runs the six-configuration RMT differential check.
+   [transform] is threaded to {!rmt_substrates} (candidate descriptions
+   only). *)
+let check ?(init = []) ?budget ?transform ~(desc : Ir.t) ~mc ~inputs () : outcome =
   match Machine_code.validate ~domains:(Ir.control_domains desc) mc with
   | Error violations -> Invalid_mc violations
-  | Ok () -> diff_substrates ?budget ~substrates:(rmt_substrates ~init ~desc ~mc ()) ~inputs ()
+  | Ok () ->
+    diff_substrates ?budget ~substrates:(rmt_substrates ~init ?transform ~desc ~mc ()) ~inputs ()
 
 (* Event-driven dRMT vs sequential reference on a P4 program. *)
 let check_drmt ?budget ?cfg ~entries ~(p : Druzhba_drmt.P4.t) ~inputs () : outcome =

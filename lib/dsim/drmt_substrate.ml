@@ -49,6 +49,9 @@ type t = {
   mutable regs : (string * int) list; (* register file after the last run/step *)
   mutable last_in : Phv.t option; (* debugger boundaries *)
   mutable last_out : Phv.t option;
+  mutable on_result : (Sim.result -> unit) option;
+      (* coverage observer: sees the raw simulator result (per-table hit
+         stats included) of every [run_into] before it is folded to a trace *)
 }
 
 let field_refs (p : P4.t) =
@@ -99,7 +102,12 @@ let create ?label ?(cfg = Scheduler.config ()) ~mode ~entries (p : P4.t) : t =
     regs = [];
     last_in = None;
     last_out = None;
+    on_result = None;
   }
+
+(* Installs (or clears) a result observer; the campaign's coverage replay
+   uses it to read table-hit statistics off the sequential reference run. *)
+let observe t on_result = t.on_result <- on_result
 
 let width t = Array.length t.layout + 1
 
@@ -164,6 +172,7 @@ module M = struct
     in
     let spend = match budget with None -> None | Some b -> Some (fun () -> Budget.spend b) in
     let result = run_result ?spend t inputs in
+    (match t.on_result with Some f -> f result | None -> ());
     t.regs <- result.Sim.r_registers;
     Trace.Buffer.clear buf;
     let row = Array.make (width t) 0 in

@@ -107,6 +107,13 @@ let create ?(init = []) (desc : Ir.t) ~mc =
     tick = 0;
   }
 
+(* Installs (or clears) a structural-coverage probe on the engine's
+   interpreter context.  The campaign's coverage replay creates a fresh
+   engine on the unoptimized description, instruments it, and runs the
+   trial's inputs once more — the differential hot path never sees a
+   probe. *)
+let instrument t probe = Interp.set_probe t.ctx probe
+
 (* Re-arms an engine for an independent simulation: zeroes all persistent
    ALU state (then reapplies [init]), empties the register file and resets
    the tick counter.  Lets benchmark harnesses reuse one engine across

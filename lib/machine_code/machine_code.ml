@@ -12,9 +12,33 @@ type t = (string, int) Hashtbl.t
 
 let empty () : t = Hashtbl.create 64
 
+(* A name is representable iff emitting it with [to_string] and reading the
+   result back with [parse] recovers the same binding.  The text format
+   strips '#' comments, splits at the first '=', and trims each side, so a
+   name containing any of those characters — or one that is empty or not
+   equal to its own trim — would silently change key (or collide with
+   another pair, e.g. a neutralized default) on the round trip.  The
+   constructors reject such names up front so the round trip is total by
+   construction. *)
+let name_unrepresentable name =
+  name = ""
+  || String.trim name <> name
+  || String.exists (fun c -> c = '#' || c = '=' || c = '\n' || c = '\r') name
+
+let check_name name =
+  if name_unrepresentable name then
+    invalid_arg
+      (Printf.sprintf "Machine_code: unrepresentable pair name %S (empty, '#', '=', newline, or \
+                       surrounding whitespace would not survive the text format)"
+         name)
+
 let of_list pairs : t =
   let t = Hashtbl.create (max 16 (List.length pairs)) in
-  List.iter (fun (name, v) -> Hashtbl.replace t name v) pairs;
+  List.iter
+    (fun (name, v) ->
+      check_name name;
+      Hashtbl.replace t name v)
+    pairs;
   t
 
 (* Keys bound more than once, in first-occurrence order.  A duplicate pair
@@ -35,13 +59,16 @@ let duplicates pairs =
   List.rev !dups
 
 let of_pairs pairs : (t, string) result =
-  match duplicates pairs with
-  | [] -> Ok (of_list pairs)
-  | dups ->
-    Error
-      (Printf.sprintf "duplicate machine-code pair%s: %s"
-         (if List.length dups = 1 then "" else "s")
-         (String.concat ", " dups))
+  match List.filter (fun (name, _) -> name_unrepresentable name) pairs with
+  | (bad, _) :: _ -> Error (Printf.sprintf "unrepresentable machine-code pair name: %S" bad)
+  | [] -> (
+    match duplicates pairs with
+    | [] -> Ok (of_list pairs)
+    | dups ->
+      Error
+        (Printf.sprintf "duplicate machine-code pair%s: %s"
+           (if List.length dups = 1 then "" else "s")
+           (String.concat ", " dups)))
 
 let to_alist (t : t) =
   Hashtbl.fold (fun k v acc -> (k, v) :: acc) t []
@@ -49,7 +76,9 @@ let to_alist (t : t) =
 
 let copy = Hashtbl.copy
 
-let set (t : t) name v = Hashtbl.replace t name v
+let set (t : t) name v =
+  check_name name;
+  Hashtbl.replace t name v
 
 let find_opt (t : t) name = Hashtbl.find_opt t name
 

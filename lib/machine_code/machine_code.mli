@@ -19,10 +19,15 @@ val empty : unit -> t
 val of_list : (string * int) list -> t
 (** Later bindings of the same name win.  For programmatic construction;
     external input should go through {!of_pairs}, which rejects
-    duplicates. *)
+    duplicates.
+    @raise Invalid_argument on a name the text format cannot represent
+    (empty, containing ['#'], ['='], a newline, or surrounding whitespace)
+    — such a name would silently change key, or collide with another pair,
+    when the program is printed and parsed back. *)
 
 val of_pairs : (string * int) list -> (t, string) result
-(** Strict constructor: [Error] names every key bound more than once.  A
+(** Strict constructor: [Error] names every key bound more than once, and
+    every name the text format cannot represent (see {!of_list}).  A
     duplicate pair in compiler output means two rules both believed they
     owned a control — silently letting one binding win hides the bug. *)
 
@@ -37,6 +42,8 @@ val copy : t -> t
 (** An independent copy (mutations do not propagate). *)
 
 val set : t -> string -> int -> unit
+(** @raise Invalid_argument on an unrepresentable name (see {!of_list}). *)
+
 val find_opt : t -> string -> int option
 
 exception Missing of string

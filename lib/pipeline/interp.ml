@@ -11,13 +11,29 @@
 module Value = Druzhba_util.Value
 module Machine_code = Druzhba_machine_code.Machine_code
 
+(* Structural coverage probe (campaign --coverage).  When installed, the
+   interpreter reports which ALU branch arms ran, which state slots latched,
+   whether each ALU returned explicitly or fell through to its default
+   output, and which control value each output mux consumed.  Branch sites
+   are numbered statically (pre-order over the ALU body's [If] nodes), so a
+   site id names the same syntactic branch whatever path execution takes. *)
+type probe = {
+  pr_branch : alu:string -> site:int -> taken:bool -> unit;
+  pr_latch : alu:string -> slot:int -> unit;
+  pr_output : alu:string -> returned:bool -> unit;
+  pr_mux : mux:string -> ctrl:int -> unit;
+}
+
 type ctx = {
   bits : Value.width;
   mc : Machine_code.t;
   helpers : (string, Ir.helper) Hashtbl.t;
+  mutable probe : probe option;
 }
 
-let ctx_of (d : Ir.t) ~mc = { bits = d.Ir.d_bits; mc; helpers = d.Ir.d_helpers }
+let ctx_of (d : Ir.t) ~mc = { bits = d.Ir.d_bits; mc; helpers = d.Ir.d_helpers; probe = None }
+
+let set_probe ctx probe = ctx.probe <- probe
 
 exception Unbound_variable of string
 
@@ -93,6 +109,45 @@ let rec exec_latched ctx ~phv ~read ~write env (stmts : Ir.stmt list) =
       | None -> exec_latched ctx ~phv ~read ~write env rest)
     | Ir.Return e -> Some (eval ctx ~phv ~state:read env e))
 
+(* Number of [If] nodes in a statement list, counted recursively — the span
+   of pre-order site ids the list occupies. *)
+let rec count_ifs stmts =
+  List.fold_left
+    (fun acc s ->
+      match s with
+      | Ir.If (_, a, b) -> acc + 1 + count_ifs a + count_ifs b
+      | Ir.Let _ | Ir.Store _ | Ir.Return _ -> acc)
+    0 stmts
+
+(* As [exec_latched], but reports branch decisions and state latches to the
+   probe.  [site] is the next free pre-order branch-site id for [stmts]; the
+   numbering depends only on the syntax, never on the path taken, so the
+   same (alu, site) pair names the same [If] across PHVs and trials.  Only
+   the coverage replay pays for this — the differential hot path stays on
+   [exec_latched]. *)
+let rec exec_probed ctx pr ~alu_name ~phv ~read ~write env ~site (stmts : Ir.stmt list) =
+  match stmts with
+  | [] -> None
+  | s :: rest -> (
+    match s with
+    | Ir.Let (x, e) ->
+      let v = eval ctx ~phv ~state:read env e in
+      exec_probed ctx pr ~alu_name ~phv ~read ~write ((x, v) :: env) ~site rest
+    | Ir.Store (k, e) ->
+      write.(k) <- eval ctx ~phv ~state:read env e;
+      pr.pr_latch ~alu:alu_name ~slot:k;
+      exec_probed ctx pr ~alu_name ~phv ~read ~write env ~site rest
+    | Ir.If (c, a, b) -> (
+      let taken = Value.is_true (eval ctx ~phv ~state:read env c) in
+      pr.pr_branch ~alu:alu_name ~site ~taken;
+      let then_ifs = count_ifs a in
+      let branch, branch_site = if taken then (a, site + 1) else (b, site + 1 + then_ifs) in
+      let rest_site = site + 1 + then_ifs + count_ifs b in
+      match exec_probed ctx pr ~alu_name ~phv ~read ~write env ~site:branch_site branch with
+      | Some _ as r -> r
+      | None -> exec_probed ctx pr ~alu_name ~phv ~read ~write env ~site:rest_site rest)
+    | Ir.Return e -> Some (eval ctx ~phv ~state:read env e))
+
 (* Executes one ALU on the incoming PHV.  [state] is the ALU's persistent
    state vector, mutated in place; the result is the ALU's output value
    (explicit [Return], or the pre-execution state_0 for stateful ALUs).
@@ -109,9 +164,20 @@ let run_alu_into ctx (alu : Ir.alu) ~phv ~state ~snapshot =
   let n = Array.length state in
   if n > 0 then Array.blit state 0 snapshot 0 n;
   let default = eval ctx ~phv ~state:snapshot [] alu.Ir.a_default_output in
-  match exec_latched ctx ~phv ~read:snapshot ~write:state [] alu.Ir.a_body with
-  | Some v -> v
-  | None -> default
+  match ctx.probe with
+  | None -> (
+    match exec_latched ctx ~phv ~read:snapshot ~write:state [] alu.Ir.a_body with
+    | Some v -> v
+    | None -> default)
+  | Some pr -> (
+    let result =
+      exec_probed ctx pr ~alu_name:alu.Ir.a_name ~phv ~read:snapshot ~write:state [] ~site:0
+        alu.Ir.a_body
+    in
+    pr.pr_output ~alu:alu.Ir.a_name ~returned:(result <> None);
+    match result with
+    | Some v -> v
+    | None -> default)
 
 let run_alu ctx (alu : Ir.alu) ~phv ~state =
   let snapshot = if Array.length state = 0 then state else Array.make (Array.length state) 0 in
@@ -134,7 +200,13 @@ let apply_output_mux ctx name ~(args : int array) ~n_args =
       (fun (env, i) p ->
         let v =
           if i < n_args then args.(i)
-          else if String.equal p "ctrl" then Machine_code.find ctx.mc name
+          else if String.equal p "ctrl" then begin
+            let ctrl = Machine_code.find ctx.mc name in
+            (match ctx.probe with
+            | Some pr -> pr.pr_mux ~mux:name ~ctrl
+            | None -> ());
+            ctrl
+          end
           else invalid_arg (Printf.sprintf "Interp: output mux '%s' has too many parameters" name)
         in
         ((p, v) :: env, i + 1))

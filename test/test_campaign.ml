@@ -66,7 +66,7 @@ let qcheck_backends_agree =
     QCheck.(int_range 0 10_000)
     (fun index ->
       let cfg = Campaign.config ~trials:1 ~phvs:40 ~shrink:false () in
-      let trial = Campaign.run_trial ~cfg index in
+      let trial, _ = Campaign.run_trial ~cfg index in
       match trial.Campaign.t_outcome with
       | Campaign.Finished (Oracle.Agree { configs; _ }) -> configs = 6
       | o -> QCheck.Test.fail_reportf "trial %d (seed %d): %a" index trial.Campaign.t_seed
@@ -402,7 +402,7 @@ let test_drmt_sabotage_is_caught () =
   | None -> Alcotest.fail "divergent trial was not shrunk");
   (* replayability: re-running the trial from its index reproduces the
      exact divergence — the seed in the report is all a human needs *)
-  let again = Campaign.run_trial ~cfg 1 in
+  let again, _ = Campaign.run_trial ~cfg 1 in
   Alcotest.(check int) "derived seed is stable" bad.Campaign.t_seed again.Campaign.t_seed;
   match (bad.Campaign.t_outcome, again.Campaign.t_outcome) with
   | Campaign.Finished (Oracle.Divergence a), Campaign.Finished (Oracle.Divergence b) ->

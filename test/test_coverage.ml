@@ -1,0 +1,576 @@
+(* Tests for coverage-guided campaign generation and the corpus store:
+   merge-law and monotonicity properties of the coverage domain, validity of
+   structural mutations, byte-identical corpus evolution across job counts,
+   the sabotage acceptance gate ("coverage finds it, random provably misses
+   it" at the same trial budget), machine-code text round-tripping under
+   pair neutralization, the golden druzhba-coverage/1 report fixture, and
+   schema-version rejection in every consumer.
+
+   Regenerating the golden fixture after an *intended* report change:
+
+     GOLDEN_UPDATE=$PWD/test/golden dune exec test/test_coverage.exe *)
+
+module Prng = Druzhba_util.Prng
+module Value = Druzhba_util.Value
+module Machine_code = Druzhba_machine_code.Machine_code
+module Ir = Druzhba_pipeline.Ir
+module Dgen = Druzhba_pipeline.Dgen
+module Names = Druzhba_pipeline.Names
+module Atoms = Druzhba_atoms.Atoms
+module Traffic = Druzhba_dsim.Traffic
+module Entries = Druzhba_drmt.Entries
+module Fuzz = Druzhba_fuzz.Fuzz
+module Spec = Druzhba_spec.Spec
+module Codegen = Druzhba_compiler.Codegen
+module Report = Druzhba_campaign.Report
+module Coverage = Druzhba_campaign.Coverage
+module Corpus = Druzhba_campaign.Corpus
+module Sabotage = Druzhba_campaign.Sabotage
+module Oracle = Druzhba_campaign.Oracle
+module Campaign = Druzhba_campaign.Campaign
+
+(* --- Generators ----------------------------------------------------------------- *)
+
+(* Random coverage values over a small feature alphabet, so that unions,
+   intersections and duplicates all actually occur. *)
+let coverage_gen =
+  let feature =
+    QCheck.Gen.map
+      (fun (c, i) -> Printf.sprintf "%s:shape:alu%d" c i)
+      (QCheck.Gen.pair
+         (QCheck.Gen.oneofl [ "branch"; "latch"; "mux"; "mcclass"; "alupath" ])
+         (QCheck.Gen.int_range 0 9))
+  in
+  QCheck.make
+    ~print:(fun t -> String.concat "," (Coverage.features t))
+    (QCheck.Gen.map Coverage.of_list (QCheck.Gen.list_size (QCheck.Gen.int_range 0 12) feature))
+
+(* The campaign's own parameter pools, in miniature. *)
+let draw_rmt prng =
+  let depth = 1 + Prng.int prng 2 in
+  let width = 1 + Prng.int prng 2 in
+  let bits = [| 8; 16; 32 |].(Prng.int prng 3) in
+  let stateful = [| "raw"; "sub"; "if_else_raw"; "pair" |].(Prng.int prng 4) in
+  let desc =
+    Dgen.generate
+      (Dgen.config ~depth ~width ~bits ())
+      ~stateful:(Atoms.find_exn stateful) ~stateless:(Atoms.find_exn "stateless_full")
+  in
+  (desc, bits)
+
+(* --- Coverage domain: merge laws and monotonicity -------------------------------- *)
+
+let qcheck_union_commutative =
+  QCheck.Test.make ~name:"coverage union is commutative" ~count:200
+    (QCheck.pair coverage_gen coverage_gen)
+    (fun (a, b) -> Coverage.equal (Coverage.union a b) (Coverage.union b a))
+
+let qcheck_union_associative =
+  QCheck.Test.make ~name:"coverage union is associative" ~count:200
+    (QCheck.triple coverage_gen coverage_gen coverage_gen)
+    (fun (a, b, c) ->
+      Coverage.equal
+        (Coverage.union (Coverage.union a b) c)
+        (Coverage.union a (Coverage.union b c)))
+
+let qcheck_union_idempotent =
+  QCheck.Test.make ~name:"coverage union is idempotent" ~count:200 coverage_gen (fun a ->
+      Coverage.equal (Coverage.union a a) a)
+
+(* Accumulating trial coverage never shrinks the map, and the novelty score
+   is exactly the cardinal growth the merge will produce — the invariant the
+   block loop's admission logic rests on. *)
+let qcheck_accumulation_monotone =
+  QCheck.Test.make ~name:"coverage accumulation is monotone, novel = growth" ~count:200
+    (QCheck.pair coverage_gen (QCheck.list_of_size (QCheck.Gen.int_range 0 6) coverage_gen))
+    (fun (acc0, trials) ->
+      let _ =
+        List.fold_left
+          (fun acc t ->
+            let merged = Coverage.union acc t in
+            if Coverage.cardinal merged < Coverage.cardinal acc then
+              QCheck.Test.fail_report "merge shrank the coverage map";
+            if Coverage.cardinal merged <> Coverage.cardinal acc + Coverage.novel ~existing:acc t
+            then QCheck.Test.fail_report "novelty score does not match merge growth";
+            merged)
+          acc0 trials
+      in
+      true)
+
+(* --- Per-trial collection ---------------------------------------------------------- *)
+
+let test_rmt_trial_coverage () =
+  let prng = Prng.create 11 in
+  let desc, bits = draw_rmt prng in
+  let mc = Fuzz.random_mc prng desc in
+  let inputs = Traffic.phvs (Traffic.create ~seed:3 ~width:desc.Ir.d_width ~bits) 20 in
+  let shape = "test-shape" in
+  let cov = Coverage.of_rmt_trial ~shape ~desc ~mc ~inputs () in
+  Alcotest.(check bool) "coverage is non-empty" false (Coverage.is_empty cov);
+  let classes = List.map fst (Coverage.classes cov) in
+  List.iter
+    (fun cls ->
+      Alcotest.(check bool) (cls ^ " class present") true (List.mem cls classes))
+    [ "alupath"; "mcclass"; "mux" ];
+  (* collection is a pure replay: same trial, same features *)
+  let again = Coverage.of_rmt_trial ~shape ~desc ~mc ~inputs () in
+  Alcotest.(check bool) "collection is deterministic" true (Coverage.equal cov again)
+
+(* --- Mutation validity ------------------------------------------------------------- *)
+
+(* Every RMT mutant must pass machine-code validation: selector values stay
+   in their [0, n) domains and immediates are width values — by
+   construction, over chains of mutations, from any starting point. *)
+let qcheck_mutants_validate =
+  QCheck.Test.make ~name:"RMT corpus mutants always pass validate" ~count:150
+    QCheck.(int_range 0 100_000)
+    (fun seed ->
+      let prng = Prng.create seed in
+      let desc, bits = draw_rmt prng in
+      let domains = Ir.control_domains desc in
+      let mc = ref (Fuzz.random_mc prng desc) in
+      for _ = 1 to 3 do
+        match Corpus.mutate_rmt prng ~domains ~bits !mc with
+        | None -> ()
+        | Some (op, mc') -> (
+          match Machine_code.validate ~domains mc' with
+          | Ok () -> mc := mc'
+          | Error violations ->
+            QCheck.Test.fail_reportf "%s produced invalid machine code: %a" op
+              Fmt.(list ~sep:(any ", ") Machine_code.pp_violation)
+              violations)
+      done;
+      true)
+
+(* dRMT mutants stay within the trial generator's feasibility envelope:
+   table count bounded, and every entry names a table and action of the
+   (possibly grown) program. *)
+let qcheck_drmt_mutants_wellformed =
+  QCheck.Test.make ~name:"dRMT corpus mutants stay well-formed" ~count:150
+    QCheck.(int_range 0 100_000)
+    (fun seed ->
+      let prng = Prng.create seed in
+      let tables = 1 + Prng.int prng 4 in
+      let entries =
+        List.init (Prng.int prng 6) (fun _ -> Corpus.fresh_entry prng ~tables)
+      in
+      match Corpus.mutate_drmt prng ~tables ~entries with
+      | None -> true
+      | Some (_, tables', entries') ->
+        tables' >= tables
+        && tables' <= Corpus.max_drmt_tables
+        && List.for_all
+             (fun (e : Entries.entry) ->
+               List.exists
+                 (fun i ->
+                   e.Entries.en_table = "t" ^ string_of_int i
+                   && e.Entries.en_action = "act" ^ string_of_int i)
+                 (List.init tables' Fun.id))
+             entries')
+
+(* --- Corpus evolution: byte-identical across job counts ----------------------------- *)
+
+let contains_sub ~sub s =
+  let n = String.length sub and m = String.length s in
+  let rec go i = i + n <= m && (String.sub s i n = sub || go (i + 1)) in
+  n = 0 || go 0
+
+let replace_all ~sub ~by s =
+  let buf = Buffer.create (String.length s) in
+  let n = String.length sub in
+  let i = ref 0 in
+  while !i < String.length s do
+    if !i + n <= String.length s && String.sub s !i n = sub then (
+      Buffer.add_string buf by;
+      i := !i + n)
+    else (
+      Buffer.add_char buf s.[!i];
+      incr i)
+  done;
+  Buffer.contents buf
+
+let temp_dir prefix =
+  let path = Filename.temp_file prefix "" in
+  Sys.remove path;
+  Unix.mkdir path 0o755;
+  path
+
+let rm_rf dir =
+  Array.iter (fun f -> Sys.remove (Filename.concat dir f)) (Sys.readdir dir);
+  Unix.rmdir dir
+
+let read_file path = In_channel.with_open_bin path In_channel.input_all
+
+let dir_contents dir =
+  let files = Sys.readdir dir in
+  Array.sort compare files;
+  Array.to_list files |> List.map (fun f -> (f, read_file (Filename.concat dir f)))
+
+let test_corpus_identical_across_jobs () =
+  let run jobs =
+    let dir = temp_dir "druzhba-corpus" in
+    let cfg =
+      Campaign.config ~trials:48 ~jobs ~phvs:10 ~substrate:`All ~checkpoint_every:8
+        ~coverage:true ~corpus_dir:dir ()
+    in
+    let report = Campaign.run cfg in
+    let corpus = dir_contents dir in
+    rm_rf dir;
+    (Campaign.to_json report, corpus)
+  in
+  let json1, corpus1 = run 1 in
+  let json2, corpus2 = run 2 in
+  let json4, corpus4 = run 4 in
+  Alcotest.(check string) "report json: jobs 2 = jobs 1" json1 json2;
+  Alcotest.(check string) "report json: jobs 4 = jobs 1" json1 json4;
+  Alcotest.(check (list (pair string string))) "corpus: jobs 2 = jobs 1" corpus1 corpus2;
+  Alcotest.(check (list (pair string string))) "corpus: jobs 4 = jobs 1" corpus1 corpus4;
+  (* the evolved corpus actually contains structural mutants *)
+  (match Report.parse json1 with
+  | Error e -> Alcotest.fail e
+  | Ok j -> (
+    match Option.bind (Report.member "coverage" j) (Report.member "corpus") with
+    | None -> Alcotest.fail "report lacks a coverage.corpus section"
+    | Some c ->
+      let geti k = Option.get (Option.bind (Report.member k c) Report.to_int) in
+      Alcotest.(check bool) "corpus is populated" true (geti "entries" > 0);
+      Alcotest.(check bool) "corpus holds mutants" true (geti "mutated" > 0)))
+
+let test_corpus_save_load_roundtrip () =
+  let dir = temp_dir "druzhba-corpus-rt" in
+  let cfg =
+    Campaign.config ~trials:32 ~jobs:2 ~phvs:10 ~substrate:`All ~checkpoint_every:8
+      ~coverage:true ~corpus_dir:dir ()
+  in
+  let report = Campaign.run cfg in
+  (match (Corpus.load dir, report.Campaign.r_coverage) with
+  | Error e, _ -> Alcotest.fail e
+  | _, None -> Alcotest.fail "coverage campaign produced no coverage stats"
+  | Ok loaded, Some cv ->
+    Alcotest.(check int) "master seed survives" cfg.Campaign.c_master_seed
+      loaded.Corpus.ld_master_seed;
+    Alcotest.(check int) "entry count survives" cv.Campaign.cv_corpus_entries
+      (List.length loaded.Corpus.ld_entries);
+    Alcotest.(check int) "feature list survives"
+      (Coverage.cardinal cv.Campaign.cv_coverage)
+      (List.length loaded.Corpus.ld_features));
+  rm_rf dir
+
+(* --- Mode guards -------------------------------------------------------------------- *)
+
+let test_mode_guards () =
+  Alcotest.check_raises "corpus dir requires coverage"
+    (Invalid_argument "Campaign.config: corpus_dir requires coverage mode") (fun () ->
+      ignore (Campaign.config ~corpus_dir:"/tmp/x" ()));
+  let cfg = Campaign.config ~trials:4 ~coverage:true () in
+  Alcotest.check_raises "coverage refuses checkpointing"
+    (Invalid_argument
+       "Campaign.run_resumable: coverage mode is incompatible with checkpoint/resume")
+    (fun () -> ignore (Campaign.run_resumable ~checkpoint:"/tmp/ck.json" cfg))
+
+(* --- The sabotage acceptance gate ----------------------------------------------------
+
+   A planted optimizer bug whose trigger needs an all-ones immediate on a
+   >8-bit datapath.  Uniform-random machine code draws immediates at most 8
+   bits wide, so the trigger is structurally unreachable by random
+   generation at ANY budget; the corpus's boundary-nudge mutation produces
+   exactly such values.  Both halves are pinned at the same trial budget
+   with the same deterministic seeds. *)
+
+let gate_budget = 2000
+let gate_phvs = 20
+
+let coverage_gate_report =
+  lazy
+    (Campaign.run
+       (Campaign.config ~trials:gate_budget ~jobs:2 ~phvs:gate_phvs ~substrate:`Rmt
+          ~checkpoint_every:16 ~coverage:true ~sabotage_pass:true ()))
+
+let test_sabotage_coverage_finds () =
+  let report = Lazy.force coverage_gate_report in
+  Alcotest.(check bool) "coverage mode found the planted divergence" true
+    (report.Campaign.r_divergent > 0);
+  let first =
+    List.find
+      (fun (t : Campaign.trial) ->
+        match t.Campaign.t_outcome with
+        | Campaign.Finished (Oracle.Divergence _) -> true
+        | _ -> false)
+      report.Campaign.r_trials
+  in
+  Alcotest.(check bool) "found within the trial budget" true
+    (first.Campaign.t_index < gate_budget);
+  (* the finding is a corpus mutant, not a lucky fresh draw *)
+  match first.Campaign.t_origin with
+  | Some (Corpus.Mutated { op; _ }) ->
+    Alcotest.(check string) "found through boundary nudging" "boundary_nudge" op
+  | _ -> Alcotest.fail "divergent trial did not originate from a corpus mutation"
+
+let test_sabotage_random_misses () =
+  let report =
+    Campaign.run
+      (Campaign.config ~trials:gate_budget ~jobs:2 ~phvs:gate_phvs ~substrate:`Rmt
+         ~sabotage_pass:true ())
+  in
+  Alcotest.(check int) "uniform random misses at the same budget" 0
+    report.Campaign.r_divergent;
+  Alcotest.(check int) "every random trial agrees" gate_budget report.Campaign.r_agree
+
+(* The shrunk counterexample replays: with the sabotaged pass the minimized
+   (inputs, machine code) still diverge across substrates, and without it
+   the same material agrees — the bug lives in the pass, not the program. *)
+let test_sabotage_shrunk_replay () =
+  let report = Lazy.force coverage_gate_report in
+  let first =
+    List.find
+      (fun (t : Campaign.trial) ->
+        match t.Campaign.t_outcome with
+        | Campaign.Finished (Oracle.Divergence _) -> true
+        | _ -> false)
+      report.Campaign.r_trials
+  in
+  match (first.Campaign.t_params, first.Campaign.t_shrunk) with
+  | Campaign.Drmt_params _, _ -> Alcotest.fail "sabotaged pass flagged a dRMT trial"
+  | _, None -> Alcotest.fail "divergent trial was not shrunk"
+  | Campaign.Rmt_params { depth; width; bits; stateful; stateless }, Some s ->
+    let desc =
+      Dgen.generate
+        (Dgen.config ~depth ~width ~bits ())
+        ~stateful:(Atoms.find_exn stateful) ~stateless:(Atoms.find_exn stateless)
+    in
+    let mc = s.Druzhba_campaign.Shrink.sh_mc in
+    let inputs = s.Druzhba_campaign.Shrink.sh_inputs in
+    Alcotest.(check bool) "shrunk machine code still triggers" true
+      (Sabotage.trigger ~desc ~mc);
+    (match Oracle.check ~transform:(Sabotage.transform ~mc) ~desc ~mc ~inputs () with
+    | Oracle.Divergence _ -> ()
+    | o -> Alcotest.failf "shrunk replay under the sabotaged pass: %a" Oracle.pp_outcome o);
+    match Oracle.check ~desc ~mc ~inputs () with
+    | Oracle.Agree _ -> ()
+    | o -> Alcotest.failf "shrunk replay without the pass: %a" Oracle.pp_outcome o
+
+(* --- Machine-code round-trip under neutralization ------------------------------------
+
+   Shrink minimizes counterexamples by neutralizing pairs to 0, and the
+   corpus runs that operation in reverse; both paths serialize machine code
+   through the text format.  Round-tripping must be exact for every Table-1
+   program and every single-pair neutralization of it — and names the text
+   format cannot represent must be rejected at construction, not silently
+   corrupted on the way back in. *)
+
+let mc_equal a b =
+  List.sort compare (Machine_code.to_alist a) = List.sort compare (Machine_code.to_alist b)
+
+let roundtrip name mc =
+  match Machine_code.parse (Machine_code.to_string mc) with
+  | Error e -> Alcotest.failf "%s: round-trip parse failed: %s" name e
+  | Ok back ->
+    if not (mc_equal mc back) then Alcotest.failf "%s: round-trip changed the machine code" name
+
+let test_roundtrip_table1 () =
+  List.iter
+    (fun (bm : Spec.benchmark) ->
+      let compiled = Spec.compile_exn bm in
+      let mc = compiled.Codegen.c_mc in
+      roundtrip bm.Spec.bm_name mc;
+      (* every single-pair neutralization, as Shrink would emit it *)
+      List.iter
+        (fun (pair, _) ->
+          let neutralized = Machine_code.copy mc in
+          Machine_code.set neutralized pair 0;
+          roundtrip (bm.Spec.bm_name ^ "/" ^ pair) neutralized)
+        (Machine_code.to_alist mc))
+    Spec.all
+
+let test_unrepresentable_names_rejected () =
+  List.iter
+    (fun bad ->
+      (match Machine_code.of_pairs [ (bad, 1) ] with
+      | Error _ -> ()
+      | Ok _ -> Alcotest.failf "of_pairs accepted unrepresentable name %S" bad);
+      (match Machine_code.of_list [ (bad, 1) ] with
+      | exception Invalid_argument _ -> ()
+      | _ -> Alcotest.failf "of_list accepted unrepresentable name %S" bad);
+      let mc = Machine_code.empty () in
+      match Machine_code.set mc bad 1 with
+      | exception Invalid_argument _ -> ()
+      | () -> Alcotest.failf "set accepted unrepresentable name %S" bad)
+    [ ""; " leading"; "trailing "; "has=sign"; "has#hash"; "has\nnewline"; "\ttabbed" ];
+  (* names with interior spaces are representable and must keep working *)
+  match Machine_code.of_pairs [ ("interior space", 7) ] with
+  | Ok mc -> roundtrip "interior-space name" mc
+  | Error e -> Alcotest.failf "of_pairs rejected a representable name: %s" e
+
+(* --- Report section and schema versioning -------------------------------------------- *)
+
+let test_summary_json_roundtrip () =
+  let s =
+    {
+      Coverage.sm_features = 12;
+      sm_classes = [ ("branch", 5); ("mux", 7) ];
+      sm_novel_trials = 4;
+      sm_corpus_entries = 3;
+      sm_corpus_fresh = 2;
+      sm_corpus_mutated = 1;
+    }
+  in
+  match Coverage.summary_of_json (Coverage.summary_json s) with
+  | Error e -> Alcotest.fail e
+  | Ok back -> Alcotest.(check bool) "summary round-trips" true (s = back)
+
+let test_unknown_coverage_schema_rejected () =
+  let s =
+    {
+      Coverage.sm_features = 1;
+      sm_classes = [];
+      sm_novel_trials = 0;
+      sm_corpus_entries = 0;
+      sm_corpus_fresh = 0;
+      sm_corpus_mutated = 0;
+    }
+  in
+  let tampered =
+    match Coverage.summary_json s with
+    | Report.Obj fields ->
+      Report.Obj
+        (List.map
+           (function
+             | "schema", _ -> ("schema", Report.Str "druzhba-coverage/2")
+             | f -> f)
+           fields)
+    | _ -> Alcotest.fail "summary_json is not an object"
+  in
+  match Coverage.summary_of_json tampered with
+  | Ok _ -> Alcotest.fail "consumer accepted an unknown coverage schema"
+  | Error msg ->
+    Alcotest.(check bool) "error names both schemas" true
+      (contains_sub ~sub:"druzhba-coverage/2" msg
+      && contains_sub ~sub:"druzhba-coverage/1" msg)
+
+(* The corpus loader refuses both an unknown manifest schema and an unknown
+   coverage-section schema inside an otherwise-valid manifest. *)
+let test_corpus_loader_rejects_unknown_schemas () =
+  let dir = temp_dir "druzhba-corpus-schema" in
+  let cfg =
+    Campaign.config ~trials:16 ~phvs:5 ~checkpoint_every:8 ~coverage:true ~corpus_dir:dir ()
+  in
+  ignore (Campaign.run cfg);
+  let manifest = Filename.concat dir "corpus.json" in
+  let original = read_file manifest in
+  let tamper sub by =
+    Out_channel.with_open_bin manifest (fun oc ->
+        Out_channel.output_string oc (replace_all ~sub ~by original))
+  in
+  tamper "druzhba-coverage/1" "druzhba-coverage/2";
+  (match Corpus.load dir with
+  | Ok _ -> Alcotest.fail "loader accepted an unknown coverage-section schema"
+  | Error msg ->
+    Alcotest.(check bool) "coverage schema named" true
+      (contains_sub ~sub:"druzhba-coverage/2" msg));
+  tamper "druzhba-corpus/1" "druzhba-corpus/9";
+  (match Corpus.load dir with
+  | Ok _ -> Alcotest.fail "loader accepted an unknown manifest schema"
+  | Error msg ->
+    Alcotest.(check bool) "manifest schema named" true
+      (contains_sub ~sub:"druzhba-corpus/9" msg));
+  Out_channel.with_open_bin manifest (fun oc -> Out_channel.output_string oc original);
+  (match Corpus.load dir with
+  | Ok _ -> ()
+  | Error e -> Alcotest.failf "pristine corpus failed to load: %s" e);
+  rm_rf dir
+
+(* --- Golden fixture -------------------------------------------------------------------
+
+   The druzhba-coverage/1 section of a small fixed campaign, committed as
+   test/golden/coverage_report.json.  Key order is emission order and
+   nothing environmental appears, so the fixture pins the byte-exact
+   section. *)
+
+let golden_fixture = Filename.concat "golden" "coverage_report.json"
+
+let golden_coverage_section () =
+  let report =
+    Campaign.run
+      (Campaign.config ~trials:24 ~jobs:1 ~phvs:10 ~substrate:`All ~checkpoint_every:8
+         ~coverage:true ())
+  in
+  match Report.parse (Campaign.to_json report) with
+  | Error e -> Alcotest.failf "report does not parse: %s" e
+  | Ok j -> (
+    match Report.member "coverage" j with
+    | Some section -> Report.to_string section ^ "\n"
+    | None -> Alcotest.fail "coverage campaign report lacks a coverage section")
+
+let test_golden_coverage_report () =
+  let got = golden_coverage_section () in
+  let want = read_file golden_fixture in
+  if got <> want then
+    Alcotest.failf
+      "coverage report section differs from %s (GOLDEN_UPDATE=$PWD/test/golden to regenerate):@.%s"
+      golden_fixture got;
+  (* and the committed fixture must satisfy its own schema contract *)
+  match Result.bind (Report.parse want) Coverage.summary_of_json with
+  | Ok _ -> ()
+  | Error e -> Alcotest.failf "committed fixture does not decode: %s" e
+
+let update_fixtures dir =
+  let path = Filename.concat dir "coverage_report.json" in
+  Out_channel.with_open_bin path (fun oc ->
+      Out_channel.output_string oc (golden_coverage_section ()));
+  Printf.printf "updated %s\n" path
+
+(* --- Runner ---------------------------------------------------------------------------- *)
+
+let () =
+  match Sys.getenv_opt "GOLDEN_UPDATE" with
+  | Some dir -> update_fixtures dir
+  | None ->
+    Alcotest.run "coverage"
+      [
+        ( "coverage domain",
+          [
+            QCheck_alcotest.to_alcotest qcheck_union_commutative;
+            QCheck_alcotest.to_alcotest qcheck_union_associative;
+            QCheck_alcotest.to_alcotest qcheck_union_idempotent;
+            QCheck_alcotest.to_alcotest qcheck_accumulation_monotone;
+            Alcotest.test_case "RMT trial coverage collects" `Quick test_rmt_trial_coverage;
+          ] );
+        ( "mutations",
+          [
+            QCheck_alcotest.to_alcotest qcheck_mutants_validate;
+            QCheck_alcotest.to_alcotest qcheck_drmt_mutants_wellformed;
+          ] );
+        ( "corpus",
+          [
+            Alcotest.test_case "evolution byte-identical across jobs" `Quick
+              test_corpus_identical_across_jobs;
+            Alcotest.test_case "save/load round-trip" `Quick test_corpus_save_load_roundtrip;
+            Alcotest.test_case "mode guards" `Quick test_mode_guards;
+          ] );
+        ( "sabotage gate",
+          [
+            Alcotest.test_case "coverage finds the planted bug" `Quick
+              test_sabotage_coverage_finds;
+            Alcotest.test_case "uniform random misses at the same budget" `Quick
+              test_sabotage_random_misses;
+            Alcotest.test_case "shrunk counterexample replays" `Quick
+              test_sabotage_shrunk_replay;
+          ] );
+        ( "machine-code round-trip",
+          [
+            Alcotest.test_case "Table-1 programs + neutralizations" `Quick
+              test_roundtrip_table1;
+            Alcotest.test_case "unrepresentable names rejected" `Quick
+              test_unrepresentable_names_rejected;
+          ] );
+        ( "report schema",
+          [
+            Alcotest.test_case "summary JSON round-trips" `Quick test_summary_json_roundtrip;
+            Alcotest.test_case "unknown coverage schema rejected" `Quick
+              test_unknown_coverage_schema_rejected;
+            Alcotest.test_case "corpus loader rejects unknown schemas" `Quick
+              test_corpus_loader_rejects_unknown_schemas;
+            Alcotest.test_case "golden coverage_report.json" `Quick
+              test_golden_coverage_report;
+          ] );
+      ]
