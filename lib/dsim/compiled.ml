@@ -13,6 +13,7 @@
 
 module Ir = Druzhba_pipeline.Ir
 module Compile = Druzhba_pipeline.Compile
+module Vcompile = Druzhba_pipeline.Vcompile
 module Machine_code = Druzhba_machine_code.Machine_code
 
 type t = {
@@ -29,6 +30,11 @@ type t = {
      [stateless outs; stateful outs; new state_0s; old container value]. *)
   args : int array array;
   mutable tick : int;
+  (* Lazily built vectorized (structure-of-arrays) pipeline for the batched
+     path, cached per batch capacity.  It shares the scalar closures' state
+     vectors, so reset/load_state/current_state and the sequential path all
+     see one state. *)
+  mutable vec : Vcompile.t option;
 }
 
 let create (compiled : Compile.t) =
@@ -53,6 +59,7 @@ let create (compiled : Compile.t) =
     phv_scratch = Array.make width 0;
     args;
     tick = 0;
+    vec = None;
   }
 
 (* Executes stage [s] on the PHV in row s of [cur], writing the outgoing PHV
@@ -198,6 +205,38 @@ let run_into ?(init = []) ?budget t ~inputs (buf : Trace.Buffer.t) =
     no_inject t;
     if tick_once t then Trace.Buffer.push buf t.cur ~off:out_off
   done
+
+(* Batched mirror of {!run_into}: same contract and bit-identical traces
+   and final state, but executed stage-major over lane chunks of [batch]
+   PHVs through the vectorized kernels of {!Druzhba_pipeline.Vcompile}
+   (built lazily, cached per batch capacity — like rustc compile time,
+   vectorization time is excluded from the benchmark timers).  This is the
+   Table-1 hot path: each stage's ALU sweeps a contiguous lane over the
+   whole batch, so the per-PHV closure-dispatch cost of the scalar path is
+   amortized [batch]-ways. *)
+let run_batch_into ?(init = []) ?budget ?overlays ~batch t ~inputs (buf : Trace.Buffer.t) =
+  reset t.compiled;
+  load_state t.compiled init;
+  t.occ <- 0;
+  t.tick <- 0;
+  let v =
+    match t.vec with
+    | Some v when Vcompile.cap v = batch -> v
+    | _ ->
+      let v = Vcompile.vectorize ~cap:batch t.compiled in
+      t.vec <- Some v;
+      v
+  in
+  let ops =
+    {
+      Batch.bo_cap = batch;
+      bo_depth = t.depth;
+      bo_width = t.width;
+      bo_rows = Vcompile.rows v;
+      bo_exec = (fun ~s ~k ~stuck -> Vcompile.exec_stage v ~s ~k ~stuck);
+    }
+  in
+  Batch.run ?budget ?overlays ops ~inputs buf
 
 (* Runs a complete simulation on a pre-compiled pipeline, starting from
    all-zero (or [init]-preloaded) state. *)

@@ -29,11 +29,18 @@ type ctx = {
   mc : Machine_code.t;
   helpers : (string, Ir.helper) Hashtbl.t;
   mutable probe : probe option;
+  (* Preloaded mirror of [probe <> None], so the per-ALU hot path pays one
+     immediate-bool branch when coverage is off instead of an option match
+     inside the ALU dispatch. *)
+  mutable probe_on : bool;
 }
 
-let ctx_of (d : Ir.t) ~mc = { bits = d.Ir.d_bits; mc; helpers = d.Ir.d_helpers; probe = None }
+let ctx_of (d : Ir.t) ~mc =
+  { bits = d.Ir.d_bits; mc; helpers = d.Ir.d_helpers; probe = None; probe_on = false }
 
-let set_probe ctx probe = ctx.probe <- probe
+let set_probe ctx probe =
+  ctx.probe <- probe;
+  ctx.probe_on <- probe <> None
 
 exception Unbound_variable of string
 
@@ -160,12 +167,11 @@ let rec exec_probed ctx pr ~alu_name ~phv ~read ~write env ~site (stmts : Ir.stm
    [snapshot] scratch (same length as [state]) instead of allocating a fresh
    copy — the tick engine preallocates one snapshot per stateful ALU so the
    steady-state loop stays allocation-free. *)
-let run_alu_into ctx (alu : Ir.alu) ~phv ~state ~snapshot =
-  let n = Array.length state in
-  if n > 0 then Array.blit state 0 snapshot 0 n;
-  let default = eval ctx ~phv ~state:snapshot [] alu.Ir.a_default_output in
+(* Cold half of [run_alu_into]: only entered when a probe is installed. *)
+let run_alu_probed ctx (alu : Ir.alu) ~phv ~state ~snapshot ~default =
   match ctx.probe with
   | None -> (
+    (* probe_on out of sync with probe; behave as unprobed *)
     match exec_latched ctx ~phv ~read:snapshot ~write:state [] alu.Ir.a_body with
     | Some v -> v
     | None -> default)
@@ -178,6 +184,16 @@ let run_alu_into ctx (alu : Ir.alu) ~phv ~state ~snapshot =
     match result with
     | Some v -> v
     | None -> default)
+
+let run_alu_into ctx (alu : Ir.alu) ~phv ~state ~snapshot =
+  let n = Array.length state in
+  if n > 0 then Array.blit state 0 snapshot 0 n;
+  let default = eval ctx ~phv ~state:snapshot [] alu.Ir.a_default_output in
+  if not ctx.probe_on then
+    match exec_latched ctx ~phv ~read:snapshot ~write:state [] alu.Ir.a_body with
+    | Some v -> v
+    | None -> default
+  else run_alu_probed ctx alu ~phv ~state ~snapshot ~default
 
 let run_alu ctx (alu : Ir.alu) ~phv ~state =
   let snapshot = if Array.length state = 0 then state else Array.make (Array.length state) 0 in
@@ -202,9 +218,10 @@ let apply_output_mux ctx name ~(args : int array) ~n_args =
           if i < n_args then args.(i)
           else if String.equal p "ctrl" then begin
             let ctrl = Machine_code.find ctx.mc name in
-            (match ctx.probe with
-            | Some pr -> pr.pr_mux ~mux:name ~ctrl
-            | None -> ());
+            if ctx.probe_on then
+              (match ctx.probe with
+              | Some pr -> pr.pr_mux ~mux:name ~ctrl
+              | None -> ());
             ctrl
           end
           else invalid_arg (Printf.sprintf "Interp: output mux '%s' has too many parameters" name)

@@ -1,0 +1,1098 @@
+(* Vectorizing batch compiler: structure-of-arrays execution of a compiled
+   pipeline description.
+
+   {!Compile} turns a description into scalar closures that process one PHV
+   per call; the per-execution fixed cost (closure dispatch, the
+   [Return_signal] handler, environment setup) dominates the Table-1 hot
+   loop.  This module compiles the same description a second time into
+   {e lane kernels}: every (stage, container) slot and every ALU output
+   becomes one contiguous [Bigarray.Array1] lane spanning a batch of [cap]
+   PHVs, and each kernel sweeps its lane over the whole batch in a
+   monomorphic [for] loop, so the dispatch cost is paid once per batch
+   instead of once per PHV.
+
+   Semantics are bit-identical to the scalar backends by construction:
+
+   - stateless ALU bodies and output muxes are pure, so they vectorize into
+     straight-line kernel sequences with mask-predicated [Return] merging —
+     lane order never matters;
+   - stateful ALU bodies execute strictly in lane (= injection slot) order
+     through an exception-free residual step interpreter sharing the scalar
+     closure's state vector, so per-ALU state mutation order matches the
+     tick-interleaved engine exactly;
+   - the version-1 cost model is preserved: every [Mc] node still performs
+     one machine-code hash lookup per PHV (a per-lane lookup sweep), and
+     constant-condition conditionals compile only the taken arm, exactly as
+     the scalar closures evaluate them.
+
+   Anything outside the vectorizable grammar (state-dependent helper-call
+   arguments, [Return] from a stateful body, a [Store] in a stateless body)
+   falls back per-ALU to the scalar closure driven lane-by-lane — the
+   fallback is the universal semantic reference, so no program can be
+   mis-vectorized, only executed more slowly.
+
+   Performance note (measured, flambda off): Bigarray accesses only compile
+   to direct loads inside top-level functions whose parameters have concrete
+   [Array1] types; an [unsafe_get] inlined into a local closure goes through
+   the C call path and is ~40x slower.  Every lane access below therefore
+   goes through the top-level kernels or {!lane_get}/{!lane_set}. *)
+
+module Value = Druzhba_util.Value
+module Machine_code = Druzhba_machine_code.Machine_code
+
+type lane = (int, Bigarray.int_elt, Bigarray.c_layout) Bigarray.Array1.t
+
+let create_lane cap : lane =
+  let l = Bigarray.Array1.create Bigarray.int Bigarray.c_layout cap in
+  Bigarray.Array1.fill l 0;
+  l
+
+let lane_get (l : lane) i = Bigarray.Array1.unsafe_get l i
+let lane_set (l : lane) i (v : int) = Bigarray.Array1.unsafe_set l i v
+
+(* --- Lane kernels -----------------------------------------------------------
+   All top-level, all monomorphic over [lane]; [k] is the live lane count of
+   the sweep (<= cap), [m] the datapath bit mask. *)
+
+let k_copy (dst : lane) (a : lane) k =
+  for i = 0 to k - 1 do
+    lane_set dst i (lane_get a i)
+  done
+
+let k_fill (dst : lane) v k =
+  for i = 0 to k - 1 do
+    lane_set dst i v
+  done
+
+let k_add (dst : lane) (a : lane) (b : lane) m k =
+  for i = 0 to k - 1 do
+    lane_set dst i ((lane_get a i + lane_get b i) land m)
+  done
+
+let k_sub (dst : lane) (a : lane) (b : lane) m k =
+  for i = 0 to k - 1 do
+    lane_set dst i ((lane_get a i - lane_get b i) land m)
+  done
+
+let k_mul (dst : lane) (a : lane) (b : lane) m k =
+  for i = 0 to k - 1 do
+    lane_set dst i (lane_get a i * lane_get b i land m)
+  done
+
+let k_div (dst : lane) (a : lane) (b : lane) m k =
+  for i = 0 to k - 1 do
+    let d = lane_get b i in
+    lane_set dst i (if d = 0 then 0 else lane_get a i / d land m)
+  done
+
+let k_rem (dst : lane) (a : lane) (b : lane) m k =
+  for i = 0 to k - 1 do
+    let d = lane_get b i in
+    lane_set dst i (if d = 0 then 0 else lane_get a i mod d land m)
+  done
+
+let k_eq (dst : lane) (a : lane) (b : lane) k =
+  for i = 0 to k - 1 do
+    lane_set dst i (if lane_get a i = lane_get b i then 1 else 0)
+  done
+
+let k_neq (dst : lane) (a : lane) (b : lane) k =
+  for i = 0 to k - 1 do
+    lane_set dst i (if lane_get a i <> lane_get b i then 1 else 0)
+  done
+
+let k_lt (dst : lane) (a : lane) (b : lane) k =
+  for i = 0 to k - 1 do
+    lane_set dst i (if lane_get a i < lane_get b i then 1 else 0)
+  done
+
+let k_gt (dst : lane) (a : lane) (b : lane) k =
+  for i = 0 to k - 1 do
+    lane_set dst i (if lane_get a i > lane_get b i then 1 else 0)
+  done
+
+let k_le (dst : lane) (a : lane) (b : lane) k =
+  for i = 0 to k - 1 do
+    lane_set dst i (if lane_get a i <= lane_get b i then 1 else 0)
+  done
+
+let k_ge (dst : lane) (a : lane) (b : lane) k =
+  for i = 0 to k - 1 do
+    lane_set dst i (if lane_get a i >= lane_get b i then 1 else 0)
+  done
+
+let k_and (dst : lane) (a : lane) (b : lane) k =
+  for i = 0 to k - 1 do
+    lane_set dst i (if lane_get a i <> 0 && lane_get b i <> 0 then 1 else 0)
+  done
+
+let k_or (dst : lane) (a : lane) (b : lane) k =
+  for i = 0 to k - 1 do
+    lane_set dst i (if lane_get a i <> 0 || lane_get b i <> 0 then 1 else 0)
+  done
+
+let k_neg (dst : lane) (a : lane) m k =
+  for i = 0 to k - 1 do
+    lane_set dst i (-lane_get a i land m)
+  done
+
+let k_not (dst : lane) (a : lane) k =
+  for i = 0 to k - 1 do
+    lane_set dst i (if lane_get a i = 0 then 1 else 0)
+  done
+
+let k_trunc (dst : lane) (a : lane) m k =
+  for i = 0 to k - 1 do
+    lane_set dst i (lane_get a i land m)
+  done
+
+(* cond <> 0 ? a : b (both arms already evaluated; arms are pure) *)
+let k_sel (dst : lane) (c : lane) (a : lane) (b : lane) k =
+  for i = 0 to k - 1 do
+    lane_set dst i (if lane_get c i <> 0 then lane_get a i else lane_get b i)
+  done
+
+(* One machine-code hash lookup per lane: the version-1 cost model treats
+   machine code as runtime variables, so a batch of B PHVs pays B lookups,
+   exactly as B scalar executions would. *)
+let k_mc (dst : lane) mc name k =
+  for i = 0 to k - 1 do
+    lane_set dst i (Machine_code.find mc name)
+  done
+
+(* parent-mask and branch-condition combination (masks are truthy ints) *)
+let k_mask_and (dst : lane) (m1 : lane) (c : lane) k =
+  for i = 0 to k - 1 do
+    lane_set dst i (if lane_get m1 i <> 0 && lane_get c i <> 0 then 1 else 0)
+  done
+
+let k_mask_andnot (dst : lane) (m1 : lane) (c : lane) k =
+  for i = 0 to k - 1 do
+    lane_set dst i (if lane_get m1 i <> 0 && lane_get c i = 0 then 1 else 0)
+  done
+
+(* [Return] merging: a lane returns at most once; later returns and the
+   default only land where [returned] is still 0. *)
+let k_return (out : lane) (ret : lane) (v : lane) k =
+  for i = 0 to k - 1 do
+    if lane_get ret i = 0 then begin
+      lane_set out i (lane_get v i);
+      lane_set ret i 1
+    end
+  done
+
+let k_return_c (out : lane) (ret : lane) v k =
+  for i = 0 to k - 1 do
+    if lane_get ret i = 0 then begin
+      lane_set out i v;
+      lane_set ret i 1
+    end
+  done
+
+let k_return_m (out : lane) (ret : lane) (v : lane) (ml : lane) k =
+  for i = 0 to k - 1 do
+    if lane_get ml i <> 0 && lane_get ret i = 0 then begin
+      lane_set out i (lane_get v i);
+      lane_set ret i 1
+    end
+  done
+
+let k_return_mc (out : lane) (ret : lane) v (ml : lane) k =
+  for i = 0 to k - 1 do
+    if lane_get ml i <> 0 && lane_get ret i = 0 then begin
+      lane_set out i v;
+      lane_set ret i 1
+    end
+  done
+
+let k_default (out : lane) (ret : lane) (d : lane) k =
+  for i = 0 to k - 1 do
+    if lane_get ret i = 0 then lane_set out i (lane_get d i)
+  done
+
+let k_default_c (out : lane) (ret : lane) d k =
+  for i = 0 to k - 1 do
+    if lane_get ret i = 0 then lane_set out i d
+  done
+
+(* --- Representation --------------------------------------------------------- *)
+
+(* A vectorized operation: sweeps its captured lanes over the first [k]
+   slots.  Built once at vectorization time; calling one is the only
+   indirect call a whole lane sweep pays. *)
+type vop = int -> unit
+
+(* Per-lane residual function of a stateful body: lane slot -> value.
+   Reads hoisted pure lanes via {!lane_get} and latched state via the
+   snapshot array it closes over. *)
+type sfun = int -> int
+
+(* Residual statement of a stateful body, interpreted per lane in slot
+   order.  [St_let] writes a per-occurrence local slot (the compile-time
+   environment scopes it over the remainder of its own statement list,
+   matching {!Interp.exec_latched}). *)
+type step =
+  | St_let of int * sfun
+  | St_store of int * sfun
+  | St_if of sfun * step array * step array
+
+type stateless = {
+  sl_out : lane;
+  sl_run : sl_run;
+}
+
+and sl_run =
+  | Sl_vec of vop array
+  | Sl_scalar of Compile.compiled_alu (* per-lane gather + ca_run *)
+
+type sf_body =
+  | Sf_steps of { sd : sfun; steps : step array }
+  (* Shape-specialized bodies for the dominant stateful atom of the rule
+     compiler's output: a pair-state ALU defaulting to a state read, whose
+     residual body is one two-way branch over two stores — or, once the
+     branch folds at vectorization time, the two stores themselves.  The
+     drivers inline the step structure, so the per-lane loop pays no step
+     dispatch and no default-output closure. *)
+  | Sf_pair of { sdslot : int; f0 : sfun; f1 : sfun }
+  | Sf_ifpair of { sdslot : int; c : sfun; a0 : sfun; a1 : sfun; e0 : sfun; e1 : sfun }
+  | Sf_scalar (* per-lane gather + ca_run on [sf_ca] *)
+
+type stateful = {
+  sf_ca : Compile.compiled_alu; (* owns the persistent state; scalar fallback *)
+  sf_out : lane;
+  sf_s0 : lane; (* post-execution state_0 ("write half"), per lane *)
+  sf_prelude : vop array; (* hoisted pure subtrees, swept before the lane loop *)
+  sf_body : sf_body;
+  sf_locals : int array; (* St_let scratch *)
+  (* State slots the body (or default) actually reads — the per-lane
+     snapshot only refreshes these, so small atoms latch one or two slots
+     instead of blitting the whole vector every lane. *)
+  sf_read : int array;
+}
+
+type mux =
+  | Mx_vec of vop array (* writes the next row's container lane *)
+  | Mx_scalar of {
+      mf : Compile.helper_fn;
+      margs : lane array; (* [stateless outs; stateful outs; state_0s; old] *)
+      mdst : lane;
+    }
+
+type vstage = {
+  vs_row : lane array; (* input row of this stage (= rows.(s)) *)
+  vs_sl : stateless array;
+  vs_sf : stateful array;
+  vs_mux : mux array;
+}
+
+type t = {
+  v_cap : int;
+  v_depth : int;
+  v_width : int;
+  v_rows : lane array array; (* (depth+1) x width: rows.(s).(c) = container c at stage-s input *)
+  v_stages : vstage array;
+  v_scratch : int array; (* width-sized gather scratch for scalar fallbacks *)
+  v_margs_scratch : int array; (* mux-arg gather scratch for Mx_scalar *)
+}
+
+let cap t = t.v_cap
+let rows t = t.v_rows
+
+(* --- Lane-sweep drivers (top-level for the Bigarray fast path) -------------- *)
+
+let run_ops (ops : vop array) k =
+  for i = 0 to Array.length ops - 1 do
+    (Array.unsafe_get ops i) k
+  done
+
+let gather_row (row : lane array) (dst : int array) b =
+  for c = 0 to Array.length row - 1 do
+    Array.unsafe_set dst c (lane_get (Array.unsafe_get row c) b)
+  done
+
+let run_scalar_stateless (row : lane array) (scratch : int array)
+    (ca : Compile.compiled_alu) (out : lane) k =
+  let env = ca.Compile.ca_env in
+  env.Compile.phv <- scratch;
+  for b = 0 to k - 1 do
+    gather_row row scratch b;
+    lane_set out b (ca.Compile.ca_run ())
+  done
+
+let rec exec_steps (steps : step array) (st : int array) (locals : int array) b =
+  for i = 0 to Array.length steps - 1 do
+    match Array.unsafe_get steps i with
+    | St_let (j, f) -> Array.unsafe_set locals j (f b)
+    | St_store (j, f) -> st.(j) <- f b
+    | St_if (c, a, e) ->
+      if c b <> 0 then exec_steps a st locals b else exec_steps e st locals b
+  done
+
+(* Generic stateful lane loop: per lane (= injection slot, in order) assert
+   any stuck-at slots, latch the read snapshot, evaluate the default output
+   first (the scalar closures do too — Mc lookup order matters), run the
+   residual steps against the live state, and expose the post-execution
+   state_0 for the muxes.  [stuck] is almost always []. *)
+let run_stateful_steps (st : int array) (snap : int array) (rs : int array)
+    (locals : int array) (sd : sfun) (steps : step array) (out : lane) (s0 : lane)
+    (stuck : (int * int) list) k =
+  let nr = Array.length rs in
+  for b = 0 to k - 1 do
+    (match stuck with
+    | [] -> ()
+    | l -> List.iter (fun (slot, v) -> st.(slot) <- v) l);
+    for i = 0 to nr - 1 do
+      let slot = Array.unsafe_get rs i in
+      Array.unsafe_set snap slot (Array.unsafe_get st slot)
+    done;
+    lane_set out b (sd b);
+    exec_steps steps st locals b;
+    lane_set s0 b st.(0)
+  done
+
+(* Specialized lane loops for {!Sf_pair}/{!Sf_ifpair}: same protocol as
+   {!run_stateful_steps} with the body unrolled.  The default output is the
+   latched [sdslot] read, and the post-store state_0 value is forwarded to
+   the s0 lane without re-reading the state vector. *)
+let run_stateful_pair (st : int array) (snap : int array) (rs : int array) (sdslot : int)
+    (f0 : sfun) (f1 : sfun) (out : lane) (s0 : lane) (stuck : (int * int) list) k =
+  let nr = Array.length rs in
+  for b = 0 to k - 1 do
+    (match stuck with
+    | [] -> ()
+    | l -> List.iter (fun (slot, v) -> st.(slot) <- v) l);
+    for i = 0 to nr - 1 do
+      let slot = Array.unsafe_get rs i in
+      Array.unsafe_set snap slot (Array.unsafe_get st slot)
+    done;
+    lane_set out b (Array.unsafe_get snap sdslot);
+    let v0 = f0 b in
+    st.(0) <- v0;
+    st.(1) <- f1 b;
+    lane_set s0 b v0
+  done
+
+let run_stateful_ifpair (st : int array) (snap : int array) (rs : int array) (sdslot : int)
+    (c : sfun) (a0 : sfun) (a1 : sfun) (e0 : sfun) (e1 : sfun) (out : lane) (s0 : lane)
+    (stuck : (int * int) list) k =
+  let nr = Array.length rs in
+  for b = 0 to k - 1 do
+    (match stuck with
+    | [] -> ()
+    | l -> List.iter (fun (slot, v) -> st.(slot) <- v) l);
+    for i = 0 to nr - 1 do
+      let slot = Array.unsafe_get rs i in
+      Array.unsafe_set snap slot (Array.unsafe_get st slot)
+    done;
+    lane_set out b (Array.unsafe_get snap sdslot);
+    let v0 =
+      if c b <> 0 then begin
+        let v0 = a0 b in
+        st.(0) <- v0;
+        st.(1) <- a1 b;
+        v0
+      end
+      else begin
+        let v0 = e0 b in
+        st.(0) <- v0;
+        st.(1) <- e1 b;
+        v0
+      end
+    in
+    lane_set s0 b v0
+  done
+
+let run_stateful_scalar (row : lane array) (scratch : int array)
+    (ca : Compile.compiled_alu) (out : lane) (s0 : lane) (stuck : (int * int) list) k =
+  let env = ca.Compile.ca_env in
+  env.Compile.phv <- scratch;
+  for b = 0 to k - 1 do
+    (match stuck with
+    | [] -> ()
+    | l -> List.iter (fun (slot, v) -> env.Compile.state.(slot) <- v) l);
+    gather_row row scratch b;
+    lane_set out b (ca.Compile.ca_run ());
+    lane_set s0 b env.Compile.state.(0)
+  done
+
+let run_scalar_mux (mf : Compile.helper_fn) (margs : lane array) (scratch : int array)
+    (dst : lane) k =
+  let n = Array.length margs in
+  for b = 0 to k - 1 do
+    for i = 0 to n - 1 do
+      Array.unsafe_set scratch i (lane_get (Array.unsafe_get margs i) b)
+    done;
+    lane_set dst b (mf scratch)
+  done
+
+(* --- Expression vectorization ------------------------------------------------ *)
+
+exception Not_vectorizable
+
+(* Compile-time value of a (sub)expression: a constant folded at build time
+   or a lane holding one value per PHV slot. *)
+type atom = L of lane | C of int
+
+(* Stateful-body environment entry: pure bindings become atoms (possibly
+   hoisted lanes), state-dependent [Let]s become per-lane local slots. *)
+type binding = B_atom of atom | B_slot of int
+
+type builder = {
+  bd_cap : int;
+  bd_bits : Value.width;
+  bd_mask : int;
+  bd_mc : Machine_code.t;
+  bd_helpers : (string, Ir.helper) Hashtbl.t;
+  bd_consts : (int, lane) Hashtbl.t;
+  mutable bd_pool : lane array; (* temp lanes, shared across ALUs/muxes *)
+  mutable bd_next : int; (* next free temp (reset per ALU/mux) *)
+  mutable bd_ops : vop list; (* emitted sweeps, reversed *)
+  mutable bd_row : lane array; (* current stage's input row *)
+}
+
+let temp bd =
+  if bd.bd_next >= Array.length bd.bd_pool then begin
+    let n = Array.length bd.bd_pool in
+    let grown = Array.init (max 8 (2 * n)) (fun i -> if i < n then bd.bd_pool.(i) else create_lane bd.bd_cap) in
+    bd.bd_pool <- grown
+  end;
+  let l = bd.bd_pool.(bd.bd_next) in
+  bd.bd_next <- bd.bd_next + 1;
+  l
+
+let emit bd op = bd.bd_ops <- op :: bd.bd_ops
+
+let take_ops bd =
+  let ops = Array.of_list (List.rev bd.bd_ops) in
+  bd.bd_ops <- [];
+  ops
+
+let const_lane bd v =
+  match Hashtbl.find_opt bd.bd_consts v with
+  | Some l -> l
+  | None ->
+    let l = create_lane bd.bd_cap in
+    Bigarray.Array1.fill l v;
+    Hashtbl.add bd.bd_consts v l;
+    l
+
+let laneify bd = function L l -> l | C v -> const_lane bd v
+
+let occurrences x e =
+  Ir.fold_expr (fun n e -> match e with Ir.Var v when String.equal v x -> n + 1 | _ -> n) 0 e
+
+let emit_binop bd (dst : lane) (op : Ir.binop) (a : lane) (b : lane) =
+  let m = bd.bd_mask in
+  match op with
+  | Ir.Add -> emit bd (fun k -> k_add dst a b m k)
+  | Ir.Sub -> emit bd (fun k -> k_sub dst a b m k)
+  | Ir.Mul -> emit bd (fun k -> k_mul dst a b m k)
+  | Ir.Div -> emit bd (fun k -> k_div dst a b m k)
+  | Ir.Mod -> emit bd (fun k -> k_rem dst a b m k)
+  | Ir.Eq -> emit bd (fun k -> k_eq dst a b k)
+  | Ir.Neq -> emit bd (fun k -> k_neq dst a b k)
+  | Ir.Lt -> emit bd (fun k -> k_lt dst a b k)
+  | Ir.Gt -> emit bd (fun k -> k_gt dst a b k)
+  | Ir.Le -> emit bd (fun k -> k_le dst a b k)
+  | Ir.Ge -> emit bd (fun k -> k_ge dst a b k)
+  | Ir.And -> emit bd (fun k -> k_and dst a b k)
+  | Ir.Or -> emit bd (fun k -> k_or dst a b k)
+
+(* Vectorizes a pure expression under a compile-time environment of atoms.
+   Helper calls are beta-reduced exactly as {!Compile.compile_expr} does:
+   single-use parameters are substituted (an [Mc] argument then costs one
+   lookup per use = per execution, like the scalar closure), multi-use
+   parameters are evaluated once to an atom bound in the environment (one
+   lookup per call).  Constant subtrees fold at build time — value-identical
+   to the scalar evaluation and free of [Mc] nodes by construction. *)
+let rec veval bd (env : (string * atom) list) (e : Ir.expr) : atom =
+  match e with
+  | Ir.Const n -> C n
+  | Ir.Var x -> (
+    match List.assoc_opt x env with Some a -> a | None -> raise Not_vectorizable)
+  | Ir.Mc name ->
+    let dst = temp bd in
+    let mc = bd.bd_mc in
+    emit bd (fun k -> k_mc dst mc name k);
+    L dst
+  | Ir.Phv c ->
+    if c < 0 || c >= Array.length bd.bd_row then raise Not_vectorizable;
+    L bd.bd_row.(c)
+  | Ir.State _ -> raise Not_vectorizable
+  | Ir.Trunc a -> (
+    match veval bd env a with
+    | C n -> C (Value.mask bd.bd_bits n)
+    | L l ->
+      let dst = temp bd in
+      let m = bd.bd_mask in
+      emit bd (fun k -> k_trunc dst l m k);
+      L dst)
+  | Ir.Unop (op, a) -> (
+    match veval bd env a with
+    | C n -> C (Interp.apply_unop bd.bd_bits op n)
+    | L l ->
+      let dst = temp bd in
+      (match op with
+      | Ir.Neg ->
+        let m = bd.bd_mask in
+        emit bd (fun k -> k_neg dst l m k)
+      | Ir.Not -> emit bd (fun k -> k_not dst l k));
+      L dst)
+  | Ir.Binop (op, ea, eb) -> (
+    let a = veval bd env ea in
+    let b = veval bd env eb in
+    match (a, b) with
+    | C x, C y -> C (Interp.apply_binop bd.bd_bits op x y)
+    | _ ->
+      let la = laneify bd a and lb = laneify bd b in
+      let dst = temp bd in
+      emit_binop bd dst op la lb;
+      L dst)
+  | Ir.Cond (c, ea, eb) -> (
+    match veval bd env c with
+    | C n -> if Value.is_true n then veval bd env ea else veval bd env eb
+    | L lc ->
+      (* Lane-valued condition: evaluate both arms (pure, total — division
+         by zero yields 0) and select.  Only the count of Mc hash lookups
+         can deviate from the scalar path here, never a value. *)
+      let la = laneify bd (veval bd env ea) in
+      let lb = laneify bd (veval bd env eb) in
+      let dst = temp bd in
+      emit bd (fun k -> k_sel dst lc la lb k);
+      L dst)
+  | Ir.Call (name, args) ->
+    let h =
+      match Hashtbl.find_opt bd.bd_helpers name with
+      | Some h -> h
+      | None -> raise Not_vectorizable
+    in
+    let pairs = List.combine h.Ir.h_params args in
+    let single, multi = List.partition (fun (p, _) -> occurrences p h.Ir.h_body <= 1) pairs in
+    let body = Ir.subst_vars single h.Ir.h_body in
+    let multi_binds = List.map (fun (p, arg) -> (p, veval bd env arg)) multi in
+    veval bd (multi_binds @ env) body
+
+(* As {!veval} but lands the result in [dst] (a row lane or ALU output). *)
+let veval_into bd env e (dst : lane) =
+  match veval bd env e with
+  | C n -> emit bd (fun k -> k_fill dst n k)
+  | L l -> if l != dst then emit bd (fun k -> k_copy dst l k)
+
+(* --- Stateless body vectorization -------------------------------------------- *)
+
+type vmask = Always | M of lane
+
+let mask_and bd vm (c : lane) =
+  match vm with
+  | Always -> c (* truthy semantics: the condition lane is its own mask *)
+  | M ml ->
+    let dst = temp bd in
+    emit bd (fun k -> k_mask_and dst ml c k);
+    dst
+
+let mask_andnot bd vm (c : lane) =
+  match vm with
+  | Always ->
+    let dst = temp bd in
+    emit bd (fun k -> k_not dst c k);
+    dst
+  | M ml ->
+    let dst = temp bd in
+    emit bd (fun k -> k_mask_andnot dst ml c k);
+    dst
+
+(* Vectorizes a stateless statement list under [vm].  Returns [true] when
+   every lane reached by [vm] has certainly returned (the rest of the
+   enclosing list is dead — the scalar path would never execute it
+   either).  [ret] is the 0/1 returned-flag lane (present iff the body
+   contains a [Return]). *)
+let rec vstmts bd env vm ~out ~ret (stmts : Ir.stmt list) : bool =
+  match stmts with
+  | [] -> false
+  | Ir.Let (x, e) :: rest ->
+    (* a Let scopes over the remainder of its own statement list only *)
+    let a = veval bd env e in
+    vstmts bd ((x, a) :: env) vm ~out ~ret rest
+  | Ir.Store _ :: _ -> raise Not_vectorizable (* never generated for stateless ALUs *)
+  | Ir.Return e :: rest -> (
+    let a = veval bd env e in
+    let r = match ret with Some r -> r | None -> assert false in
+    (match (vm, a) with
+    | Always, L v -> emit bd (fun k -> k_return out r v k)
+    | Always, C n -> emit bd (fun k -> k_return_c out r n k)
+    | M ml, L v -> emit bd (fun k -> k_return_m out r v ml k)
+    | M ml, C n -> emit bd (fun k -> k_return_mc out r n ml k));
+    match vm with Always -> true | M _ -> vstmts bd env vm ~out ~ret rest)
+  | Ir.If (c, a, b) :: rest -> (
+    match veval bd env c with
+    | C n ->
+      (* constant condition: compile only the taken arm, like the scalar
+         closure evaluates only one arm *)
+      let taken = if Value.is_true n then a else b in
+      if vstmts bd env vm ~out ~ret taken then true else vstmts bd env vm ~out ~ret rest
+    | L lc ->
+      let tm = mask_and bd vm lc in
+      let em = mask_andnot bd vm lc in
+      let d1 = vstmts bd env (M tm) ~out ~ret a in
+      let d2 = vstmts bd env (M em) ~out ~ret b in
+      if d1 && d2 then true else vstmts bd env vm ~out ~ret rest)
+
+let rec body_has_return (stmts : Ir.stmt list) =
+  List.exists
+    (fun (s : Ir.stmt) ->
+      match s with
+      | Ir.Return _ -> true
+      | Ir.If (_, a, b) -> body_has_return a || body_has_return b
+      | Ir.Let _ | Ir.Store _ -> false)
+    stmts
+
+(* Compiles one stateless ALU into a sweep sequence writing [out].  Kernel
+   order mirrors the scalar execution order: default output first (its Mc
+   lookups precede the body's), then the body, then the default merge for
+   lanes that fell through. *)
+let vec_stateless bd (alu : Ir.alu) ~(out : lane) : vop array =
+  bd.bd_next <- 0;
+  bd.bd_ops <- [];
+  let has_return = body_has_return alu.Ir.a_body in
+  let datom = veval bd [] alu.Ir.a_default_output in
+  if not has_return then begin
+    (match datom with
+    | C n ->
+      (* constant default, no returns: prefill once at build time, zero
+         sweeps at run time (the common scc+inline stateless shape) *)
+      Bigarray.Array1.fill out n
+    | L l -> emit bd (fun k -> k_copy out l k));
+    take_ops bd
+  end
+  else begin
+    let r = temp bd in
+    emit bd (fun k -> k_fill r 0 k);
+    let died = vstmts bd [] Always ~out ~ret:(Some r) alu.Ir.a_body in
+    if not died then
+      (match datom with
+      | C n -> emit bd (fun k -> k_default_c out r n k)
+      | L l -> emit bd (fun k -> k_default out r l k));
+    take_ops bd
+  end
+
+(* --- Stateful body compilation ----------------------------------------------- *)
+
+(* An expression is hoistable iff it never reads ALU state, directly or via
+   a slot-bound variable; helper bodies are state-free by construction so a
+   call is hoistable iff its arguments are. *)
+let rec spure (env : (string * binding) list) (e : Ir.expr) =
+  match e with
+  | Ir.State _ -> false
+  | Ir.Var x -> ( match List.assoc_opt x env with Some (B_slot _) -> false | _ -> true)
+  | Ir.Const _ | Ir.Mc _ | Ir.Phv _ -> true
+  | Ir.Trunc a | Ir.Unop (_, a) -> spure env a
+  | Ir.Binop (_, a, b) -> spure env a && spure env b
+  | Ir.Cond (c, a, b) -> spure env c && spure env a && spure env b
+  | Ir.Call (_, args) -> List.for_all (spure env) args
+
+let atom_env env = List.filter_map (function x, B_atom a -> Some (x, a) | _, B_slot _ -> None) env
+
+(* Compile-time classification of a stateful-body subexpression: constants
+   and single reads stay symbolic so the binop compiler can fuse operand
+   fetches into one closure (one indirect call per node instead of one per
+   operand), falling back to a residual function for deeper spines. *)
+type satom =
+  | Sa_c of int
+  | Sa_snap of int (* latched state read *)
+  | Sa_local of int (* St_let slot read *)
+  | Sa_lane of lane (* hoisted pure lane *)
+  | Sa_f of sfun
+
+let sforce (snap : int array) (locals : int array) (a : satom) : sfun =
+  match a with
+  | Sa_c n -> fun _ -> n
+  | Sa_snap k -> fun _ -> Array.unsafe_get snap k
+  | Sa_local i -> fun _ -> Array.unsafe_get locals i
+  | Sa_lane l -> fun b -> lane_get l b
+  | Sa_f f -> f
+
+(* Two atoms that provably fetch the same value at every lane (reads are
+   pure, both operands evaluate at the same lane). *)
+let same_fetch a b =
+  match (a, b) with
+  | Sa_c x, Sa_c y -> x = y
+  | Sa_snap i, Sa_snap j | Sa_local i, Sa_local j -> i = j
+  | Sa_lane p, Sa_lane q -> p == q
+  | _ -> false
+
+(* The operator match of {!Interp.apply_binop}, resolved once at compile
+   time so a lane evaluation pays the arithmetic, not the dispatch. *)
+let binfn bits (op : Ir.binop) : int -> int -> int =
+  match op with
+  | Ir.Add -> Value.add bits
+  | Ir.Sub -> Value.sub bits
+  | Ir.Mul -> Value.mul bits
+  | Ir.Div -> Value.div bits
+  | Ir.Mod -> Value.rem bits
+  | Ir.Eq -> Value.eq
+  | Ir.Neq -> Value.neq
+  | Ir.Lt -> Value.lt
+  | Ir.Gt -> Value.gt
+  | Ir.Le -> Value.le
+  | Ir.Ge -> Value.ge
+  | Ir.And -> Value.logical_and
+  | Ir.Or -> Value.logical_or
+
+(* Fused binop node: operand fetches for the common atom shapes are inlined
+   into the node closure.  The generic fallback costs two extra indirect
+   calls per lane. *)
+let sbinop bits op (snap : int array) (locals : int array) (x : satom) (y : satom) : satom =
+  let g = binfn bits op in
+  match (x, y) with
+  | Sa_c a, Sa_c b -> Sa_c (g a b)
+  | Sa_snap i, Sa_c c -> Sa_f (fun _ -> g (Array.unsafe_get snap i) c)
+  | Sa_c c, Sa_snap i -> Sa_f (fun _ -> g c (Array.unsafe_get snap i))
+  | Sa_snap i, Sa_snap j -> Sa_f (fun _ -> g (Array.unsafe_get snap i) (Array.unsafe_get snap j))
+  | Sa_snap i, Sa_lane l -> Sa_f (fun b -> g (Array.unsafe_get snap i) (lane_get l b))
+  | Sa_lane l, Sa_snap i -> Sa_f (fun b -> g (lane_get l b) (Array.unsafe_get snap i))
+  | Sa_lane l, Sa_c c -> Sa_f (fun b -> g (lane_get l b) c)
+  | Sa_c c, Sa_lane l -> Sa_f (fun b -> g c (lane_get l b))
+  | Sa_lane p, Sa_lane q -> Sa_f (fun b -> g (lane_get p b) (lane_get q b))
+  | _ ->
+    let fx = sforce snap locals x and fy = sforce snap locals y in
+    Sa_f (fun b -> g (fx b) (fy b))
+
+(* Residual per-lane compilation of a stateful-body expression.  Maximal
+   pure subtrees hoist into the vectorized prelude (one lane sweep for the
+   whole batch); only the state-dependent spine stays per-lane, with
+   operator dispatch resolved at compile time and comparisons of two
+   identical fetches folded to constants (reads are pure, so [e op e] is
+   decided by the operator alone). *)
+let rec seval bd (env : (string * binding) list) (snap : int array) (locals : int array)
+    (e : Ir.expr) : satom =
+  if spure env e then
+    match veval bd (atom_env env) e with
+    | C n -> Sa_c n
+    | L l -> Sa_lane l
+  else
+    match e with
+    | Ir.State k -> Sa_snap k
+    | Ir.Var x -> (
+      match List.assoc_opt x env with
+      | Some (B_slot i) -> Sa_local i
+      | Some (B_atom _) | None -> assert false (* covered by the pure path *))
+    | Ir.Trunc a -> (
+      let bits = bd.bd_bits in
+      match seval bd env snap locals a with
+      | Sa_c n -> Sa_c (Value.mask bits n)
+      | Sa_snap k -> Sa_f (fun _ -> Value.mask bits (Array.unsafe_get snap k))
+      | Sa_lane l -> Sa_f (fun b -> Value.mask bits (lane_get l b))
+      | a ->
+        let f = sforce snap locals a in
+        Sa_f (fun b -> Value.mask bits (f b)))
+    | Ir.Unop (op, a) -> (
+      let g =
+        match op with Ir.Neg -> Value.neg bd.bd_bits | Ir.Not -> Value.logical_not
+      in
+      match seval bd env snap locals a with
+      | Sa_c n -> Sa_c (g n)
+      | Sa_snap k -> Sa_f (fun _ -> g (Array.unsafe_get snap k))
+      | Sa_lane l -> Sa_f (fun b -> g (lane_get l b))
+      | a ->
+        let f = sforce snap locals a in
+        Sa_f (fun b -> g (f b)))
+    | Ir.Binop (op, x, y) -> (
+      let ax = seval bd env snap locals x in
+      let ay = seval bd env snap locals y in
+      if same_fetch ax ay then
+        match op with
+        | Ir.Eq | Ir.Le | Ir.Ge -> Sa_c 1
+        | Ir.Neq | Ir.Lt | Ir.Gt -> Sa_c 0
+        | Ir.Sub | Ir.Mod -> Sa_c 0 (* x - x and x mod x (0 mod 0 = 0 too) *)
+        | Ir.Add | Ir.Mul | Ir.Div | Ir.And | Ir.Or ->
+          sbinop bd.bd_bits op snap locals ax ay
+      else sbinop bd.bd_bits op snap locals ax ay)
+    | Ir.Cond (c, x, y) -> (
+      (* per-lane laziness: only the taken arm is evaluated, like the
+         scalar closure *)
+      match seval bd env snap locals c with
+      | Sa_c n ->
+        (* a constant condition cannot carry Mc lookups (those become
+           lanes, never [Sa_c]), so dropping it is unobservable *)
+        if Value.is_true n then seval bd env snap locals x else seval bd env snap locals y
+      | ac ->
+        let fc = sforce snap locals ac in
+        let fx = sforce snap locals (seval bd env snap locals x) in
+        let fy = sforce snap locals (seval bd env snap locals y) in
+        Sa_f (fun b -> if fc b <> 0 then fx b else fy b))
+    | Ir.Call _ -> raise Not_vectorizable (* state-dependent helper argument *)
+    | Ir.Const _ | Ir.Mc _ | Ir.Phv _ -> assert false (* pure *)
+
+(* Residual statement compilation.  [nlocals] counts St_let slots (one per
+   occurrence — the environment gives each Let its own slot, so the
+   rest-of-list-only scoping of {!Interp.exec_latched} holds exactly).
+   Branch structure folds at compile time where it is decidable: a constant
+   condition splices the taken arm inline (its [Let]s stay scoped to the
+   arm — the arm is compiled under the unextended environment and only its
+   steps are spliced), and structurally identical arms compile once with no
+   per-lane condition at all (the condition is a pure read, so skipping it
+   is unobservable). *)
+let rec scompile bd env snap locals nlocals (stmts : Ir.stmt list) : step list * int =
+  match stmts with
+  | [] -> ([], nlocals)
+  | Ir.Let (x, e) :: rest ->
+    if spure env e then begin
+      let a = veval bd (atom_env env) e in
+      scompile bd ((x, B_atom a) :: env) snap locals nlocals rest
+    end
+    else begin
+      let f = sforce snap locals (seval bd env snap locals e) in
+      let slot = nlocals in
+      let steps, n = scompile bd ((x, B_slot slot) :: env) snap locals (nlocals + 1) rest in
+      (St_let (slot, f) :: steps, n)
+    end
+  | Ir.Store (k, e) :: rest ->
+    let f = sforce snap locals (seval bd env snap locals e) in
+    let steps, n = scompile bd env snap locals nlocals rest in
+    (St_store (k, f) :: steps, n)
+  | Ir.If (c, a, b) :: rest -> (
+    match seval bd env snap locals c with
+    | Sa_c n ->
+      let taken = if Value.is_true n then a else b in
+      let sa, n1 = scompile bd env snap locals nlocals taken in
+      let steps, n = scompile bd env snap locals n1 rest in
+      (sa @ steps, n)
+    | ac when a = b ->
+      (* both arms identical (the generated pair atoms often are): drop the
+         branch; [ac]'s reads are pure, so not evaluating it is silent *)
+      ignore ac;
+      let sa, n1 = scompile bd env snap locals nlocals a in
+      let steps, n = scompile bd env snap locals n1 rest in
+      (sa @ steps, n)
+    | ac ->
+      let fc = sforce snap locals ac in
+      let sa, n1 = scompile bd env snap locals nlocals a in
+      let sb, n2 = scompile bd env snap locals n1 b in
+      let steps, n = scompile bd env snap locals n2 rest in
+      (St_if (fc, Array.of_list sa, Array.of_list sb) :: steps, n))
+  | Ir.Return _ :: _ -> raise Not_vectorizable (* rare in stateful atoms; scalar path *)
+
+(* Compiles one stateful ALU.  The residual step interpreter shares the
+   scalar closure's state and snapshot vectors, so reset / load_state /
+   current_state and the sequential path all see one state, and the scalar
+   fallback is a drop-in. *)
+let rec count_lets (stmts : Ir.stmt list) =
+  List.fold_left
+    (fun acc (s : Ir.stmt) ->
+      match s with
+      | Ir.Let _ -> acc + 1
+      | Ir.If (_, a, b) -> acc + count_lets a + count_lets b
+      | Ir.Store _ | Ir.Return _ -> acc)
+    0 stmts
+
+(* State slots the ALU can read, sorted and deduplicated: the batched
+   per-lane loop refreshes only these snapshot entries.  A syntactic
+   over-approximation is fine (extra copies are silent); helper bodies need
+   no walk because an impure [Call] already sent the ALU to the scalar
+   fallback, and a pure one cannot reach [State]. *)
+let read_slots (alu : Ir.alu) : int array =
+  let collect acc (e : Ir.expr) = match e with Ir.State k -> k :: acc | _ -> acc in
+  let acc = Ir.fold_expr collect [] alu.Ir.a_default_output in
+  let acc = List.fold_left (Ir.fold_stmt collect) acc alu.Ir.a_body in
+  Array.of_list (List.sort_uniq compare acc)
+
+let vec_stateful bd (alu : Ir.alu) (ca : Compile.compiled_alu) ~(out : lane) ~(s0 : lane) :
+    stateful =
+  bd.bd_next <- 0;
+  bd.bd_ops <- [];
+  let snap = ca.Compile.ca_env.Compile.state_read in
+  match
+    (* one local slot per Let occurrence is an upper bound on what scompile
+       allocates, so the closures can capture the final array directly *)
+    let locals = Array.make (max 1 (count_lets alu.Ir.a_body)) 0 in
+    let sda = seval bd [] snap locals alu.Ir.a_default_output in
+    let steps, _nlocals = scompile bd [] snap locals 0 alu.Ir.a_body in
+    let body =
+      match (sda, steps) with
+      | Sa_snap sdslot, [ St_store (0, f0); St_store (1, f1) ]
+        when Array.length ca.Compile.ca_env.Compile.state >= 2 ->
+        Sf_pair { sdslot; f0; f1 }
+      | ( Sa_snap sdslot,
+          [
+            St_if
+              ( c,
+                [| St_store (0, a0); St_store (1, a1) |],
+                [| St_store (0, e0); St_store (1, e1) |] );
+          ] )
+        when Array.length ca.Compile.ca_env.Compile.state >= 2 ->
+        Sf_ifpair { sdslot; c; a0; a1; e0; e1 }
+      | _ -> Sf_steps { sd = sforce snap locals sda; steps = Array.of_list steps }
+    in
+    (body, locals)
+  with
+  | body, locals ->
+    {
+      sf_ca = ca;
+      sf_out = out;
+      sf_s0 = s0;
+      sf_prelude = take_ops bd;
+      sf_body = body;
+      sf_locals = locals;
+      sf_read = read_slots alu;
+    }
+  | exception (Not_vectorizable | Not_found | Invalid_argument _) ->
+    bd.bd_ops <- [];
+    {
+      sf_ca = ca;
+      sf_out = out;
+      sf_s0 = s0;
+      sf_prelude = [||];
+      sf_body = Sf_scalar;
+      sf_locals = [||];
+      sf_read = [||];
+    }
+
+(* --- Whole-pipeline vectorization --------------------------------------------- *)
+
+(* Output-mux vectorization: parameters bind positionally to the stage's
+   argument lanes; a trailing "ctrl" parameter (unoptimized description)
+   becomes a per-lane machine-code lookup sweep under the mux helper's own
+   name, fetched before the body evaluates — one lookup per PHV, as the
+   scalar paths pay. *)
+let vec_mux bd (h : Ir.helper) ~(arg_lanes : lane array) ~(dst : lane) : vop array =
+  bd.bd_next <- 0;
+  bd.bd_ops <- [];
+  let n_args = Array.length arg_lanes in
+  let env =
+    List.mapi
+      (fun i p ->
+        if i < n_args then (p, L arg_lanes.(i))
+        else if String.equal p "ctrl" then (p, veval bd [] (Ir.Mc h.Ir.h_name))
+        else raise Not_vectorizable)
+      h.Ir.h_params
+  in
+  if List.length h.Ir.h_params < n_args then raise Not_vectorizable;
+  veval_into bd env h.Ir.h_body dst;
+  take_ops bd
+
+let vectorize ~cap (c : Compile.t) : t =
+  if cap < 1 then invalid_arg "Vcompile.vectorize: batch capacity must be >= 1";
+  let d = c.Compile.c_desc in
+  let depth = d.Ir.d_depth and width = d.Ir.d_width in
+  let rows = Array.init (depth + 1) (fun _ -> Array.init width (fun _ -> create_lane cap)) in
+  let bd =
+    {
+      bd_cap = cap;
+      bd_bits = d.Ir.d_bits;
+      bd_mask = (1 lsl d.Ir.d_bits) - 1;
+      bd_mc = c.Compile.c_mc;
+      bd_helpers = d.Ir.d_helpers;
+      bd_consts = Hashtbl.create 16;
+      bd_pool = [||];
+      bd_next = 0;
+      bd_ops = [];
+      bd_row = [||];
+    }
+  in
+  let max_margs = ref 1 in
+  let stages =
+    Array.mapi
+      (fun s (st : Ir.stage) ->
+        let cs = c.Compile.c_stages.(s) in
+        bd.bd_row <- rows.(s);
+        let sl =
+          Array.mapi
+            (fun i (a : Ir.alu) ->
+              let ca = cs.Compile.cs_stateless.(i) in
+              let out = create_lane cap in
+              match vec_stateless bd a ~out with
+              | ops -> { sl_out = out; sl_run = Sl_vec ops }
+              | exception (Not_vectorizable | Not_found | Invalid_argument _) ->
+                bd.bd_ops <- [];
+                { sl_out = out; sl_run = Sl_scalar ca })
+            st.Ir.s_stateless
+        in
+        let sf =
+          Array.mapi
+            (fun j (a : Ir.alu) ->
+              let ca = cs.Compile.cs_stateful.(j) in
+              vec_stateful bd a ca ~out:(create_lane cap) ~s0:(create_lane cap))
+            st.Ir.s_stateful
+        in
+        let nsl = Array.length sl and nsf = Array.length sf in
+        let arg_lanes c' =
+          let args = Array.make (nsl + (2 * nsf) + 1) rows.(s).(c') in
+          Array.iteri (fun i a -> args.(i) <- a.sl_out) sl;
+          Array.iteri (fun j a -> args.(nsl + j) <- a.sf_out) sf;
+          Array.iteri (fun j a -> args.(nsl + nsf + j) <- a.sf_s0) sf;
+          args
+        in
+        let muxes =
+          Array.mapi
+            (fun c' name ->
+              let margs = arg_lanes c' in
+              max_margs := max !max_margs (Array.length margs);
+              let dst = rows.(s + 1).(c') in
+              let h = Ir.find_helper d name in
+              match vec_mux bd h ~arg_lanes:margs ~dst with
+              | ops -> Mx_vec ops
+              | exception (Not_vectorizable | Not_found | Invalid_argument _) ->
+                bd.bd_ops <- [];
+                Mx_scalar { mf = cs.Compile.cs_output_muxes.(c'); margs; mdst = dst })
+            st.Ir.s_output_muxes
+        in
+        { vs_row = rows.(s); vs_sl = sl; vs_sf = sf; vs_mux = muxes })
+      d.Ir.d_stages
+  in
+  {
+    v_cap = cap;
+    v_depth = depth;
+    v_width = width;
+    v_rows = rows;
+    v_stages = stages;
+    v_scratch = Array.make (max 1 width) 0;
+    v_margs_scratch = Array.make !max_margs 0;
+  }
+
+(* --- Stage execution ---------------------------------------------------------- *)
+
+(* Executes stage [s] over the first [k] lanes: every stateless sweep, then
+   each stateful ALU's lanes in slot order, then the output-mux sweeps into
+   row s+1.  [stuck] lists (alu index, slot, value) stuck-at overlays for
+   this stage's stateful ALUs; the forced value is asserted before every
+   lane's snapshot, reproducing the sequential engines' assert-after-every-
+   tick overlay exactly. *)
+let exec_stage v ~s ~k ~(stuck : (int * int * int) list) =
+  let st = v.v_stages.(s) in
+  let sl = st.vs_sl in
+  for i = 0 to Array.length sl - 1 do
+    let a = Array.unsafe_get sl i in
+    match a.sl_run with
+    | Sl_vec ops -> run_ops ops k
+    | Sl_scalar ca -> run_scalar_stateless st.vs_row v.v_scratch ca a.sl_out k
+  done;
+  let sf = st.vs_sf in
+  for j = 0 to Array.length sf - 1 do
+    let a = Array.unsafe_get sf j in
+    let stuck_j =
+      match stuck with
+      | [] -> []
+      | l -> List.filter_map (fun (j', slot, value) -> if j' = j then Some (slot, value) else None) l
+    in
+    run_ops a.sf_prelude k;
+    match a.sf_body with
+    | Sf_steps { sd; steps } ->
+      let env = a.sf_ca.Compile.ca_env in
+      run_stateful_steps env.Compile.state env.Compile.state_read a.sf_read a.sf_locals sd steps
+        a.sf_out a.sf_s0 stuck_j k
+    | Sf_pair { sdslot; f0; f1 } ->
+      let env = a.sf_ca.Compile.ca_env in
+      run_stateful_pair env.Compile.state env.Compile.state_read a.sf_read sdslot f0 f1 a.sf_out
+        a.sf_s0 stuck_j k
+    | Sf_ifpair { sdslot; c; a0; a1; e0; e1 } ->
+      let env = a.sf_ca.Compile.ca_env in
+      run_stateful_ifpair env.Compile.state env.Compile.state_read a.sf_read sdslot c a0 a1 e0 e1
+        a.sf_out a.sf_s0 stuck_j k
+    | Sf_scalar -> run_stateful_scalar st.vs_row v.v_scratch a.sf_ca a.sf_out a.sf_s0 stuck_j k
+  done;
+  let muxes = st.vs_mux in
+  for c = 0 to Array.length muxes - 1 do
+    match Array.unsafe_get muxes c with
+    | Mx_vec ops -> run_ops ops k
+    | Mx_scalar { mf; margs; mdst } -> run_scalar_mux mf margs v.v_margs_scratch mdst k
+  done

@@ -1,0 +1,118 @@
+(* Tests for the benchmark-report reader: the minimal JSON parser and the
+   schema-tolerant bench view over it.  The reader must accept both report
+   generations — druzhba-bench/1 (PR 5, sequential tick path) and /2 (PR 8,
+   batched path) — since the perf-trajectory tooling diffs one against the
+   other; it must also reject malformed documents loudly rather than
+   returning partial rows. *)
+
+module Bench_report = Druzhba_experiments.Bench_report
+
+let sample_v1 =
+  {|{
+  "schema": "druzhba-bench/1",
+  "pr": 5,
+  "phvs": 5000,
+  "programs": [
+    {
+      "program": "spam_detection", "depth": 1, "width": 1, "alu": "raw",
+      "levels": [
+        {"level": "unopt", "ns_per_phv": 1714.6, "phvs_per_sec": 583223, "bytes_per_phv": 0.11, "engine_compiled_agree": true},
+        {"level": "scc+inline", "ns_per_phv": 207.0, "phvs_per_sec": 4830918, "bytes_per_phv": 0.11, "engine_compiled_agree": true}
+      ]
+    }
+  ]
+}|}
+
+let sample_v2 =
+  {|{
+  "schema": "druzhba-bench/2",
+  "pr": 8,
+  "phvs": 50000,
+  "batch": 64,
+  "programs": [
+    {
+      "program": "spam_detection", "depth": 1, "width": 1, "alu": "raw",
+      "levels": [
+        {"level": "scc+inline", "ns_per_phv": 41.4, "seq_ns_per_phv": 199.8, "phvs_per_sec": 24154589, "bytes_per_phv": 0.11, "engine_compiled_agree": true, "batch_agree": true}
+      ]
+    }
+  ],
+  "batch_sweep": [
+    {"program": "spam_detection", "level": "scc+inline", "points": [{"batch": 1, "ns_per_phv": 64.4}, {"batch": 64, "ns_per_phv": 27.8}]}
+  ]
+}|}
+
+let check_ok = function
+  | Ok r -> r
+  | Error msg -> Alcotest.failf "expected successful parse, got: %s" msg
+
+let test_reads_v1 () =
+  let r = check_ok (Bench_report.of_string sample_v1) in
+  Alcotest.(check string) "schema" "druzhba-bench/1" r.Bench_report.br_schema;
+  Alcotest.(check int) "pr" 5 r.Bench_report.br_pr;
+  Alcotest.(check bool) "no batch field in v1" true (r.Bench_report.br_batch = None);
+  Alcotest.(check int) "rows" 2 (List.length r.Bench_report.br_rows);
+  match Bench_report.find_row r ~program:"spam_detection" ~level:"scc+inline" with
+  | None -> Alcotest.fail "missing scc+inline row"
+  | Some row ->
+    Alcotest.(check (float 0.001)) "ns/PHV" 207.0 row.Bench_report.br_ns_per_phv;
+    Alcotest.(check bool) "agree" true row.Bench_report.br_agree
+
+let test_reads_v2 () =
+  let r = check_ok (Bench_report.of_string sample_v2) in
+  Alcotest.(check string) "schema" "druzhba-bench/2" r.Bench_report.br_schema;
+  Alcotest.(check bool) "batch field" true (r.Bench_report.br_batch = Some 64);
+  Alcotest.(check int) "rows" 1 (List.length r.Bench_report.br_rows)
+
+let test_speedups_across_schemas () =
+  let v1 = check_ok (Bench_report.of_string sample_v1) in
+  let v2 = check_ok (Bench_report.of_string sample_v2) in
+  match Bench_report.speedups ~baseline:v1 ~current:v2 with
+  | [ ("spam_detection", "scc+inline", s) ] ->
+    Alcotest.(check (float 0.001)) "207.0 / 41.4" 5.0 s
+  | rows -> Alcotest.failf "expected one joined row, got %d" (List.length rows)
+
+let test_rejects_malformed () =
+  let expect_error label s =
+    match Bench_report.of_string s with
+    | Error _ -> ()
+    | Ok _ -> Alcotest.failf "%s: expected parse error" label
+  in
+  expect_error "empty" "";
+  expect_error "truncated" {|{"schema": "druzhba-bench/1", "programs": [|};
+  expect_error "unknown schema" {|{"schema": "druzhba-bench/99", "programs": []}|};
+  expect_error "missing schema" {|{"pr": 5, "programs": []}|};
+  expect_error "no rows" {|{"schema": "druzhba-bench/1", "pr": 5, "programs": []}|};
+  expect_error "trailing garbage" {|{"schema": "druzhba-bench/1", "programs": []} x|}
+
+(* The committed trajectory files must stay readable: CI regenerates the
+   current report, but the PR 5 baseline is a repository fixture the
+   speedup table joins against. *)
+let test_reads_committed_reports () =
+  List.iter
+    (fun (path, expect_pr) ->
+      if Sys.file_exists path then begin
+        let r = check_ok (Bench_report.of_file path) in
+        Alcotest.(check int) (path ^ " pr") expect_pr r.Bench_report.br_pr;
+        Alcotest.(check int) (path ^ " rows") 36 (List.length r.Bench_report.br_rows);
+        List.iter
+          (fun (row : Bench_report.level_row) ->
+            if row.Bench_report.br_ns_per_phv <= 0. then
+              Alcotest.failf "%s: non-positive ns/PHV for %s/%s" path row.Bench_report.br_program
+                row.Bench_report.br_level)
+          r.Bench_report.br_rows
+      end)
+    [ ("../BENCH_pr5.json", 5); ("../BENCH_pr8.json", 8) ]
+
+let () =
+  Alcotest.run "bench_report"
+    [
+      ( "parser",
+        [
+          Alcotest.test_case "reads schema /1" `Quick test_reads_v1;
+          Alcotest.test_case "reads schema /2" `Quick test_reads_v2;
+          Alcotest.test_case "speedups join across schemas" `Quick test_speedups_across_schemas;
+          Alcotest.test_case "rejects malformed input" `Quick test_rejects_malformed;
+          Alcotest.test_case "reads committed reports" `Quick test_reads_committed_reports;
+        ] );
+    ]
