@@ -469,7 +469,7 @@ let parse_witness_file path =
       rest;
     (header, List.rev !trials)
 
-let run_directed path ~phvs ~seed =
+let run_directed path ~phvs ~seed ~report =
   let header, trials = parse_witness_file path in
   let get key default = Option.value (Hashtbl.find_opt header key) ~default in
   let geti key default =
@@ -486,6 +486,7 @@ let run_directed path ~phvs ~seed =
     |> List.rev
   in
   let failures = ref 0 in
+  let records = ref [] in
   List.iter
     (fun name ->
       let program, target = load_program_and_target name depth width bits stateful stateless in
@@ -507,21 +508,50 @@ let run_directed path ~phvs ~seed =
                   ~prefix:[ phv ] ~n:phvs compiled
               in
               Fmt.pr "directed %s %s: %a@." p subject Fuzz.pp_outcome outcome;
-              if not (Fuzz.outcome_is_pass outcome) then incr failures
+              let pass = Fuzz.outcome_is_pass outcome in
+              if not pass then incr failures;
+              records :=
+                Campaign.Report.Obj
+                  [
+                    ("program", Campaign.Report.Str p);
+                    ("subject", Campaign.Report.Str subject);
+                    ("phv", Campaign.Report.phv phv);
+                    ("pass", Campaign.Report.Bool pass);
+                    ("outcome", Campaign.Report.Str (Fmt.str "%a" Fuzz.pp_outcome outcome));
+                  ]
+                :: !records
             end)
           trials)
     programs;
   Fmt.pr "%d directed trial(s), %d failure(s)@." (List.length trials) !failures;
-  if !failures > 0 then exit 1
+  (* the directed report shares the campaign report's determinism contract:
+     trials in witness-file order, nothing environmental, atomic write —
+     so a restarted directed job reproduces the file byte-for-byte *)
+  (match report with
+  | None -> ()
+  | Some path ->
+    Campaign.Checkpoint.atomic_write_string path
+      (Campaign.Report.to_string
+         (Campaign.Report.Obj
+            [
+              ("campaign", Campaign.Report.Str "directed");
+              ("seed", Campaign.Report.Int seed);
+              ("phvs", Campaign.Report.Int phvs);
+              ("trials", Campaign.Report.Int (List.length trials));
+              ("failures", Campaign.Report.Int !failures);
+              ("results", Campaign.Report.List (List.rev !records));
+            ])
+      ^ "\n"));
+  if !failures > 0 then exit Campaign.Exit_code.findings
 
 (* --- campaign ----------------------------------------------------------------------- *)
 
 let campaign_cmd =
   let run trials jobs seed substrate phvs no_shrink max_probes fuel timeout max_failures faults
       fault_runs faults_per_run checkpoint resume checkpoint_every stop_after coverage corpus_dir
-      sabotage_pass json out directed =
+      sabotage_pass json out directed chaos_kill_after chaos_kill_file =
     match directed with
-    | Some path -> run_directed path ~phvs ~seed
+    | Some path -> run_directed path ~phvs ~seed ~report:out
     | None ->
     if resume && checkpoint = None then usage_error "--resume requires --checkpoint FILE";
     if corpus_dir <> None && not coverage then usage_error "--corpus requires --coverage";
@@ -542,34 +572,65 @@ let campaign_cmd =
       if faults then Some (Campaign.fault_config ~runs:fault_runs ~per_run:faults_per_run ())
       else None
     in
+    (* chaos flags (testing aids for the service supervisor's fault-injection
+       suite): at trial CHAOS_N the worker SIGKILLs itself — unconditionally
+       (a poison job that dies on every attempt), or only when the arming
+       file exists, consuming it first (a one-shot mid-run kill -9 whose
+       restart then runs clean from the checkpoint). *)
+    let chaos_hook =
+      match chaos_kill_after with
+      | None -> None
+      | Some at ->
+        Some
+          (fun i ->
+            if i = at then
+              match chaos_kill_file with
+              | None -> Unix.kill (Unix.getpid ()) Sys.sigkill
+              | Some f ->
+                if Sys.file_exists f then begin
+                  Sys.remove f;
+                  Unix.kill (Unix.getpid ()) Sys.sigkill
+                end)
+    in
     let cfg =
       try
         Campaign.config ~trials ~jobs:(resolve_jobs jobs) ~master_seed:seed ~substrate ~phvs
           ~shrink:(not no_shrink) ~max_probes ?fuel ?max_failures ?faults:faults_cfg
-          ~checkpoint_every ~coverage ?corpus_dir ~sabotage_pass ()
+          ~checkpoint_every ~coverage ?corpus_dir ~sabotage_pass ?hook:chaos_hook ()
       with Invalid_argument msg -> usage_error "%s" msg
     in
-    match Campaign.run_resumable ?checkpoint ~resume ?stop_after cfg with
+    (* Graceful shutdown: SIGINT/SIGTERM cut the campaign at the next block
+       boundary after its checkpoint is flushed, then exit with the distinct
+       "interrupted" code — a supervisor-initiated stop is never data loss. *)
+    let interrupted = ref false in
+    let graceful = Sys.Signal_handle (fun _ -> interrupted := true) in
+    Sys.set_signal Sys.sigint graceful;
+    Sys.set_signal Sys.sigterm graceful;
+    match
+      Campaign.run_resumable ?checkpoint ~resume ?stop_after
+        ~should_stop:(fun () -> !interrupted)
+        cfg
+    with
     | exception Campaign.Resume_error msg -> usage_error "%s" msg
+    | None when !interrupted ->
+      (match checkpoint with
+      | Some path ->
+        Fmt.pr "campaign interrupted; checkpoint flushed to %s — continue with --resume@." path
+      | None ->
+        Fmt.pr "campaign interrupted (no --checkpoint configured, progress not persisted)@.");
+      exit Campaign.Exit_code.interrupted
     | None ->
       (* --stop-after simulated a kill; the checkpoint holds the progress *)
       Fmt.pr "campaign stopped by --stop-after; continue with --checkpoint %s --resume@."
         (Option.value checkpoint ~default:"FILE")
     | Some report ->
       (match out with
-      | Some path ->
-        let oc = open_out path in
-        output_string oc (Campaign.to_json report);
-        output_char oc '\n';
-        close_out oc
+      | Some path -> Campaign.Checkpoint.atomic_write_string path (Campaign.to_json report ^ "\n")
       | None -> ());
       if json then print_string (Campaign.to_json report ^ "\n")
       else Fmt.pr "%a@." Campaign.pp report;
-      if
-        report.Campaign.r_divergent > 0 || report.Campaign.r_invalid > 0
-        || report.Campaign.r_crashed > 0
-        || report.Campaign.r_fault_flagged > 0
-      then exit 1
+      let code = Campaign.Exit_code.of_report report in
+      if code <> Campaign.Exit_code.ok then exit code
   in
   let doc =
     "Run a multicore differential fuzz campaign.  --substrate rmt runs random machine code on \
@@ -685,7 +746,21 @@ let campaign_cmd =
                 "Replay the witness candidates in $(docv) (from $(b,druzhba vet --witnesses)) \
                  as directed trials instead of a random campaign: each candidate packet is fed \
                  first, from the reset state, followed by --phvs random PHVs.  Exits non-zero \
-                 if any directed trial diverges."))
+                 if any directed trial diverges.")
+      $ Arg.(
+          value
+          & opt (some int) None
+          & info [ "chaos-kill-after" ] ~docv:"N"
+              ~doc:
+                "Testing aid (service fault injection): SIGKILL this process at trial $(docv) — \
+                 on every attempt, or once if --chaos-kill-file is armed.")
+      $ Arg.(
+          value
+          & opt (some string) None
+          & info [ "chaos-kill-file" ] ~docv:"FILE"
+              ~doc:
+                "Testing aid: with --chaos-kill-after, only die while $(docv) exists, removing \
+                 it first — so a supervisor restart from the checkpoint runs clean."))
 
 (* --- synth -------------------------------------------------------------------------- *)
 
@@ -1104,6 +1179,102 @@ let casestudy_cmd =
       $ Arg.(value & opt int 120_000 & info [ "synth-budget" ] ~docv:"N")
       $ jobs_arg)
 
+(* --- serve -------------------------------------------------------------------------- *)
+
+let serve_cmd =
+  let run root port workers max_queue retry_budget backoff_base backoff_cap heartbeat_timeout
+      job_timeout request_timeout grace worker_jobs worker_exe =
+    let worker_exe =
+      let exe = match worker_exe with Some e -> e | None -> Sys.executable_name in
+      (* workers chdir into their job directory before execv, so the path
+         must survive that *)
+      if Filename.is_relative exe then Filename.concat (Sys.getcwd ()) exe else exe
+    in
+    if not (Sys.file_exists worker_exe) then
+      usage_error "worker executable %s does not exist" worker_exe;
+    let root = if Filename.is_relative root then Filename.concat (Sys.getcwd ()) root else root in
+    let cfg =
+      {
+        Druzhba_service.Server.s_root = root;
+        s_port = port;
+        s_max_queue = max_queue;
+        s_request_timeout = request_timeout;
+        s_grace = grace;
+        s_sv =
+          {
+            Druzhba_service.Supervisor.sv_workers = workers;
+            sv_retry_budget = retry_budget;
+            sv_backoff_base = backoff_base;
+            sv_backoff_cap = backoff_cap;
+            sv_heartbeat_timeout = heartbeat_timeout;
+            sv_job_timeout = job_timeout;
+            sv_worker_exe = worker_exe;
+            sv_worker_jobs = worker_jobs;
+          };
+      }
+    in
+    exit (Druzhba_service.Server.run cfg)
+  in
+  let doc =
+    "Run the fuzzing-farm daemon: an HTTP API that schedules submitted campaigns across a \
+     supervised pool of worker processes, with checkpoint-based crash recovery and a durable \
+     job journal."
+  in
+  Cmd.v
+    (Cmd.info "serve" ~doc)
+    Term.(
+      const run
+      $ Arg.(
+          required
+          & opt (some string) None
+          & info [ "root" ] ~docv:"DIR"
+              ~doc:"State directory: job journal, per-job workspaces, findings store.")
+      $ Arg.(
+          value & opt int 0
+          & info [ "port" ] ~docv:"P"
+              ~doc:"TCP port on 127.0.0.1 (0 = ephemeral; the bound port is written to \
+                    $(b,DIR/port)).")
+      $ Arg.(value & opt int 2 & info [ "workers" ] ~docv:"N" ~doc:"Worker pool size.")
+      $ Arg.(
+          value & opt int 16
+          & info [ "max-queue" ] ~docv:"N"
+              ~doc:"Queued-job bound; beyond it submissions are shed with 503.")
+      $ Arg.(
+          value & opt int 3
+          & info [ "retry-budget" ] ~docv:"N"
+              ~doc:"Worker launches per job before it is quarantined as poison.")
+      $ Arg.(
+          value & opt float 0.5
+          & info [ "backoff-base" ] ~docv:"SECONDS" ~doc:"First retry delay.")
+      $ Arg.(
+          value & opt float 5.0
+          & info [ "backoff-cap" ] ~docv:"SECONDS" ~doc:"Retry delay ceiling.")
+      $ Arg.(
+          value & opt float 60.
+          & info [ "heartbeat-timeout" ] ~docv:"SECONDS"
+              ~doc:"Kill a campaign worker whose checkpoint stops advancing for this long \
+                    (0 disables).")
+      $ Arg.(
+          value & opt float 0.
+          & info [ "job-timeout" ] ~docv:"SECONDS"
+              ~doc:"Absolute deadline per worker attempt (0 disables).")
+      $ Arg.(
+          value & opt float 10.
+          & info [ "request-timeout" ] ~docv:"SECONDS"
+              ~doc:"Deadline for a client to deliver a complete HTTP request.")
+      $ Arg.(
+          value & opt float 10.
+          & info [ "grace" ] ~docv:"SECONDS"
+              ~doc:"Shutdown grace period before stragglers are SIGKILLed.")
+      $ Arg.(
+          value & opt int 1
+          & info [ "worker-jobs" ] ~docv:"J" ~doc:"Domains per campaign worker (--jobs).")
+      $ Arg.(
+          value
+          & opt (some string) None
+          & info [ "worker-exe" ] ~docv:"FILE"
+              ~doc:"Worker executable (default: this binary)."))
+
 let benchmarks_cmd =
   let run () =
     Printf.printf "%-20s %-5s %-12s %s\n" "name" "d,w" "atom" "description";
@@ -1131,6 +1302,7 @@ let () =
             vet_cmd;
             fuzz_cmd;
             campaign_cmd;
+            serve_cmd;
             verify_cmd;
             synth_cmd;
             drmt_cmd;

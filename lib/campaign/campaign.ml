@@ -972,8 +972,17 @@ let coverage_summary (cv : coverage_stats) : Coverage.summary =
    fixes the granularity of checkpoints, the circuit breaker, and the
    [stop_after] test kill-switch at index boundaries — all independent of
    [--jobs], preserving byte-determinism.  Returns [None] only when
-   [stop_after] aborted the run mid-campaign (simulating a kill). *)
-let run_resumable ?checkpoint ?(resume = false) ?stop_after (cfg : config) : report option =
+   [stop_after] aborted the run mid-campaign (simulating a kill) or
+   [should_stop] asked for a graceful cut.
+
+   [should_stop] is polled at every block boundary, *after* the block's
+   checkpoint has been flushed: the CLI points it at a flag set by its
+   SIGINT/SIGTERM handlers, so a supervisor-initiated stop always leaves a
+   durable checkpoint behind and loses nothing — resuming produces a report
+   byte-identical to an uninterrupted run.  The caller distinguishes a
+   graceful cut from [stop_after] by its own flag. *)
+let run_resumable ?checkpoint ?(resume = false) ?stop_after ?should_stop (cfg : config) :
+    report option =
   (* Coverage and sabotage-pass modes are not part of the checkpoint
      signature, so a resumed run could silently change semantics mid-stream;
      refuse the combination outright. *)
@@ -1081,8 +1090,11 @@ let run_resumable ?checkpoint ?(resume = false) ?stop_after (cfg : config) : rep
       let completed = match !stopped_after with Some c -> c + 1 | None -> !i in
       Checkpoint.save path (checkpoint_of ~cfg results completed)
     | None -> ());
-    match stop_after with
+    (match stop_after with
     | Some s when !i >= s && !i < n && !stopped_after = None -> killed := true
+    | _ -> ());
+    match should_stop with
+    | Some f when !i < n && !stopped_after = None && f () -> killed := true
     | _ -> ()
   done;
   if !killed then None

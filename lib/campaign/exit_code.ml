@@ -1,0 +1,84 @@
+(* The worker exit-code contract.
+
+   `druzhba campaign` (and `druzhba fuzz` / `druzhba vet`, which share the
+   findings/usage split) communicates its outcome to supervisors through
+   the process exit code.  The codes are a documented, tested contract —
+   the service supervisor branches on them to decide whether a finished
+   worker is a completed job, a poisoned submission, or a casualty to retry
+   — so they must never be repurposed:
+
+     0  clean           every trial agreed; nothing to report
+     1  findings        divergences, invalid machine code, crashes inside
+                        trials, or fault-flagged trials — the report names
+                        them; the *campaign* finished normally
+     2  usage           operator error: bad flags, unparseable inputs,
+                        incompatible checkpoint.  Deterministic for a given
+                        invocation, so retrying is pointless.
+     3  fuel exhausted  the only failures were per-trial watchdog timeouts
+                        (the tick budget ran dry); softer than findings
+     4  breaker tripped the --max-failures circuit breaker cut the campaign
+                        early; the report is partial but complete as far as
+                        it went (implies findings)
+     5  interrupted     SIGINT/SIGTERM arrived and the campaign cut at the
+                        next block boundary after flushing a final
+                        checkpoint — a supervisor-initiated stop, never
+                        data loss
+
+   Precedence when several would apply: usage > interrupted > breaker >
+   findings > fuel exhausted > clean.  Anything else (including deaths by
+   signal, which the supervisor sees as [Unix.WSIGNALED], not an exit
+   code) is outside the contract and treated as a crash. *)
+
+let ok = 0
+let findings = 1
+let usage = 2
+let fuel_exhausted = 3
+let breaker_tripped = 4
+let interrupted = 5
+
+(* The code a finished campaign report maps to.  The breaker check comes
+   first: a tripped breaker implies findings, and the more specific code
+   wins so a supervisor can distinguish "ran everything, found bugs" from
+   "stopped early at the failure limit". *)
+let of_report (r : Campaign.report) =
+  if r.Campaign.r_stopped_after <> None then breaker_tripped
+  else if
+    r.Campaign.r_divergent > 0 || r.Campaign.r_invalid > 0 || r.Campaign.r_crashed > 0
+    || r.Campaign.r_fault_flagged > 0
+  then findings
+  else if r.Campaign.r_timeout > 0 then fuel_exhausted
+  else ok
+
+type clazz =
+  | Clean
+  | Findings
+  | Usage_error
+  | Fuel_exhausted
+  | Breaker_tripped
+  | Interrupted
+  | Unknown of int
+
+let classify = function
+  | 0 -> Clean
+  | 1 -> Findings
+  | 2 -> Usage_error
+  | 3 -> Fuel_exhausted
+  | 4 -> Breaker_tripped
+  | 5 -> Interrupted
+  | c -> Unknown c
+
+let describe = function
+  | Clean -> "clean"
+  | Findings -> "findings"
+  | Usage_error -> "usage error"
+  | Fuel_exhausted -> "fuel exhausted"
+  | Breaker_tripped -> "breaker tripped"
+  | Interrupted -> "interrupted"
+  | Unknown c -> Printf.sprintf "unknown exit code %d" c
+
+(* A completed worker whose code is one of these delivered a verdict: the
+   job is done and its report is authoritative.  Everything else is either
+   a poisoned submission (Usage_error) or a casualty to restart. *)
+let is_verdict = function
+  | Clean | Findings | Fuel_exhausted | Breaker_tripped -> true
+  | Usage_error | Interrupted | Unknown _ -> false

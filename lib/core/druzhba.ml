@@ -59,6 +59,7 @@ module Campaign = struct
   module Shrink = Druzhba_campaign.Shrink
   module Report = Druzhba_campaign.Report
   module Checkpoint = Druzhba_campaign.Checkpoint
+  module Exit_code = Druzhba_campaign.Exit_code
   include Druzhba_campaign.Campaign
 end
 module Dataflow = Druzhba_analysis.Dataflow

@@ -1,0 +1,312 @@
+(* The worker-pool supervisor.
+
+   Workers are real `druzhba campaign` processes — fork + execv of the same
+   binary the daemon runs as — not in-process domains.  That is the point:
+   a worker that segfaults, gets kill -9'ed, or wedges in a pathological
+   trial takes down nothing but itself, and the supervisor's only recovery
+   tool is the one the paper's methodology already guarantees safe — re-run
+   from the last checkpoint, which regenerates byte-identical results.
+
+   The state machine per job:
+
+     Queued --spawn--> Running --exit 0/1/3/4--> Done (verdict recorded)
+                        |  \--exit 2----------> Quarantined (usage error:
+                        |                        retrying cannot help)
+                        |  \--signal/exit 5/hang--> Queued again, after
+                        |          exponential backoff, attempts += 1
+                        \--attempts >= retry budget--> Quarantined (poison)
+
+   Hangs are detected two ways: a heartbeat (the worker's checkpoint file
+   must keep advancing — campaign jobs only, since directed replays are
+   short and checkpoint-free) and an absolute per-job deadline. *)
+
+module Report = Druzhba_campaign.Report
+module Checkpoint = Druzhba_campaign.Checkpoint
+module Exit_code = Druzhba_campaign.Exit_code
+
+type config = {
+  sv_workers : int; (* pool size: max concurrent workers *)
+  sv_retry_budget : int; (* attempts before a job is poison *)
+  sv_backoff_base : float; (* seconds; first retry delay *)
+  sv_backoff_cap : float; (* seconds; delay ceiling *)
+  sv_heartbeat_timeout : float; (* max seconds without checkpoint progress; 0 = off *)
+  sv_job_timeout : float; (* absolute seconds per attempt; 0 = off *)
+  sv_worker_exe : string; (* absolute path: the child chdirs before execv *)
+  sv_worker_jobs : int; (* --jobs for campaign workers *)
+}
+
+let default_config ~worker_exe =
+  {
+    sv_workers = 2;
+    sv_retry_budget = 3;
+    sv_backoff_base = 0.5;
+    sv_backoff_cap = 5.0;
+    sv_heartbeat_timeout = 60.;
+    sv_job_timeout = 0.;
+    sv_worker_exe = worker_exe;
+    sv_worker_jobs = 1;
+  }
+
+(* Bounded exponential backoff: base, 2*base, 4*base, ... capped. *)
+let backoff_delay ~base ~cap ~attempt =
+  if attempt <= 0 then 0. else Float.min cap (base *. (2. ** float_of_int (attempt - 1)))
+
+type t = { cfg : config; store : Jobstore.t; findings : Jobstore.findings }
+
+let create cfg store = { cfg; store; findings = Jobstore.load_findings store.Jobstore.root }
+
+(* --- Spawning ---------------------------------------------------------------- *)
+
+let checkpoint_file = "checkpoint.ck"
+let report_file = "report.json"
+
+let worker_argv (sv : t) (j : Jobstore.job) =
+  let tail =
+    match j.Jobstore.j_kind with
+    | Protocol.Campaign ->
+      let dir = Jobstore.job_dir sv.store j in
+      j.Jobstore.j_args
+      @ [ "--checkpoint"; checkpoint_file ]
+      @ (if Sys.file_exists (Filename.concat dir checkpoint_file) then [ "--resume" ] else [])
+      @ [ "--report"; report_file; "--jobs"; string_of_int sv.cfg.sv_worker_jobs ]
+    | Protocol.Directed -> j.Jobstore.j_args @ [ "--report"; report_file ]
+  in
+  Array.of_list ("druzhba" :: tail)
+
+let spawn (sv : t) ~now (j : Jobstore.job) =
+  let dir = Jobstore.job_dir sv.store j in
+  let argv = worker_argv sv j in
+  match Unix.fork () with
+  | 0 ->
+    (* child: sandbox into the job directory, log everything, become the
+       worker.  Any exec failure is reported through the usage exit code so
+       the supervisor quarantines instead of retrying forever. *)
+    (try
+       Sys.chdir dir;
+       let devnull = Unix.openfile "/dev/null" [ Unix.O_RDONLY ] 0 in
+       Unix.dup2 devnull Unix.stdin;
+       Unix.close devnull;
+       let log =
+         Unix.openfile "worker.log" [ Unix.O_WRONLY; Unix.O_CREAT; Unix.O_APPEND ] 0o644
+       in
+       Unix.dup2 log Unix.stdout;
+       Unix.dup2 log Unix.stderr;
+       Unix.close log;
+       Unix.execv sv.cfg.sv_worker_exe argv
+     with _ -> ());
+    Stdlib.exit Exit_code.usage
+  | pid ->
+    j.Jobstore.j_state <- Jobstore.Running;
+    j.Jobstore.j_attempts <- j.Jobstore.j_attempts + 1;
+    j.Jobstore.j_pid <- Some pid;
+    j.Jobstore.j_started <- now;
+    j.Jobstore.j_last_progress_t <- now;
+    sv.store.Jobstore.dirty <- true;
+    Jobstore.event sv.store j ~now "spawn"
+      [
+        ("pid", Report.Int pid);
+        ("attempt", Report.Int j.Jobstore.j_attempts);
+        ("argv", Report.List (List.map (fun a -> Report.Str a) (Array.to_list argv)));
+      ]
+
+(* --- Progress / heartbeat ----------------------------------------------------
+
+   The heartbeat is semantic, not a timer the worker must remember to pet:
+   a campaign worker that is making progress necessarily advances its
+   checkpoint every block.  A wedged worker (infinite loop inside one
+   trial, stuck syscall) stops advancing and gets killed; the retry then
+   resumes from the last good block. *)
+
+let observe_progress (sv : t) ~now (j : Jobstore.job) =
+  match j.Jobstore.j_kind with
+  | Protocol.Directed -> ()
+  | Protocol.Campaign -> (
+    let path = Filename.concat (Jobstore.job_dir sv.store j) checkpoint_file in
+    if Sys.file_exists path then
+      match Checkpoint.load path with
+      | Ok ck ->
+        let completed = Checkpoint.completed_prefix ck in
+        if completed > j.Jobstore.j_progress then begin
+          j.Jobstore.j_progress <- completed;
+          j.Jobstore.j_last_progress_t <- now;
+          Jobstore.event sv.store j ~now "progress"
+            [ ("completed", Report.Int completed); ("trials", Report.Int j.Jobstore.j_trials) ]
+        end
+      | Error _ -> (* a checkpoint mid-rename; the next poll sees the full file *) ())
+
+let kill_quietly pid signal = try Unix.kill pid signal with Unix.Unix_error (_, _, _) -> ()
+
+(* --- Exit handling ----------------------------------------------------------- *)
+
+(* OCaml reports signals in its own (negative) numbering; name the ones a
+   farm actually sees *)
+let signal_name s =
+  if s = Sys.sigkill then "SIGKILL"
+  else if s = Sys.sigterm then "SIGTERM"
+  else if s = Sys.sigint then "SIGINT"
+  else if s = Sys.sigsegv then "SIGSEGV"
+  else if s = Sys.sigabrt then "SIGABRT"
+  else if s = Sys.sigbus then "SIGBUS"
+  else Printf.sprintf "signal %d" s
+
+let describe_status = function
+  | Unix.WEXITED c -> Printf.sprintf "exit %d (%s)" c (Exit_code.describe (Exit_code.classify c))
+  | Unix.WSIGNALED s -> Printf.sprintf "killed by %s" (signal_name s)
+  | Unix.WSTOPPED s -> Printf.sprintf "stopped by %s" (signal_name s)
+
+let requeue (sv : t) ~now (j : Jobstore.job) ~why =
+  j.Jobstore.j_pid <- None;
+  if j.Jobstore.j_attempts >= sv.cfg.sv_retry_budget then begin
+    j.Jobstore.j_state <- Jobstore.Quarantined;
+    j.Jobstore.j_reason <-
+      Some
+        (Printf.sprintf "retry budget exhausted (%d attempts; last: %s)" j.Jobstore.j_attempts why);
+    Jobstore.event sv.store j ~now "quarantine"
+      [ ("reason", Report.Str (Option.value j.Jobstore.j_reason ~default:"")) ]
+  end
+  else begin
+    j.Jobstore.j_state <- Jobstore.Queued;
+    let delay =
+      backoff_delay ~base:sv.cfg.sv_backoff_base ~cap:sv.cfg.sv_backoff_cap
+        ~attempt:j.Jobstore.j_attempts
+    in
+    j.Jobstore.j_next_eligible <- now +. delay;
+    Jobstore.event sv.store j ~now "requeue"
+      [ ("why", Report.Str why); ("backoff", Report.Str (Printf.sprintf "%.2fs" delay)) ]
+  end;
+  sv.store.Jobstore.dirty <- true
+
+let finish (sv : t) ~now (j : Jobstore.job) ~(code : int) =
+  j.Jobstore.j_pid <- None;
+  j.Jobstore.j_state <- Jobstore.Done;
+  j.Jobstore.j_verdict <- Some (Exit_code.describe (Exit_code.classify code));
+  sv.store.Jobstore.dirty <- true;
+  Jobstore.event sv.store j ~now "done" [ ("verdict", Report.Str (Exit_code.describe (Exit_code.classify code))) ];
+  (* fold confirmed divergences into the cross-job dedup store *)
+  let report_path = Filename.concat (Jobstore.job_dir sv.store j) report_file in
+  if Sys.file_exists report_path then begin
+    let ic = open_in_bin report_path in
+    let raw =
+      Fun.protect
+        ~finally:(fun () -> close_in_noerr ic)
+        (fun () -> really_input_string ic (in_channel_length ic))
+    in
+    match Report.parse raw with
+    | Ok report ->
+      let fresh =
+        Jobstore.fold_report sv.store.Jobstore.root sv.findings ~job_id:j.Jobstore.j_id report
+      in
+      if fresh > 0 then
+        Jobstore.event sv.store j ~now "findings" [ ("new", Report.Int fresh) ]
+    | Error _ -> ()
+  end
+
+(* The exit-code contract (lib/campaign/exit_code.ml) is what makes the
+   supervisor's branching sound: verdict codes are terminal, usage errors
+   are unretryable, interruption and signals mean the work is incomplete
+   but the checkpoint is good. *)
+let handle_exit (sv : t) ~now ~quitting (j : Jobstore.job) (status : Unix.process_status) =
+  let why = describe_status status in
+  j.Jobstore.j_last_exit <- Some why;
+  Jobstore.event sv.store j ~now "exit" [ ("status", Report.Str why) ];
+  match status with
+  | Unix.WEXITED code when Exit_code.is_verdict (Exit_code.classify code) ->
+    finish sv ~now j ~code
+  | Unix.WEXITED code when code = Exit_code.usage ->
+    j.Jobstore.j_pid <- None;
+    j.Jobstore.j_state <- Jobstore.Quarantined;
+    j.Jobstore.j_reason <- Some ("worker usage error: " ^ why);
+    sv.store.Jobstore.dirty <- true;
+    Jobstore.event sv.store j ~now "quarantine" [ ("reason", Report.Str ("usage error: " ^ why)) ]
+  | Unix.WEXITED code when code = Exit_code.interrupted && quitting ->
+    (* graceful shutdown: we sent SIGTERM ourselves; the attempt doesn't
+       count against the job *)
+    j.Jobstore.j_pid <- None;
+    j.Jobstore.j_state <- Jobstore.Queued;
+    j.Jobstore.j_attempts <- j.Jobstore.j_attempts - 1;
+    j.Jobstore.j_next_eligible <- 0.;
+    sv.store.Jobstore.dirty <- true;
+    Jobstore.event sv.store j ~now "requeue" [ ("why", Report.Str "daemon shutdown") ]
+  | Unix.WSIGNALED _ when quitting ->
+    (* shutdown straggler we SIGKILLed ourselves: likewise uncharged *)
+    j.Jobstore.j_pid <- None;
+    j.Jobstore.j_state <- Jobstore.Queued;
+    j.Jobstore.j_attempts <- j.Jobstore.j_attempts - 1;
+    j.Jobstore.j_next_eligible <- 0.;
+    sv.store.Jobstore.dirty <- true;
+    Jobstore.event sv.store j ~now "requeue" [ ("why", Report.Str "daemon shutdown") ]
+  | Unix.WEXITED _ | Unix.WSIGNALED _ | Unix.WSTOPPED _ -> requeue sv ~now j ~why
+
+(* --- The tick ----------------------------------------------------------------
+
+   Called from the server's select loop.  Reaps exited workers, polls
+   heartbeats and deadlines, and fills free pool slots with eligible queued
+   jobs in submission order. *)
+
+let tick (sv : t) ~now ~quitting =
+  let running = List.filter (fun j -> j.Jobstore.j_state = Jobstore.Running) sv.store.Jobstore.jobs in
+  (* 1. reap *)
+  List.iter
+    (fun (j : Jobstore.job) ->
+      match j.Jobstore.j_pid with
+      | None -> ()
+      | Some pid -> (
+        match Unix.waitpid [ Unix.WNOHANG ] pid with
+        | 0, _ -> ()
+        | _, status -> handle_exit sv ~now ~quitting j status
+        | exception Unix.Unix_error (Unix.ECHILD, _, _) ->
+          (* not our child (journal replay edge); treat as killed *)
+          handle_exit sv ~now ~quitting j (Unix.WSIGNALED Sys.sigkill)))
+    running;
+  (* 2. heartbeat + deadline on the still-running *)
+  List.iter
+    (fun (j : Jobstore.job) ->
+      if j.Jobstore.j_state = Jobstore.Running then begin
+        observe_progress sv ~now j;
+        match j.Jobstore.j_pid with
+        | None -> ()
+        | Some pid ->
+          let stale =
+            sv.cfg.sv_heartbeat_timeout > 0.
+            && j.Jobstore.j_kind = Protocol.Campaign
+            && now -. j.Jobstore.j_last_progress_t > sv.cfg.sv_heartbeat_timeout
+          in
+          let overtime =
+            sv.cfg.sv_job_timeout > 0. && now -. j.Jobstore.j_started > sv.cfg.sv_job_timeout
+          in
+          if stale || overtime then begin
+            Jobstore.event sv.store j ~now "hung"
+              [ ("why", Report.Str (if stale then "heartbeat stale" else "job deadline")) ];
+            kill_quietly pid Sys.sigkill
+            (* the reap on the next tick requeues or quarantines it *)
+          end
+      end)
+    running;
+  (* 3. spawn into free slots, oldest submission first *)
+  if not quitting then begin
+    let free = ref (sv.cfg.sv_workers - Jobstore.count_state sv.store Jobstore.Running) in
+    List.iter
+      (fun (j : Jobstore.job) ->
+        if
+          !free > 0
+          && j.Jobstore.j_state = Jobstore.Queued
+          && now >= j.Jobstore.j_next_eligible
+        then begin
+          spawn sv ~now j;
+          decr free
+        end)
+      sv.store.Jobstore.jobs
+  end
+
+(* Signals every live worker; used at shutdown (SIGTERM → workers cut at
+   the next block boundary and flush a final checkpoint) and as a last
+   resort (SIGKILL). *)
+let signal_workers (sv : t) signal =
+  List.iter
+    (fun (j : Jobstore.job) ->
+      match (j.Jobstore.j_state, j.Jobstore.j_pid) with
+      | Jobstore.Running, Some pid -> kill_quietly pid signal
+      | _ -> ())
+    sv.store.Jobstore.jobs
+
+let running_count (sv : t) = Jobstore.count_state sv.store Jobstore.Running
