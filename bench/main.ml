@@ -183,19 +183,34 @@ let run_drmt_bench () =
 
 (* --- JSON perf trajectory ------------------------------------------------------------ *)
 
-(* Machine-readable benchmark report (BENCH_pr8.json, schema
-   druzhba-bench/2): per Table-1 program and optimization level, the
+(* Machine-readable benchmark report (BENCH_pr10.json, schema
+   druzhba-bench/3): per Table-1 program and optimization level, the
    steady-state tick cost on the compiled substrate's *batched* path
    (ns/PHV, PHVs/sec, best of three timed runs), the sequential tick cost
    for comparison, and the steady-state allocation rate (Gc.allocated_bytes
    per PHV — the batched engine must keep this at ~0 too).  Each level
    carries two agreement bits CI gates on: Engine trace = Compiled trace
    (sequential, as in schema /1), and batched trace = sequential trace on
-   both substrates.  Additional sections: "batch_sweep" (scc+inline cost
-   across batch sizes 1/16/64/256), "probe_overhead" (the coverage-probe
-   flag must cost nothing when disabled), and "drmt" as before.  Reports
-   are read back by {!Druzhba_experiments.Bench_report}, which accepts
-   schema /1 and /2 — the speedup-vs-PR5 table below uses it. *)
+   both substrates.  Schema /3 adds, per level, the Dynlinked
+   native-codegen substrate: "native_ns_per_phv" (batched),
+   "native_seq_ns_per_phv", "native_phvs_per_sec" and a third agreement
+   bit "native_agree" (native trace + final state = closure trace on the
+   check workload, sequential and batched).  On a machine without the
+   ocamlfind/ocamlopt toolchain those fields are omitted and a top-level
+   "native_unavailable" string carries the probe's reason — the report is
+   still valid and all other gates still apply.  Additional sections:
+   "batch_sweep" (scc+inline cost across batch sizes 1/16/64/256),
+   "probe_overhead" (the coverage-probe flag must cost nothing when
+   disabled), and "drmt" as before.  Reports are read back by
+   {!Druzhba_experiments.Bench_report}, which accepts schema /1, /2 and
+   /3 — the speedup-vs-PR8 table below uses it. *)
+
+type native_sample = {
+  nv_ns_per_phv : float; (* batched path, same batch size as the closures *)
+  nv_seq_ns_per_phv : float;
+  nv_phvs_per_sec : float;
+  nv_agree : bool; (* native trace + state = closure trace on the check workload *)
+}
 
 type level_sample = {
   ls_level : string;
@@ -205,6 +220,7 @@ type level_sample = {
   ls_bytes_per_phv : float;
   ls_agree : bool; (* Engine trace = Compiled trace on the check workload *)
   ls_batch_agree : bool; (* batched = sequential on both substrates *)
+  ls_native : native_sample option; (* None when the toolchain is unavailable *)
 }
 
 type program_sample = {
@@ -251,7 +267,12 @@ let batch_agrees ~batch (packed : Substrate.packed) ~inputs =
   let bat_state = Substrate.current_state packed in
   buffers_equal seq_buf bat_buf && seq_state = bat_state
 
-let measure_program ~phvs ~batch (bm : Spec.benchmark) : program_sample =
+(* [native] gates the schema /3 rows: when false (toolchain probe failed)
+   the closure and interpreter measurements still run, native fields are
+   simply absent.  Substrate construction — which for native includes the
+   out-of-process ocamlopt run, the analogue of the rustc time the paper
+   excludes — sits outside every timer. *)
+let measure_program ~phvs ~batch ~native (bm : Spec.benchmark) : program_sample =
   let compiled = Spec.compile_exn bm in
   let mc = compiled.Compiler.Codegen.c_mc in
   let desc = compiled.Compiler.Codegen.c_desc in
@@ -284,6 +305,39 @@ let measure_program ~phvs ~batch (bm : Spec.benchmark) : program_sample =
           batch_agrees ~batch (Substrate.of_compiled ~init c) ~inputs:check_inputs
           && batch_agrees ~batch (Substrate.of_engine ~init d ~mc) ~inputs:check_inputs
         in
+        let ls_native =
+          if not native then None
+          else
+            match Native_substrate.create ~init d ~mc with
+            | Error _ -> None
+            | Ok packed ->
+              Substrate.run_batch_into ~batch packed ~inputs buf;
+              let ndt =
+                best_of_time (fun () -> Substrate.run_batch_into ~batch packed ~inputs buf)
+              in
+              Substrate.run_into packed ~inputs buf;
+              let ndt_seq = best_of_time (fun () -> Substrate.run_into packed ~inputs buf) in
+              let nbuf =
+                Trace.Buffer.create ~width:bm.Spec.bm_width ~capacity:json_check_phvs
+              in
+              Substrate.run_into packed ~inputs:check_inputs nbuf;
+              let native_trace =
+                {
+                  Trace.inputs = check_inputs;
+                  outputs = Trace.Buffer.contents nbuf;
+                  final_state = Substrate.current_state packed;
+                }
+              in
+              Some
+                {
+                  nv_ns_per_phv = ndt *. 1e9 /. n;
+                  nv_seq_ns_per_phv = ndt_seq *. 1e9 /. n;
+                  nv_phvs_per_sec = (if ndt > 0. then n /. ndt else infinity);
+                  nv_agree =
+                    Trace.equal native_trace compiled_trace
+                    && batch_agrees ~batch packed ~inputs:check_inputs;
+                }
+        in
         {
           ls_level = level;
           ls_ns_per_phv = dt *. 1e9 /. n;
@@ -292,6 +346,7 @@ let measure_program ~phvs ~batch (bm : Spec.benchmark) : program_sample =
           ls_bytes_per_phv = (a1 -. a0) /. n;
           ls_agree = Trace.equal engine_trace compiled_trace;
           ls_batch_agree;
+          ls_native;
         })
       [ ("unopt", desc); ("scc", v2); ("scc+inline", v3) ]
   in
@@ -448,16 +503,20 @@ let measure_drmt ~phvs : drmt_sample =
     ds_agree = Trace.equal trace_seq trace_ev;
   }
 
-let render_json ~quick ~phvs ~batch ~(drmt : drmt_sample) ~(sweep : sweep_row list)
-    ~(po : probe_overhead) (samples : program_sample list) =
+let render_json ~quick ~phvs ~batch ~(native_unavailable : string option)
+    ~(drmt : drmt_sample) ~(sweep : sweep_row list) ~(po : probe_overhead)
+    (samples : program_sample list) =
   let b = Buffer.create 4096 in
   let bpf fmt = Printf.bprintf b fmt in
   bpf "{\n";
-  bpf "  \"schema\": \"druzhba-bench/2\",\n";
-  bpf "  \"pr\": 8,\n";
+  bpf "  \"schema\": \"druzhba-bench/3\",\n";
+  bpf "  \"pr\": 10,\n";
   bpf "  \"quick\": %b,\n" quick;
   bpf "  \"phvs\": %d,\n" phvs;
   bpf "  \"batch\": %d,\n" batch;
+  (match native_unavailable with
+  | Some reason -> bpf "  \"native_unavailable\": \"%s\",\n" (String.escaped reason)
+  | None -> ());
   bpf "  \"timed_reps\": %d,\n" timed_reps;
   bpf "  \"check_phvs\": %d,\n" json_check_phvs;
   bpf "  \"programs\": [\n";
@@ -469,12 +528,21 @@ let render_json ~quick ~phvs ~batch ~(drmt : drmt_sample) ~(sweep : sweep_row li
       bpf "      \"levels\": [\n";
       List.iteri
         (fun j ls ->
+          let native_fields =
+            match ls.ls_native with
+            | None -> ""
+            | Some nv ->
+              Printf.sprintf
+                ", \"native_ns_per_phv\": %.1f, \"native_seq_ns_per_phv\": %.1f, \
+                 \"native_phvs_per_sec\": %.0f, \"native_agree\": %b"
+                nv.nv_ns_per_phv nv.nv_seq_ns_per_phv nv.nv_phvs_per_sec nv.nv_agree
+          in
           bpf
             "        {\"level\": \"%s\", \"ns_per_phv\": %.1f, \"seq_ns_per_phv\": %.1f, \
              \"phvs_per_sec\": %.0f, \"bytes_per_phv\": %.2f, \"engine_compiled_agree\": %b, \
-             \"batch_agree\": %b}%s\n"
+             \"batch_agree\": %b%s}%s\n"
             ls.ls_level ls.ls_ns_per_phv ls.ls_seq_ns_per_phv ls.ls_phvs_per_sec
-            ls.ls_bytes_per_phv ls.ls_agree ls.ls_batch_agree
+            ls.ls_bytes_per_phv ls.ls_agree ls.ls_batch_agree native_fields
             (if j = 2 then "" else ","))
         ps.ps_levels;
       bpf "      ]\n";
@@ -517,7 +585,12 @@ let render_json ~quick ~phvs ~batch ~(drmt : drmt_sample) ~(sweep : sweep_row li
     drmt.ds_agree
     && po_ok po
     && List.for_all
-         (fun ps -> List.for_all (fun ls -> ls.ls_agree && ls.ls_batch_agree) ps.ps_levels)
+         (fun ps ->
+           List.for_all
+             (fun ls ->
+               ls.ls_agree && ls.ls_batch_agree
+               && match ls.ls_native with Some nv -> nv.nv_agree | None -> true)
+             ps.ps_levels)
          samples
   in
   bpf "  \"all_agree\": %b\n" all_agree;
@@ -544,24 +617,71 @@ let print_speedups ~path ~baseline_path =
     let over = List.length (List.filter (fun (_, _, s) -> s >= 5.0) rows) in
     Printf.printf "  %d/%d rows at >= 5x\n" over (List.length rows)
 
+(* The PR 10 perf gate: the native substrate's batched cost against the
+   committed PR 8 report's *sequential* scc+inline cost (the closure tick
+   loop the emitted code replaces).  Reported per program; the headline
+   claim is >= 5x on >= 9 of the 12 Table-1 rows. *)
+let print_native_speedups ~path ~baseline_path =
+  match (Bench_report.of_file baseline_path, Bench_report.of_file path) with
+  | Error _, _ | _, Error _ ->
+    Printf.printf "(no %s baseline found; skipping native speedup table)\n" baseline_path
+  | Ok baseline, Ok current -> (
+    match current.Bench_report.br_native_unavailable with
+    | Some reason -> Printf.printf "\n(native substrate unavailable: %s)\n" reason
+    | None ->
+      let rows =
+        current.Bench_report.br_rows
+        |> List.filter_map (fun (r : Bench_report.level_row) ->
+               match
+                 ( r.Bench_report.br_level,
+                   r.Bench_report.br_native_ns_per_phv,
+                   Bench_report.find_row baseline ~program:r.Bench_report.br_program
+                     ~level:"scc+inline" )
+               with
+               | "scc+inline", Some nns, Some b when nns > 0. -> (
+                 match b.Bench_report.br_seq_ns_per_phv with
+                 | Some seq -> Some (r.Bench_report.br_program, seq /. nns)
+                 | None -> None)
+               | _ -> None)
+      in
+      Printf.printf "\nnative (batched) vs %s sequential scc+inline:\n" baseline_path;
+      List.iter
+        (fun (program, s) ->
+          Printf.printf "  %-18s %6.1fx%s\n" program s (if s >= 5.0 then "" else "   (< 5x)"))
+        rows;
+      let over = List.length (List.filter (fun (_, s) -> s >= 5.0) rows) in
+      Printf.printf "  %d/%d rows at >= 5x\n" over (List.length rows))
+
 let run_json_report ~quick ~batch ~path =
   let phvs = if quick then 5_000 else 50_000 in
+  let native_unavailable =
+    match Native_substrate.available () with Ok () -> None | Error reason -> Some reason
+  in
   Printf.printf
     "perf trajectory: %d PHVs/run, compiled substrate, batched tick path (batch %d, best of %d)\n"
     phvs batch timed_reps;
-  Printf.printf "%-18s %-12s %12s %12s %14s %12s %6s %6s\n" "program" "level" "ns/PHV" "seq ns"
-    "PHVs/sec" "bytes/PHV" "agree" "batch";
+  (match native_unavailable with
+  | Some reason -> Printf.printf "native substrate unavailable (%s); native columns omitted\n" reason
+  | None -> ());
+  Printf.printf "%-18s %-12s %12s %12s %14s %12s %6s %6s %12s %6s\n" "program" "level" "ns/PHV"
+    "seq ns" "PHVs/sec" "bytes/PHV" "agree" "batch" "native ns" "native";
   let samples =
     List.map
       (fun bm ->
-        let ps = measure_program ~phvs ~batch bm in
+        let ps = measure_program ~phvs ~batch ~native:(native_unavailable = None) bm in
         List.iter
           (fun ls ->
-            Printf.printf "%-18s %-12s %12.1f %12.1f %14.0f %12.2f %6s %6s\n" ps.ps_program
-              ls.ls_level ls.ls_ns_per_phv ls.ls_seq_ns_per_phv ls.ls_phvs_per_sec
+            Printf.printf "%-18s %-12s %12.1f %12.1f %14.0f %12.2f %6s %6s %12s %6s\n"
+              ps.ps_program ls.ls_level ls.ls_ns_per_phv ls.ls_seq_ns_per_phv ls.ls_phvs_per_sec
               ls.ls_bytes_per_phv
               (if ls.ls_agree then "yes" else "NO")
-              (if ls.ls_batch_agree then "yes" else "NO"))
+              (if ls.ls_batch_agree then "yes" else "NO")
+              (match ls.ls_native with
+              | Some nv -> Printf.sprintf "%.1f" nv.nv_ns_per_phv
+              | None -> "-")
+              (match ls.ls_native with
+              | Some nv -> if nv.nv_agree then "yes" else "NO"
+              | None -> "-"))
           ps.ps_levels;
         ps)
       Spec.all
@@ -588,16 +708,19 @@ let run_json_report ~quick ~batch ~path =
         dm.dm_phvs_per_sec "-"
         (if drmt.ds_agree then "yes" else "NO"))
     drmt.ds_modes;
-  let json, all_agree = render_json ~quick ~phvs ~batch ~drmt ~sweep ~po samples in
+  let json, all_agree =
+    render_json ~quick ~phvs ~batch ~native_unavailable ~drmt ~sweep ~po samples
+  in
   let oc = open_out path in
   output_string oc json;
   close_out oc;
   Printf.printf "\nwrote %s\n" path;
   print_speedups ~path ~baseline_path:"BENCH_pr5.json";
+  print_native_speedups ~path ~baseline_path:"BENCH_pr8.json";
   if not all_agree then
     Printf.printf
-      "DIVERGENCE: a backend pair differs (Engine/Compiled, batched/sequential, dRMT \
-       event/sequential) or the disabled coverage probe is not free\n";
+      "DIVERGENCE: a backend pair differs (Engine/Compiled, batched/sequential, \
+       native/closures, dRMT event/sequential) or the disabled coverage probe is not free\n";
   all_agree
 
 (* --- main --------------------------------------------------------------------------- *)
@@ -623,8 +746,8 @@ let () =
   if Array.exists (( = ) "--json") Sys.argv then begin
     (* JSON trajectory mode: only the machine-readable report (plus the
        agreement gates); exits non-zero on divergence *)
-    section "Perf trajectory (BENCH_pr8.json)";
-    if not (run_json_report ~quick ~batch:(batch_arg ()) ~path:"BENCH_pr8.json") then exit 1
+    section "Perf trajectory (BENCH_pr10.json)";
+    if not (run_json_report ~quick ~batch:(batch_arg ()) ~path:"BENCH_pr10.json") then exit 1
   end
   else begin
   let phvs = if quick then 5_000 else 50_000 in
@@ -633,14 +756,22 @@ let () =
   run_bechamel ();
 
   section (Printf.sprintf "2. Table 1 reproduction: %d PHVs, closure-compiled descriptions" phvs);
-  let rows = Table1.run ~phvs ~mode:`Compiled () in
+  let rows = Table1.run ~phvs ~mode:"compiled" () in
   Fmt.pr "%a@." Table1.pp rows;
   Fmt.pr "%a" Table1.summary rows;
 
   section (Printf.sprintf "3. Ablation: %d PHVs, interpreted descriptions" phvs);
-  let rows_interp = Table1.run ~phvs ~mode:`Interpreted () in
+  let rows_interp = Table1.run ~phvs ~mode:"interpreter" () in
   Fmt.pr "%a@." Table1.pp rows_interp;
   Fmt.pr "%a" Table1.summary rows_interp;
+
+  section (Printf.sprintf "3b. Native codegen: %d PHVs, Dynlinked emitted descriptions" phvs);
+  (match Native_substrate.available () with
+  | Error reason -> Printf.printf "(native substrate unavailable: %s)\n" reason
+  | Ok () ->
+    let rows_native = Table1.run ~phvs ~mode:"native" () in
+    Fmt.pr "%a@." Table1.pp rows_native;
+    Fmt.pr "%a" Table1.summary rows_native);
 
   section "4. Fig. 6: pipeline-description sizes across optimization versions";
   let v = Fig6.render () in

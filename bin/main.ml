@@ -637,7 +637,9 @@ let campaign_cmd =
      random small pipelines, executed on both simulation backends (interpreter and \
      closure-compiled) at all three optimization levels; --substrate drmt runs random P4 \
      programs and table entries on the event-driven dRMT model against the sequential P4 \
-     reference semantics; --substrate all alternates.  Cross-substrate divergences are shrunk \
+     reference semantics; --substrate all alternates; --substrate native emits real OCaml from \
+     the pipeline IR, compiles and Dynlinks it, and diffs it against the interpreted \
+     backends.  Cross-substrate divergences are shrunk \
      and reported.  Trials are crash-contained and watchdogged \
      (--trial-fuel/--trial-timeout); --max-failures stops early; --checkpoint/--resume survive \
      kills; --faults adds hardware fault injection.  The JSON report is byte-identical for a \
@@ -651,12 +653,16 @@ let campaign_cmd =
       $ jobs_arg $ seed_arg
       $ Arg.(
           value
-          & opt (enum [ ("rmt", `Rmt); ("drmt", `Drmt); ("all", `All) ]) `Rmt
+          & opt
+              (enum (List.map (fun n -> (n, n)) Campaign.substrate_names))
+              "rmt"
           & info [ "substrate" ] ~docv:"FAMILY"
               ~doc:
-                "Substrate family under test: $(b,rmt) (interpreter vs closure compiler at all \
-                 optimization levels), $(b,drmt) (event-driven dRMT vs sequential P4 reference \
-                 semantics), or $(b,all) (trials alternate between the two).")
+                "Substrate selection from the registry: $(b,rmt) (interpreter vs closure \
+                 compiler at all optimization levels), $(b,drmt) (event-driven dRMT vs \
+                 sequential P4 reference semantics), $(b,all) (trials alternate between the \
+                 two), or $(b,native) (interpreter and closures vs the Dynlinked native-codegen \
+                 artifact; degrades to an interpreted fallback without the OCaml toolchain).")
       $ Arg.(value & opt int 100 & info [ "phvs" ] ~docv:"N" ~doc:"PHVs simulated per trial.")
       $ Arg.(value & flag & info [ "no-shrink" ] ~doc:"Skip counterexample shrinking.")
       $ Arg.(
@@ -1149,8 +1155,12 @@ let drmt_cmd =
 (* --- experiments ----------------------------------------------------------------------- *)
 
 let table1_cmd =
-  let run phvs interpreted =
-    let mode = if interpreted then `Interpreted else `Compiled in
+  let run phvs interpreted backend =
+    let mode =
+      match backend with
+      | Some name -> name
+      | None -> if interpreted then "interpreter" else "compiled"
+    in
     let rows = Druzhba_experiments.Table1.run ~phvs ~mode () in
     Fmt.pr "%a@." Druzhba_experiments.Table1.pp rows;
     Fmt.pr "%a@." Druzhba_experiments.Table1.summary rows
@@ -1161,7 +1171,14 @@ let table1_cmd =
     Term.(
       const run
       $ Arg.(value & opt int 50_000 & info [ "phvs" ] ~docv:"N" ~doc:"PHVs per run (paper: 50000).")
-      $ Arg.(value & flag & info [ "interpreted" ] ~doc:"Interpret the description IR instead."))
+      $ Arg.(value & flag & info [ "interpreted" ] ~doc:"Interpret the description IR instead.")
+      $ Arg.(
+          value
+          & opt (some (enum (List.map (fun n -> (n, n)) (Backends.names ())))) None
+          & info [ "backend" ] ~docv:"NAME"
+              ~doc:
+                "Execution backend from the registry (interpreter, compiled, native); overrides \
+                 --interpreted."))
 
 let casestudy_cmd =
   let run phvs budget jobs =

@@ -310,6 +310,39 @@ let check_helper_calls (d : Ir.t) =
   Ir.iter_helpers d (fun h -> Ir.fold_expr (collect h.Ir.h_name) () h.Ir.h_body);
   List.rev !findings
 
+(* emitted-module-size: the native-codegen emitter ({!Druzhba_pipeline.Emit})
+   lowers [If]/[Return] statements by continuation duplication, which is
+   exponential in nested-If depth in the worst case.  A stage whose emitted
+   function blows past this threshold produces a source file flambda (and
+   plain ocamlopt) chews on for a long time — the simulation is still
+   correct, the interpreted and closure substrates are unaffected, so this
+   is a warning naming the offending stage, not an error.  The threshold
+   sits ~9x above the largest Table-1 stage (conga unoptimized, ~5.7k
+   nodes) while firing well before compile times become minutes. *)
+let emitted_size_threshold = 50_000
+
+let check_emitted_module_size (d : Ir.t) =
+  let costs = Druzhba_pipeline.Emit.stage_costs d in
+  let findings = ref [] in
+  Array.iteri
+    (fun s cost ->
+      if cost > emitted_size_threshold then
+        findings :=
+          {
+            f_rule = "emitted-module-size";
+            f_severity = Warning;
+            f_subject = Printf.sprintf "stage %d" s;
+            f_message =
+              Printf.sprintf
+                "native codegen would emit ~%d expression nodes for this stage (threshold %d): \
+                 continuation duplication across nested ifs makes the emitted module \
+                 flambda-hostile; the native substrate will be slow to build"
+                cost emitted_size_threshold;
+          }
+          :: !findings)
+    costs;
+  List.rev !findings
+
 (* unused-decl: DSL-level declarations the ALU body never mentions (each one
    still costs input muxes or machine-code pairs at every instance). *)
 let check_unused_decls (d : Ir.t) =
@@ -432,6 +465,7 @@ let check ?mc ?(pairs = []) (d : Ir.t) : finding list =
     @ check_unreachable_branches an
     @ check_helper_calls d
     @ check_unused_decls d
+    @ check_emitted_module_size d
   in
   let errors, warnings = List.partition (fun f -> f.f_severity = Error) findings in
   errors @ warnings

@@ -75,20 +75,23 @@ let stateful_pool = [| "raw"; "sub"; "pred_raw"; "if_else_raw"; "nested_ifs"; "p
 let stateless_pool = [| "stateless_full"; "stateless_arith"; "stateless_rel"; "stateless_mux" |]
 
 (* Which substrate family a trial exercises. *)
-type family = Rmt | Drmt
+type family = Rmt | Drmt | Native
 
-type selector = [ `Rmt | `Drmt | `All ]
+(* The substrate registry: every selector name the CLI and the service
+   accept, mapped to the family rotation its trials draw from.  A
+   multi-member selection alternates members by trial index — deterministic
+   in the index alone, so resume and any [--jobs] count see the same
+   split.  Adding a backend family is one row here (plus its trial body);
+   the CLI, the service protocol, checkpoint signatures, and report
+   provenance all read this table. *)
+let registry : (string * family list) list =
+  [ ("rmt", [ Rmt ]); ("drmt", [ Drmt ]); ("all", [ Rmt; Drmt ]); ("native", [ Native ]) ]
 
-let selector_name = function `Rmt -> "rmt" | `Drmt -> "drmt" | `All -> "all"
-
-let selector_of_name = function
-  | "rmt" -> Some `Rmt
-  | "drmt" -> Some `Drmt
-  | "all" -> Some `All
-  | _ -> None
+let substrate_names = List.map fst registry
+let families_of_name name = List.assoc_opt name registry
 
 (* Number of configurations each family's oracle compares. *)
-let family_configs = function Rmt -> 6 | Drmt -> 2
+let family_configs = function Rmt -> 6 | Drmt -> 2 | Native -> 3
 
 type fault_config = {
   fc_runs : int; (* fault scenarios per agreeing trial *)
@@ -104,7 +107,7 @@ type config = {
   c_trials : int;
   c_jobs : int;
   c_master_seed : int;
-  c_substrate : selector; (* which substrate family trials exercise *)
+  c_substrate : string; (* substrate-registry name: which families trials exercise *)
   c_phvs : int; (* PHVs simulated per trial *)
   c_batch : int; (* lane count for the substrates' batched execution paths *)
   c_shrink : bool; (* minimize failing trials *)
@@ -127,7 +130,7 @@ type config = {
          injected bug is caught with a replayable seed) *)
 }
 
-let config ?(trials = 100) ?(jobs = 1) ?(master_seed = 0xD52ba) ?(substrate = `Rmt)
+let config ?(trials = 100) ?(jobs = 1) ?(master_seed = 0xD52ba) ?(substrate = "rmt")
     ?(phvs = 100) ?(batch = Substrate.default_batch) ?(shrink = true) ?(max_probes = 400)
     ?fuel ?max_failures ?faults ?(checkpoint_every = 64) ?(coverage = false) ?corpus_dir
     ?(sabotage_pass = false) ?hook ?sabotage () =
@@ -138,6 +141,10 @@ let config ?(trials = 100) ?(jobs = 1) ?(master_seed = 0xD52ba) ?(substrate = `R
   | Some m when m <= 0 -> invalid_arg "Campaign.config: max_failures must be positive"
   | _ -> ());
   if batch < 1 then invalid_arg "Campaign.config: batch must be positive";
+  if families_of_name substrate = None then
+    invalid_arg
+      (Printf.sprintf "Campaign.config: unknown substrate %S (expected one of %s)" substrate
+         (String.concat ", " substrate_names));
   if checkpoint_every <= 0 then invalid_arg "Campaign.config: checkpoint_every must be positive";
   if corpus_dir <> None && not coverage then
     invalid_arg "Campaign.config: corpus_dir requires coverage mode";
@@ -147,13 +154,14 @@ let config ?(trials = 100) ?(jobs = 1) ?(master_seed = 0xD52ba) ?(substrate = `R
     c_coverage = coverage; c_corpus_dir = corpus_dir; c_sabotage_pass = sabotage_pass;
     c_hook = hook; c_sabotage = sabotage }
 
-(* Under [`All], trials alternate families by index — deterministic in the
-   index alone, so resume and any job count see the same split. *)
+(* Trials rotate through the selection's families by index — deterministic
+   in the index alone, so resume and any job count see the same split
+   (under "all", even indices are RMT and odd are dRMT, as before the
+   registry existed). *)
 let family_of ~(cfg : config) index =
-  match cfg.c_substrate with
-  | `Rmt -> Rmt
-  | `Drmt -> Drmt
-  | `All -> if index mod 2 = 0 then Rmt else Drmt
+  match families_of_name cfg.c_substrate with
+  | Some members -> List.nth members (index mod List.length members)
+  | None -> invalid_arg (Printf.sprintf "Campaign.family_of: unknown substrate %S" cfg.c_substrate)
 
 (* Fault-mode verdict for one trial: how sensitive the program is to
    injected faults, whether the substrates stayed in lock-step under them,
@@ -177,6 +185,13 @@ type outcome =
 type params =
   | Rmt_params of { depth : int; width : int; bits : int; stateful : string; stateless : string }
   | Drmt_params of { tables : int; processors : int; entries : int }
+  | Native_params of {
+      depth : int;
+      width : int;
+      bits : int;
+      stateful : string;
+      stateless : string;
+    } (* same draw shape as RMT; the trial runs the native-codegen oracle *)
 
 type trial = {
   t_index : int;
@@ -209,6 +224,10 @@ type report = {
   r_config : config;
   r_trials : trial list; (* in index order; trimmed at the breaker's cutoff *)
   r_coverage : coverage_stats option; (* present iff coverage mode ran *)
+  r_notes : string list;
+      (* structured campaign-level degradation notes (e.g. the native
+         toolchain being unavailable), deterministic in the configuration
+         and environment — never per-trial, never timing-dependent *)
   r_agree : int;
   r_divergent : int;
   r_invalid : int;
@@ -253,6 +272,15 @@ let draw_params family prng =
     let processors = 1 + Prng.int prng 4 in
     let entries = Prng.int prng (4 * tables) in
     Drmt_params { tables; processors; entries }
+  | Native ->
+    (* identical draw sequence to RMT, so the same seed exercises the same
+       program shape on either selector *)
+    let depth = 1 + Prng.int prng 2 in
+    let width = 1 + Prng.int prng 2 in
+    let bits = [| 8; 16; 32 |].(Prng.int prng 3) in
+    let stateful = stateful_pool.(Prng.int prng (Array.length stateful_pool)) in
+    let stateless = stateless_pool.(Prng.int prng (Array.length stateless_pool)) in
+    Native_params { depth; width; bits; stateful; stateless }
 
 (* Trial parameters are the first draws from the trial PRNG — kept as a
    separate function because checkpoint resume re-derives them for trials
@@ -476,6 +504,75 @@ let run_rmt_trial ~(cfg : config) ~seed ~prng ?mc_override ~depth ~width ~bits ~
   in
   (Finished outcome, shrunk, faults, extra)
 
+(* The native trial body: the same random pipeline + machine code draw as
+   RMT, but the oracle is the three-configuration native-codegen check —
+   interpreter reference, closures at scc+inline, and the Dynlinked module
+   emitted from the same description.  When the native toolchain is
+   unavailable the trial degrades to {!Oracle.check_native_fallback}
+   (closures standing in under the ["native-fallback@scc-inline"] label):
+   same configuration count, same seeds, same classification space, so
+   reports stay byte-deterministic and the degradation is reported once,
+   in the campaign notes, not per trial.
+
+   Fault mode pairs the native artifact against the interpreter — the two
+   most unlike substrates in the repo — under the shared stuck/flip/drop
+   overlay protocol. *)
+let run_native_trial ~(cfg : config) ~seed ~prng ~depth ~width ~bits ~stateful_name
+    ~stateless_name () =
+  let desc =
+    Dgen.generate
+      (Dgen.config ~depth ~width ~bits ())
+      ~stateful:(Atoms.find_exn stateful_name) ~stateless:(Atoms.find_exn stateless_name)
+  in
+  let mc = Fuzz.random_mc prng desc in
+  let traffic_seed = Prng.bits prng 30 in
+  let inputs = Traffic.phvs (Traffic.create ~seed:traffic_seed ~width ~bits) cfg.c_phvs in
+  let budget = Option.map Budget.ticks cfg.c_fuel in
+  let check mc =
+    match Oracle.check_native ?budget ~batch:cfg.c_batch ~desc ~mc ~inputs () with
+    | Ok outcome -> outcome
+    | Error _unavailable -> Oracle.check_native_fallback ?budget ~batch:cfg.c_batch ~desc ~mc ~inputs ()
+  in
+  let outcome = check mc in
+  let shrunk =
+    match outcome with
+    | Oracle.Divergence _ when cfg.c_shrink ->
+      let repro ~inputs:inputs' ~mc =
+        (match budget with Some b -> Budget.refill b | None -> ());
+        match
+          match Oracle.check_native ?budget ~batch:cfg.c_batch ~desc ~mc ~inputs:inputs' () with
+          | Ok outcome -> outcome
+          | Error _ ->
+            Oracle.check_native_fallback ?budget ~batch:cfg.c_batch ~desc ~mc ~inputs:inputs' ()
+        with
+        | Oracle.Divergence _ -> true
+        | Oracle.Agree _ | Oracle.Invalid_mc _ -> false
+      in
+      Some (Shrink.minimize ~max_probes:cfg.c_max_probes ~repro ~inputs ~mc ())
+    | _ -> None
+  in
+  let faults =
+    match (cfg.c_faults, outcome) with
+    | Some fc, Oracle.Agree _ ->
+      let optimized = Optimizer.apply ~level:Oracle.native_level ~mc desc in
+      let candidate =
+        match
+          Druzhba_dsim.Native_substrate.create ~label:"native@scc-inline" optimized ~mc
+        with
+        | Ok native -> native
+        | Error _ ->
+          Substrate.of_compiled ~label:"native-fallback@scc-inline" (Compile.compile optimized ~mc)
+      in
+      let pair = (Substrate.of_engine ~label:"interpreter@unoptimized" desc ~mc, candidate) in
+      let gen_plan k =
+        Faults.generate ~seed:(Prng.derive seed k) ~desc ~n_inputs:(List.length inputs)
+          ~count:fc.fc_per_run ()
+      in
+      Some (run_faults ?budget ~batch:cfg.c_batch ~fc ~pair ~gen_plan ~inputs ())
+    | _ -> None
+  in
+  (Finished outcome, shrunk, faults, None)
+
 (* The dRMT trial body: random chain program + entries, event-driven vs
    sequential oracle, input-only shrinking, input-path fault geometry.
    [entries_override] (coverage mode) installs a corpus mutant's entry list
@@ -567,7 +664,13 @@ let pick_mutation prng family (snapshot : Corpus.entry array) =
   let mine =
     Array.of_list
       (List.filter
-         (fun e -> match family with Rmt -> Corpus.is_rmt e | Drmt -> not (Corpus.is_rmt e))
+         (fun e ->
+           match family with
+           | Rmt -> Corpus.is_rmt e
+           | Drmt -> not (Corpus.is_rmt e)
+           (* the corpus stores no native material; native trials always
+              sample fresh *)
+           | Native -> false)
          (Array.to_list snapshot))
   in
   if Array.length mine = 0 || Prng.int prng 4 >= 3 then None
@@ -640,6 +743,9 @@ let run_trial ?(snapshot = [||]) ~(cfg : config) index : trial * trial_extra opt
       let entries_override = match override with `Drmt_entries e -> Some e | _ -> None in
       run_drmt_trial ~cfg ~seed ~prng ~index ?entries_override ~tables ~processors
         ~n_entries:entries ()
+    | Native_params { depth; width; bits; stateful; stateless } ->
+      run_native_trial ~cfg ~seed ~prng ~depth ~width ~bits ~stateful_name:stateful
+        ~stateless_name:stateless ()
   with
   | result -> finish result
   | exception Budget.Exhausted ->
@@ -781,6 +887,15 @@ let json_of_params = function
       ("processors", Report.Int processors);
       ("entries", Report.Int entries);
     ]
+  | Native_params { depth; width; bits; stateful; stateless } ->
+    [
+      ("substrate", Report.Str "native");
+      ("depth", Report.Int depth);
+      ("width", Report.Int width);
+      ("bits", Report.Int bits);
+      ("stateful", Report.Str stateful);
+      ("stateless", Report.Str stateless);
+    ]
 
 let json_of_trial (t : trial) : Report.json =
   let origin =
@@ -906,6 +1021,15 @@ let params_of_json j : params =
   | "drmt" ->
     Drmt_params
       { tables = dint j "tables"; processors = dint j "processors"; entries = dint j "entries" }
+  | "native" ->
+    Native_params
+      {
+        depth = dint j "depth";
+        width = dint j "width";
+        bits = dint j "bits";
+        stateful = dstr j "stateful";
+        stateless = dstr j "stateless";
+      }
   | s -> rfail "unknown trial substrate %S" s
 
 let trial_of_json j : trial =
@@ -925,7 +1049,7 @@ let trial_of_json j : trial =
 
 let signature_of_config (cfg : config) : Checkpoint.signature =
   {
-    Checkpoint.sg_substrate = selector_name cfg.c_substrate;
+    Checkpoint.sg_substrate = cfg.c_substrate;
     sg_master_seed = cfg.c_master_seed;
     sg_trials = cfg.c_trials;
     sg_phvs = cfg.c_phvs;
@@ -991,6 +1115,35 @@ let run_resumable ?checkpoint ?(resume = false) ?stop_after ?should_stop (cfg : 
   if cfg.c_sabotage_pass && (checkpoint <> None || resume) then
     invalid_arg
       "Campaign.run_resumable: sabotage-pass mode is incompatible with checkpoint/resume";
+  (* Native-family degradation is judged once, up front, on the main
+     domain: a campaign may run degraded (closures standing in for the
+     native artifact, with a note in the report), but a *checkpointed or
+     resumed* campaign may not — records taken on a toolchain-equipped
+     machine must never blend with degraded ones, so the combination is
+     refused with a clear error instead. *)
+  let selection = Option.value (families_of_name cfg.c_substrate) ~default:[] in
+  let notes =
+    if not (List.mem Native selection) then []
+    else
+      match Druzhba_dsim.Native_substrate.available () with
+      | Ok () -> []
+      | Error reason ->
+        if checkpoint <> None || resume then
+          raise
+            (Resume_error
+               (Printf.sprintf
+                  "substrate %S cannot be checkpointed or resumed here: the native toolchain \
+                   is unavailable (%s); run without --checkpoint/--resume to accept the \
+                   interpreted fallback"
+                  cfg.c_substrate reason))
+        else
+          [
+            Printf.sprintf
+              "native substrate unavailable (%s); native trials ran on the interpreted \
+               fallback (native-fallback@scc-inline)"
+              reason;
+          ]
+  in
   (* crash records carry backtraces; recording is per-process and cheap *)
   Printexc.record_backtrace true;
   (* the atom library is lazy and [Lazy] is not domain-safe: force it on
@@ -1129,6 +1282,7 @@ let run_resumable ?checkpoint ?(resume = false) ?stop_after ?should_stop (cfg : 
         r_config = cfg;
         r_trials = trials;
         r_coverage;
+        r_notes = notes;
         r_agree =
           count (fun t -> match t.t_outcome with Finished (Oracle.Agree _) -> true | _ -> false);
         r_divergent =
@@ -1167,6 +1321,8 @@ let pp_params ppf = function
     Fmt.pf ppf "rmt %dx%d @ %d bits, %s/%s" depth width bits stateful stateless
   | Drmt_params { tables; processors; entries } ->
     Fmt.pf ppf "drmt %d table(s), %d processor(s), %d entrie(s)" tables processors entries
+  | Native_params { depth; width; bits; stateful; stateless } ->
+    Fmt.pf ppf "native %dx%d @ %d bits, %s/%s" depth width bits stateful stateless
 
 let pp_trial ppf (t : trial) =
   Fmt.pf ppf "trial %4d (seed %d, %a): %a" t.t_index t.t_seed pp_params t.t_params pp_outcome
@@ -1190,6 +1346,7 @@ let pp ppf (r : report) =
   (match r.r_coverage with
   | Some cv -> Fmt.pf ppf "  %a@," Coverage.pp_summary (coverage_summary cv)
   | None -> ());
+  List.iter (fun note -> Fmt.pf ppf "  note: %s@," note) r.r_notes;
   (match r.r_stopped_after with
   | Some i ->
     Fmt.pf ppf "  stopped early: failure limit reached at trial %d (%d/%d trials ran)@," i
@@ -1204,7 +1361,7 @@ let to_json (r : report) : string =
     (Report.Obj
        ([
          ("campaign", Report.Str "differential");
-         ("substrate", Report.Str (selector_name r.r_config.c_substrate));
+         ("substrate", Report.Str r.r_config.c_substrate);
          ("master_seed", Report.Int r.r_config.c_master_seed);
          ("trials", Report.Int r.r_config.c_trials);
          ("phvs_per_trial", Report.Int r.r_config.c_phvs);
@@ -1230,6 +1387,11 @@ let to_json (r : report) : string =
        @ (match r.r_coverage with
          | Some cv -> [ ("coverage", Coverage.summary_json (coverage_summary cv)) ]
          | None -> [])
+       (* emitted only when non-empty, so reports from the pre-registry
+          era stay byte-identical *)
+       @ (match r.r_notes with
+         | [] -> []
+         | notes -> [ ("notes", Report.List (List.map (fun n -> Report.Str n) notes)) ])
        @ [
            ("stopped_after", opt_int r.r_stopped_after);
            ("results", Report.List (List.map json_of_trial r.r_trials));

@@ -26,7 +26,7 @@ let version = 2
    condition under which resuming from the file is sound.  [sg_jobs] is
    deliberately absent: job count never affects results. *)
 type signature = {
-  sg_substrate : string; (* "rmt" | "drmt" | "all" *)
+  sg_substrate : string; (* a substrate-registry name: "rmt", "drmt", "all", "native", ... *)
   sg_master_seed : int;
   sg_trials : int;
   sg_phvs : int;
@@ -84,52 +84,12 @@ let to_json (t : t) : Report.json =
     ]
 
 (* Atomic write: tmp file, fsync, rename, fsync of the containing
-   directory.  [Sys.rename] is atomic on POSIX filesystems, so a concurrent
-   reader (or a kill between any two instructions here) observes either the
-   previous checkpoint or this one in full; the directory fsync makes the
-   rename itself durable, so a machine crash right after [save] returns
-   cannot resurrect the old file.  The tmp name carries the writer's pid:
-   two processes racing on the same checkpoint (a restarted supervisor and
-   an orphaned worker, say) each stage their own tmp and the renames
-   serialize — last writer wins, no interleaved bytes. *)
+   directory.  The mechanism lives in {!Druzhba_util.Atomic_file} (the
+   native substrate's build cache shares it); this re-export keeps the
+   historical entry point that the service job store and the CLI's
+   --report writer go through. *)
 
-let write_retries = 20
-
-(* [write] with bounded retry on the transient errnos.  EINTR is routine
-   (any signal); EAGAIN should not happen on a blocking regular file but is
-   retried with a short backoff anyway rather than torn into an exception
-   mid-checkpoint. *)
-let rec write_all ?(attempts = write_retries) fd bytes pos len =
-  if len > 0 then
-    match Unix.write fd bytes pos len with
-    | n -> write_all fd bytes (pos + n) (len - n)
-    | exception Unix.Unix_error ((Unix.EINTR | Unix.EAGAIN | Unix.EWOULDBLOCK), _, _)
-      when attempts > 0 ->
-      if attempts < write_retries then Unix.sleepf 0.01;
-      write_all ~attempts:(attempts - 1) fd bytes pos len
-
-(* Directory fsync is best-effort: some filesystems refuse fsync on a
-   directory fd (EINVAL) and the write is still atomic without it. *)
-let fsync_dir dir =
-  match Unix.openfile dir [ Unix.O_RDONLY; Unix.O_CLOEXEC ] 0 with
-  | exception Unix.Unix_error (_, _, _) -> ()
-  | fd ->
-    (try Unix.fsync fd with Unix.Unix_error (_, _, _) -> ());
-    (try Unix.close fd with Unix.Unix_error (_, _, _) -> ())
-
-(* The full durability discipline, reusable by anything that persists a
-   report or journal next to a running campaign (the service job store and
-   the CLI's --report writer both go through here). *)
-let atomic_write_string path contents =
-  let tmp = Printf.sprintf "%s.tmp.%d" path (Unix.getpid ()) in
-  let fd = Unix.openfile tmp [ Unix.O_WRONLY; Unix.O_CREAT; Unix.O_TRUNC; Unix.O_CLOEXEC ] 0o644 in
-  Fun.protect
-    ~finally:(fun () -> try Unix.close fd with Unix.Unix_error (_, _, _) -> ())
-    (fun () ->
-      write_all fd (Bytes.of_string contents) 0 (String.length contents);
-      Unix.fsync fd);
-  Sys.rename tmp path;
-  fsync_dir (Filename.dirname path)
+let atomic_write_string = Druzhba_util.Atomic_file.atomic_write_string
 
 let save path (t : t) = atomic_write_string path (Report.to_string (to_json t) ^ "\n")
 

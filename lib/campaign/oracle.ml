@@ -26,6 +26,7 @@ module Optimizer = Druzhba_optimizer.Optimizer
 module Engine = Druzhba_dsim.Engine
 module Compiled = Druzhba_dsim.Compiled
 module Substrate = Druzhba_dsim.Substrate
+module Native_substrate = Druzhba_dsim.Native_substrate
 module Drmt_substrate = Druzhba_dsim.Drmt_substrate
 module Phv = Druzhba_dsim.Phv
 module Trace = Druzhba_dsim.Trace
@@ -231,3 +232,65 @@ let check ?(init = []) ?budget ?batch ?transform ~(desc : Ir.t) ~mc ~inputs () :
 (* Event-driven dRMT vs sequential reference on a P4 program. *)
 let check_drmt ?budget ?batch ?cfg ~entries ~(p : Druzhba_drmt.P4.t) ~inputs () : outcome =
   diff_substrates ?budget ?batch ~substrates:(drmt_substrates ?cfg ~entries p) ~inputs ()
+
+(* --- Native-codegen check ----------------------------------------------------
+
+   Three configurations: the interpreter on the unoptimized description
+   (reference), the closure backend at scc+inline, and the Dynlinked
+   native module emitted from the same scc+inline description.  The two
+   interpreted configurations keep the generated artifact honest — this is
+   the paper's discipline of diffing dsim against the dgen-generated code
+   it is supposed to match. *)
+
+let native_level = Optimizer.Scc_inline
+
+(* [Error reason] means the native toolchain is unavailable or the
+   out-of-process compile failed; nothing was run. *)
+let native_substrates ?(init = []) ~(desc : Ir.t) ~mc () :
+    (Substrate.packed list, string) result =
+  let optimized = Optimizer.apply ~level:native_level ~mc desc in
+  match Native_substrate.create ~label:"native@scc-inline" ~init optimized ~mc with
+  | Error e -> Error e
+  | Ok native ->
+    Ok
+      [
+        Substrate.of_engine ~label:"interpreter@unoptimized" ~init desc ~mc;
+        Substrate.of_compiled ~label:"closures@scc-inline" ~init (Compile.compile optimized ~mc);
+        native;
+      ]
+
+(* The degraded set: the closure backend stands in for the native artifact
+   under the label ["native-fallback@scc-inline"], so a toolchain-less host
+   still runs a three-configuration differential trial (same configs count,
+   same seeds, same classification space) and the report's notes carry the
+   reason. *)
+let native_fallback_substrates ?(init = []) ~(desc : Ir.t) ~mc () : Substrate.packed list =
+  let optimized = Optimizer.apply ~level:native_level ~mc desc in
+  [
+    Substrate.of_engine ~label:"interpreter@unoptimized" ~init desc ~mc;
+    Substrate.of_compiled ~label:"closures@scc-inline" ~init (Compile.compile optimized ~mc);
+    Substrate.of_compiled ~label:"native-fallback@scc-inline" ~init (Compile.compile optimized ~mc);
+  ]
+
+(* Validates [mc] (before emission — so invalid machine code classifies as
+   [Invalid_mc], never as a native build failure), then runs the
+   three-configuration native differential check.  [Error reason] only when
+   the toolchain is unavailable. *)
+let check_native ?(init = []) ?budget ?batch ~(desc : Ir.t) ~mc ~inputs () :
+    (outcome, string) result =
+  match Machine_code.validate ~domains:(Ir.control_domains desc) mc with
+  | Error violations -> Ok (Invalid_mc violations)
+  | Ok () -> (
+    match native_substrates ~init ~desc ~mc () with
+    | Error e -> Error e
+    | Ok substrates -> Ok (diff_substrates ?budget ?batch ~substrates ~inputs ()))
+
+(* The degraded twin of {!check_native}: always runs, on interpreted
+   substrates only. *)
+let check_native_fallback ?(init = []) ?budget ?batch ~(desc : Ir.t) ~mc ~inputs () : outcome =
+  match Machine_code.validate ~domains:(Ir.control_domains desc) mc with
+  | Error violations -> Invalid_mc violations
+  | Ok () ->
+    diff_substrates ?budget ?batch
+      ~substrates:(native_fallback_substrates ~init ~desc ~mc ())
+      ~inputs ()

@@ -21,6 +21,7 @@ let version = "1.0.0"
 
 module Value = Druzhba_util.Value
 module Prng = Druzhba_util.Prng
+module Atomic_file = Druzhba_util.Atomic_file
 module Alu_dsl = struct
   module Ast = Druzhba_alu_dsl.Ast
   module Lexer = Druzhba_alu_dsl.Lexer
@@ -42,6 +43,9 @@ module Trace = Druzhba_dsim.Trace
 module Engine = Druzhba_dsim.Engine
 module Compiled = Druzhba_dsim.Compiled
 module Substrate = Druzhba_dsim.Substrate
+module Native_abi = Druzhba_dsim.Native_abi
+module Native_substrate = Druzhba_dsim.Native_substrate
+module Backends = Druzhba_dsim.Backends
 module Drmt_substrate = Druzhba_dsim.Drmt_substrate
 module Debugger = Druzhba_dsim.Debugger
 module Budget = Druzhba_dsim.Budget

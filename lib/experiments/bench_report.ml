@@ -1,9 +1,12 @@
 (* Reader for the machine-readable benchmark reports (BENCH_pr*.json).
 
    The bench harness emits a "druzhba-bench" document per PR: schema /1
-   (PR 5, sequential tick path) and /2 (PR 8, batched tick path; adds
+   (PR 5, sequential tick path), /2 (PR 8, batched tick path; adds
    "batch", "batch_sweep", "probe_overhead" and per-level batch-agreement
-   bits).  This module parses either version into one row shape so the
+   bits) and /3 (PR 10; adds per-level "native_*" fields for the
+   Dynlinked native-codegen substrate, or a top-level
+   "native_unavailable" reason when the build toolchain is absent).
+   This module parses any of those versions into one row shape so the
    perf-trajectory tooling and the tests can diff reports across PRs
    without caring which harness wrote them.
 
@@ -178,17 +181,21 @@ type level_row = {
   br_program : string;
   br_level : string;
   br_ns_per_phv : float;
+  br_seq_ns_per_phv : float option; (* schema /2 onwards *)
   br_agree : bool;
+  br_native_ns_per_phv : float option; (* schema /3, toolchain present *)
+  br_native_agree : bool option; (* schema /3, toolchain present *)
 }
 
 type t = {
   br_schema : string;
   br_pr : int;
-  br_batch : int option; (* schema /2 only *)
+  br_batch : int option; (* schema /2 onwards *)
+  br_native_unavailable : string option; (* schema /3, toolchain absent *)
   br_rows : level_row list; (* program-major, level order as written *)
 }
 
-let supported_schemas = [ "druzhba-bench/1"; "druzhba-bench/2" ]
+let supported_schemas = [ "druzhba-bench/1"; "druzhba-bench/2"; "druzhba-bench/3" ]
 
 let of_json (j : json) : (t, string) result =
   match string_field "schema" j with
@@ -207,7 +214,16 @@ let of_json (j : json) : (t, string) result =
            bool_field "engine_compiled_agree" lj)
         with
         | Some level, Some ns, Some agree ->
-          Some { br_program = program; br_level = level; br_ns_per_phv = ns; br_agree = agree }
+          Some
+            {
+              br_program = program;
+              br_level = level;
+              br_ns_per_phv = ns;
+              br_seq_ns_per_phv = float_field "seq_ns_per_phv" lj;
+              br_agree = agree;
+              br_native_ns_per_phv = float_field "native_ns_per_phv" lj;
+              br_native_agree = bool_field "native_agree" lj;
+            }
         | _ -> None
       in
       let rows =
@@ -220,7 +236,15 @@ let of_json (j : json) : (t, string) result =
       in
       match rows with
       | [] -> Error "no level rows found under \"programs\""
-      | _ -> Ok { br_schema = schema; br_pr = pr; br_batch = batch; br_rows = rows }))
+      | _ ->
+        Ok
+          {
+            br_schema = schema;
+            br_pr = pr;
+            br_batch = batch;
+            br_native_unavailable = string_field "native_unavailable" j;
+            br_rows = rows;
+          }))
 
 let of_string s = Result.bind (parse s) of_json
 
@@ -248,3 +272,17 @@ let speedups ~(baseline : t) ~(current : t) : (string * string * float) list =
         Some (r.br_program, r.br_level, b.br_ns_per_phv /. r.br_ns_per_phv)
       | _ -> None)
     current.br_rows
+
+(* Within one schema /3 report: per-(program, level) speedup of the
+   Dynlinked native substrate over the batched closure path — closure
+   ns/PHV divided by native ns/PHV (higher means native is faster).
+   Rows without native measurements (older schemas, or a report written
+   on a toolchain-less machine) are skipped, so the join is empty when
+   [br_native_unavailable] is set. *)
+let native_speedups (t : t) : (string * string * float) list =
+  List.filter_map
+    (fun r ->
+      match r.br_native_ns_per_phv with
+      | Some nns when nns > 0. -> Some (r.br_program, r.br_level, r.br_ns_per_phv /. nns)
+      | _ -> None)
+    t.br_rows

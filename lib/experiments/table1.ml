@@ -5,20 +5,25 @@
    Each program is compiled by the rule-based backend at the pipeline
    dimensions Table 1 lists; its machine code then drives three simulations
    of the same random PHV trace, one per optimization level of the pipeline
-   description.  Two execution substrates are measured:
+   description.  The execution backend is any {!Druzhba_dsim.Backends}
+   registry name:
 
-   - [`Compiled]: the description is compiled to closures beforehand (the
+   - ["compiled"]: the description is compiled to closures beforehand (the
      analogue of the paper's rustc-compiled description; compilation time is
      excluded, as the paper excludes rustc time).  This is the configuration
      Table 1 corresponds to.
-   - [`Interpreted]: the description IR is interpreted directly.  This is an
+   - ["interpreter"]: the description IR is interpreted directly.  This is an
      ablation unavailable in the original system: it shows what inlining is
-     worth when no compiler cleans up the call structure. *)
+     worth when no compiler cleans up the call structure.
+   - ["native"]: the description is emitted as real OCaml, compiled
+     out-of-process and Dynlinked — the closest analogue of the paper's
+     dgen + rustc methodology.  @raise Failure when the toolchain is
+     unavailable (the bench driver degrades instead of crashing). *)
 
 module Druzhba = Druzhba_core.Druzhba
 open Druzhba
 
-type mode = [ `Compiled | `Interpreted ]
+type mode = string (* a {!Druzhba_dsim.Backends} registry name *)
 
 type row = {
   row_program : string;
@@ -50,10 +55,18 @@ let run_benchmark ?(phvs = 50_000) ?(seed = 0xD52ba) ?(batch = Substrate.default
      through the uniform {!Substrate} interface. *)
   let buf = Trace.Buffer.create ~width:bm.Spec.bm_width ~capacity:phvs in
   let measure d =
+    let backend =
+      match Backends.find mode with
+      | Some be -> be
+      | None ->
+        invalid_arg
+          (Printf.sprintf "Table1.run_benchmark: unknown backend %S (expected one of %s)" mode
+             (String.concat ", " (Backends.names ())))
+    in
     let substrate =
-      match mode with
-      | `Interpreted -> Substrate.of_engine ~init d ~mc
-      | `Compiled -> Substrate.of_compiled ~init (Compile.compile d ~mc)
+      match backend.Backends.be_create ~init d ~mc with
+      | Ok s -> s
+      | Error reason -> failwith (Printf.sprintf "backend %S unavailable: %s" mode reason)
     in
     (* warm once outside the timer so lazy vectorization (the analogue of
        rustc compile time) is excluded, like closure compilation above *)
@@ -70,7 +83,7 @@ let run_benchmark ?(phvs = 50_000) ?(seed = 0xD52ba) ?(batch = Substrate.default
     row_inline_ms = measure v3;
   }
 
-let run ?phvs ?seed ?batch ?(mode = `Compiled) () : row list =
+let run ?phvs ?seed ?batch ?(mode = "compiled") () : row list =
   List.map (fun bm -> run_benchmark ?phvs ?seed ?batch ~mode bm) Spec.all
 
 let pp_row ppf r =

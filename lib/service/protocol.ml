@@ -270,8 +270,10 @@ let parse_campaign spec fields =
   let* substrate = get_str fields "substrate" in
   let* () =
     match substrate with
-    | Some s when Druzhba_campaign.Campaign.selector_of_name s = None ->
-      Error (Printf.sprintf "unknown substrate %S (rmt, drmt, all)" s)
+    | Some s when Druzhba_campaign.Campaign.families_of_name s = None ->
+      Error
+        (Printf.sprintf "unknown substrate %S (%s)" s
+           (String.concat ", " Druzhba_campaign.Campaign.substrate_names))
     | _ -> Ok ()
   in
   let* phvs = Result.bind (get_int fields "phvs") (positive "phvs") in

@@ -1,0 +1,59 @@
+(* Atomic, durable file writes.
+
+   The discipline originated in the campaign checkpoint writer and is now
+   shared by everything that persists state next to a running process: the
+   checkpoint file, campaign reports, the service job store and journal,
+   and the native substrate's on-disk build cache.  The contract: write to
+   a sibling tmp file named with the writer's pid, fsync the data, rename
+   into place (atomic on POSIX filesystems), then fsync the containing
+   directory so the rename itself survives a machine crash.  A kill at any
+   instant leaves either the old file or the new one, never torn bytes;
+   two processes racing on the same path each stage their own tmp and the
+   renames serialize — last writer wins. *)
+
+let write_retries = 20
+
+(* [write] with bounded retry on the transient errnos.  EINTR is routine
+   (any signal); EAGAIN should not happen on a blocking regular file but is
+   retried with a short backoff anyway rather than torn into an exception
+   mid-write. *)
+let rec write_all ?(attempts = write_retries) fd bytes pos len =
+  if len > 0 then
+    match Unix.write fd bytes pos len with
+    | n -> write_all fd bytes (pos + n) (len - n)
+    | exception Unix.Unix_error ((Unix.EINTR | Unix.EAGAIN | Unix.EWOULDBLOCK), _, _)
+      when attempts > 0 ->
+      if attempts < write_retries then Unix.sleepf 0.01;
+      write_all ~attempts:(attempts - 1) fd bytes pos len
+
+(* Directory fsync is best-effort: some filesystems refuse fsync on a
+   directory fd (EINVAL) and the write is still atomic without it. *)
+let fsync_dir dir =
+  match Unix.openfile dir [ Unix.O_RDONLY; Unix.O_CLOEXEC ] 0 with
+  | exception Unix.Unix_error (_, _, _) -> ()
+  | fd ->
+    (try Unix.fsync fd with Unix.Unix_error (_, _, _) -> ());
+    (try Unix.close fd with Unix.Unix_error (_, _, _) -> ())
+
+let atomic_write_string path contents =
+  let tmp = Printf.sprintf "%s.tmp.%d" path (Unix.getpid ()) in
+  let fd = Unix.openfile tmp [ Unix.O_WRONLY; Unix.O_CREAT; Unix.O_TRUNC; Unix.O_CLOEXEC ] 0o644 in
+  Fun.protect
+    ~finally:(fun () -> try Unix.close fd with Unix.Unix_error (_, _, _) -> ())
+    (fun () ->
+      write_all fd (Bytes.of_string contents) 0 (String.length contents);
+      Unix.fsync fd);
+  Sys.rename tmp path;
+  fsync_dir (Filename.dirname path)
+
+(* Atomically publish an already-written file (e.g. a compiler output that
+   could not be streamed through [atomic_write_string]): fsync the staged
+   file's bytes, rename it over [dest], fsync the directory. *)
+let atomic_publish ~src ~dest =
+  (match Unix.openfile src [ Unix.O_RDONLY; Unix.O_CLOEXEC ] 0 with
+  | exception Unix.Unix_error (_, _, _) -> ()
+  | fd ->
+    (try Unix.fsync fd with Unix.Unix_error (_, _, _) -> ());
+    (try Unix.close fd with Unix.Unix_error (_, _, _) -> ()));
+  Sys.rename src dest;
+  fsync_dir (Filename.dirname dest)

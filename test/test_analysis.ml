@@ -244,6 +244,51 @@ let test_lint_unused_decls () =
   let findings = Lint.check desc in
   Alcotest.(check bool) "unused-decl fires" true (List.mem "unused-decl" (rules findings))
 
+(* emitted-module-size: the native emitter lowers [If] by continuation
+   duplication, so a run of N sequential ifs costs ~2^N emitted nodes.  A
+   16-if ALU blows past the threshold; every Table-1 program stays under it
+   (their largest stage is ~5.7k nodes against a 50k threshold). *)
+let test_lint_emitted_module_size () =
+  let explosive_src =
+    let b = Buffer.create 1024 in
+    Buffer.add_string b
+      "type : stateful\n\
+       state variables : {state_0}\n\
+       hole variables : {}\n\
+       packet fields : {pkt_0, pkt_1}\n";
+    for _ = 1 to 16 do
+      Buffer.add_string b
+        "if (rel_op(Opt(state_0), Mux3(pkt_0, pkt_1, C()))) {\n\
+        \  state_0 = Opt(state_0) + Mux3(pkt_0, pkt_1, C());\n\
+         }\n"
+    done;
+    Buffer.contents b
+  in
+  let desc =
+    Dgen.generate
+      (Dgen.config ~depth:1 ~width:1 ())
+      ~stateful:(Alu_dsl.Parser.parse ~name:"explosive" explosive_src)
+      ~stateless:(Atoms.find_exn "stateless_mux")
+  in
+  let findings = find_rule "emitted-module-size" (Lint.check desc) in
+  (match findings with
+  | [ f ] ->
+    Alcotest.(check string) "names the stage" "stage 0" f.Lint.f_subject;
+    Alcotest.(check bool) "warning only" true (f.Lint.f_severity = Lint.Warning)
+  | fs -> Alcotest.failf "expected exactly one finding, got %d" (List.length fs));
+  (* sane pipelines stay silent *)
+  Alcotest.(check int) "small pipeline is under threshold" 0
+    (List.length (find_rule "emitted-module-size" (Lint.check (small_desc ()))));
+  List.iter
+    (fun (bm : Spec.benchmark) ->
+      let compiled = Spec.compile_exn bm in
+      let desc = compiled.Compiler.Codegen.c_desc in
+      Alcotest.(check int)
+        (bm.Spec.bm_name ^ " is under threshold")
+        0
+        (List.length (find_rule "emitted-module-size" (Lint.check desc))))
+    Spec.all
+
 (* --- lint: dRMT table-dependency DAG rules ------------------------------------ *)
 
 module P4 = Druzhba_drmt.P4
@@ -398,6 +443,7 @@ let () =
           Alcotest.test_case "write-only state slot" `Quick test_lint_write_only_state;
           Alcotest.test_case "helper-call errors" `Quick test_lint_helper_call_errors;
           Alcotest.test_case "unused declarations" `Quick test_lint_unused_decls;
+          Alcotest.test_case "emitted-module-size" `Quick test_lint_emitted_module_size;
           Alcotest.test_case "p4: clean program" `Quick test_lint_p4_clean;
           Alcotest.test_case "p4: cyclic dag" `Quick test_lint_p4_cyclic_dag;
           Alcotest.test_case "p4: unschedulable dag" `Quick test_lint_p4_unschedulable_dag;

@@ -1,8 +1,9 @@
 (* Tests for the benchmark-report reader: the minimal JSON parser and the
-   schema-tolerant bench view over it.  The reader must accept both report
-   generations — druzhba-bench/1 (PR 5, sequential tick path) and /2 (PR 8,
-   batched path) — since the perf-trajectory tooling diffs one against the
-   other; it must also reject malformed documents loudly rather than
+   schema-tolerant bench view over it.  The reader must accept all report
+   generations — druzhba-bench/1 (PR 5, sequential tick path), /2 (PR 8,
+   batched path) and /3 (PR 10, native-codegen substrate columns) — since
+   the perf-trajectory tooling diffs one against the other; it must also
+   reject malformed or unknown-schema documents loudly rather than
    returning partial rows. *)
 
 module Bench_report = Druzhba_experiments.Bench_report
@@ -42,6 +43,42 @@ let sample_v2 =
   ]
 }|}
 
+let sample_v3 =
+  {|{
+  "schema": "druzhba-bench/3",
+  "pr": 10,
+  "phvs": 50000,
+  "batch": 64,
+  "programs": [
+    {
+      "program": "spam_detection", "depth": 1, "width": 1, "alu": "raw",
+      "levels": [
+        {"level": "unopt", "ns_per_phv": 120.0, "seq_ns_per_phv": 400.0, "phvs_per_sec": 8333333, "bytes_per_phv": 0.11, "engine_compiled_agree": true, "batch_agree": true},
+        {"level": "scc+inline", "ns_per_phv": 40.0, "seq_ns_per_phv": 199.8, "phvs_per_sec": 25000000, "bytes_per_phv": 0.11, "engine_compiled_agree": true, "batch_agree": true, "native_ns_per_phv": 10.0, "native_seq_ns_per_phv": 25.0, "native_phvs_per_sec": 100000000, "native_agree": true}
+      ]
+    }
+  ]
+}|}
+
+(* The same schema written on a machine without the build toolchain:
+   native fields absent, top-level reason present. *)
+let sample_v3_degraded =
+  {|{
+  "schema": "druzhba-bench/3",
+  "pr": 10,
+  "phvs": 5000,
+  "batch": 64,
+  "native_unavailable": "ocamlfind not found on PATH",
+  "programs": [
+    {
+      "program": "spam_detection", "depth": 1, "width": 1, "alu": "raw",
+      "levels": [
+        {"level": "scc+inline", "ns_per_phv": 40.0, "seq_ns_per_phv": 199.8, "phvs_per_sec": 25000000, "bytes_per_phv": 0.11, "engine_compiled_agree": true, "batch_agree": true}
+      ]
+    }
+  ]
+}|}
+
 let check_ok = function
   | Ok r -> r
   | Error msg -> Alcotest.failf "expected successful parse, got: %s" msg
@@ -63,6 +100,42 @@ let test_reads_v2 () =
   Alcotest.(check string) "schema" "druzhba-bench/2" r.Bench_report.br_schema;
   Alcotest.(check bool) "batch field" true (r.Bench_report.br_batch = Some 64);
   Alcotest.(check int) "rows" 1 (List.length r.Bench_report.br_rows)
+
+let test_reads_v3 () =
+  let r = check_ok (Bench_report.of_string sample_v3) in
+  Alcotest.(check string) "schema" "druzhba-bench/3" r.Bench_report.br_schema;
+  Alcotest.(check int) "pr" 10 r.Bench_report.br_pr;
+  Alcotest.(check bool) "toolchain present" true (r.Bench_report.br_native_unavailable = None);
+  Alcotest.(check int) "rows" 2 (List.length r.Bench_report.br_rows);
+  (match Bench_report.find_row r ~program:"spam_detection" ~level:"scc+inline" with
+  | None -> Alcotest.fail "missing scc+inline row"
+  | Some row ->
+    Alcotest.(check bool) "native ns parsed" true
+      (row.Bench_report.br_native_ns_per_phv = Some 10.0);
+    Alcotest.(check bool) "native agree parsed" true
+      (row.Bench_report.br_native_agree = Some true);
+    Alcotest.(check bool) "seq ns parsed" true
+      (row.Bench_report.br_seq_ns_per_phv = Some 199.8));
+  match Bench_report.find_row r ~program:"spam_detection" ~level:"unopt" with
+  | None -> Alcotest.fail "missing unopt row"
+  | Some row ->
+    Alcotest.(check bool) "native fields optional per level" true
+      (row.Bench_report.br_native_ns_per_phv = None)
+
+let test_native_speedup_join () =
+  let r = check_ok (Bench_report.of_string sample_v3) in
+  (match Bench_report.native_speedups r with
+  | [ ("spam_detection", "scc+inline", s) ] -> Alcotest.(check (float 0.001)) "40 / 10" 4.0 s
+  | rows -> Alcotest.failf "expected one native row, got %d" (List.length rows));
+  (* degraded reports join to nothing, not to an error *)
+  let d = check_ok (Bench_report.of_string sample_v3_degraded) in
+  Alcotest.(check bool) "degradation reason surfaced" true
+    (d.Bench_report.br_native_unavailable = Some "ocamlfind not found on PATH");
+  Alcotest.(check int) "no native rows when degraded" 0
+    (List.length (Bench_report.native_speedups d));
+  (* older schemas never produce native rows either *)
+  let v2 = check_ok (Bench_report.of_string sample_v2) in
+  Alcotest.(check int) "no native rows in /2" 0 (List.length (Bench_report.native_speedups v2))
 
 let test_speedups_across_schemas () =
   let v1 = check_ok (Bench_report.of_string sample_v1) in
@@ -102,7 +175,7 @@ let test_reads_committed_reports () =
                 row.Bench_report.br_level)
           r.Bench_report.br_rows
       end)
-    [ ("../BENCH_pr5.json", 5); ("../BENCH_pr8.json", 8) ]
+    [ ("../BENCH_pr5.json", 5); ("../BENCH_pr8.json", 8); ("../BENCH_pr10.json", 10) ]
 
 let () =
   Alcotest.run "bench_report"
@@ -111,6 +184,8 @@ let () =
         [
           Alcotest.test_case "reads schema /1" `Quick test_reads_v1;
           Alcotest.test_case "reads schema /2" `Quick test_reads_v2;
+          Alcotest.test_case "reads schema /3" `Quick test_reads_v3;
+          Alcotest.test_case "native-vs-batched speedup join" `Quick test_native_speedup_join;
           Alcotest.test_case "speedups join across schemas" `Quick test_speedups_across_schemas;
           Alcotest.test_case "rejects malformed input" `Quick test_rejects_malformed;
           Alcotest.test_case "reads committed reports" `Quick test_reads_committed_reports;

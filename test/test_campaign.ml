@@ -349,7 +349,7 @@ let test_faults_mode () =
    sequential P4 reference on every generated trial, and the report is
    byte-identical whatever the job count. *)
 let test_drmt_campaign_agrees_across_jobs () =
-  let mk jobs = Campaign.config ~trials:10 ~jobs ~substrate:`Drmt ~phvs:30 () in
+  let mk jobs = Campaign.config ~trials:10 ~jobs ~substrate:"drmt" ~phvs:30 () in
   let r = Campaign.run (mk 2) in
   Alcotest.(check int) "no divergence in a healthy dRMT model" 0 r.Campaign.r_divergent;
   Alcotest.(check int) "all agree" 10 r.Campaign.r_agree;
@@ -357,7 +357,8 @@ let test_drmt_campaign_agrees_across_jobs () =
     (fun t ->
       (match t.Campaign.t_params with
       | Campaign.Drmt_params _ -> ()
-      | Campaign.Rmt_params _ -> Alcotest.fail "expected dRMT params on a dRMT campaign");
+      | Campaign.Rmt_params _ | Campaign.Native_params _ ->
+        Alcotest.fail "expected dRMT params on a dRMT campaign");
       match t.Campaign.t_outcome with
       | Campaign.Finished (Oracle.Agree { configs; _ }) ->
         Alcotest.(check int) "two configurations: event vs sequential" 2 configs
@@ -370,7 +371,7 @@ let test_drmt_campaign_agrees_across_jobs () =
 (* Under [--substrate all] trials alternate family by index, so resume and
    sharding stay deterministic. *)
 let test_all_selector_alternates () =
-  let r = Campaign.run (Campaign.config ~trials:6 ~substrate:`All ~phvs:15 ()) in
+  let r = Campaign.run (Campaign.config ~trials:6 ~substrate:"all" ~phvs:15 ()) in
   List.iter
     (fun t ->
       match (t.Campaign.t_index mod 2, t.Campaign.t_params) with
@@ -385,7 +386,7 @@ let test_all_selector_alternates () =
    shrunk counterexample, and must replay from the recorded seed alone. *)
 let test_drmt_sabotage_is_caught () =
   let sabotage i = i = 1 in
-  let cfg = Campaign.config ~trials:3 ~substrate:`Drmt ~phvs:25 ~sabotage () in
+  let cfg = Campaign.config ~trials:3 ~substrate:"drmt" ~phvs:25 ~sabotage () in
   let r = Campaign.run cfg in
   Alcotest.(check int) "exactly the sabotaged trial diverges" 1 r.Campaign.r_divergent;
   Alcotest.(check int) "the other trials agree" 2 r.Campaign.r_agree;
@@ -414,7 +415,7 @@ let test_drmt_sabotage_is_caught () =
    replay stays pristine. *)
 let test_drmt_faults_mode () =
   let mk jobs =
-    Campaign.config ~trials:5 ~jobs ~substrate:`Drmt ~phvs:20
+    Campaign.config ~trials:5 ~jobs ~substrate:"drmt" ~phvs:20
       ~faults:(Campaign.fault_config ~runs:3 ()) ()
   in
   let r = Campaign.run (mk 2) in
@@ -441,7 +442,7 @@ let test_mixed_checkpoint_resume () =
     ~finally:(fun () -> if Sys.file_exists tmp then Sys.remove tmp)
     (fun () ->
       let mk jobs =
-        Campaign.config ~trials:10 ~jobs ~substrate:`All ~phvs:15 ~checkpoint_every:3 ()
+        Campaign.config ~trials:10 ~jobs ~substrate:"all" ~phvs:15 ~checkpoint_every:3 ()
       in
       let expected = Campaign.to_json (Campaign.run (mk 1)) in
       (match Campaign.run_resumable ~checkpoint:tmp ~stop_after:6 (mk 1) with
@@ -455,7 +456,7 @@ let test_mixed_checkpoint_resume () =
       (* a checkpoint from one substrate family must not resume another *)
       match
         Campaign.run_resumable ~checkpoint:tmp ~resume:true
-          (Campaign.config ~trials:10 ~substrate:`Rmt ~phvs:15 ~checkpoint_every:3 ())
+          (Campaign.config ~trials:10 ~substrate:"rmt" ~phvs:15 ~checkpoint_every:3 ())
       with
       | exception Campaign.Resume_error _ -> ()
       | _ -> Alcotest.fail "substrate-mismatched checkpoint accepted")

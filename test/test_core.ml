@@ -85,7 +85,7 @@ let test_workflow_report_pp () =
 (* --- Experiments ----------------------------------------------------------------- *)
 
 let test_table1_smoke () =
-  let rows = Table1.run ~phvs:500 ~mode:`Compiled () in
+  let rows = Table1.run ~phvs:500 ~mode:"compiled" () in
   Alcotest.(check int) "12 rows" 12 (List.length rows);
   List.iter
     (fun (r : Table1.row) ->
@@ -96,7 +96,7 @@ let test_table1_smoke () =
     rows
 
 let test_table1_interpreted_inlining_helps () =
-  let rows = Table1.run ~phvs:500 ~mode:`Interpreted () in
+  let rows = Table1.run ~phvs:500 ~mode:"interpreter" () in
   let mean_ratio =
     List.fold_left (fun a (r : Table1.row) -> a +. (r.Table1.row_inline_ms /. r.Table1.row_scc_ms)) 0. rows
     /. 12.

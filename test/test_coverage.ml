@@ -210,7 +210,7 @@ let test_corpus_identical_across_jobs () =
   let run jobs =
     let dir = temp_dir "druzhba-corpus" in
     let cfg =
-      Campaign.config ~trials:48 ~jobs ~phvs:10 ~substrate:`All ~checkpoint_every:8
+      Campaign.config ~trials:48 ~jobs ~phvs:10 ~substrate:"all" ~checkpoint_every:8
         ~coverage:true ~corpus_dir:dir ()
     in
     let report = Campaign.run cfg in
@@ -239,7 +239,7 @@ let test_corpus_identical_across_jobs () =
 let test_corpus_save_load_roundtrip () =
   let dir = temp_dir "druzhba-corpus-rt" in
   let cfg =
-    Campaign.config ~trials:32 ~jobs:2 ~phvs:10 ~substrate:`All ~checkpoint_every:8
+    Campaign.config ~trials:32 ~jobs:2 ~phvs:10 ~substrate:"all" ~checkpoint_every:8
       ~coverage:true ~corpus_dir:dir ()
   in
   let report = Campaign.run cfg in
@@ -283,7 +283,7 @@ let gate_phvs = 20
 let coverage_gate_report =
   lazy
     (Campaign.run
-       (Campaign.config ~trials:gate_budget ~jobs:2 ~phvs:gate_phvs ~substrate:`Rmt
+       (Campaign.config ~trials:gate_budget ~jobs:2 ~phvs:gate_phvs ~substrate:"rmt"
           ~checkpoint_every:16 ~coverage:true ~sabotage_pass:true ()))
 
 let test_sabotage_coverage_finds () =
@@ -309,7 +309,7 @@ let test_sabotage_coverage_finds () =
 let test_sabotage_random_misses () =
   let report =
     Campaign.run
-      (Campaign.config ~trials:gate_budget ~jobs:2 ~phvs:gate_phvs ~substrate:`Rmt
+      (Campaign.config ~trials:gate_budget ~jobs:2 ~phvs:gate_phvs ~substrate:"rmt"
          ~sabotage_pass:true ())
   in
   Alcotest.(check int) "uniform random misses at the same budget" 0
@@ -331,6 +331,7 @@ let test_sabotage_shrunk_replay () =
   in
   match (first.Campaign.t_params, first.Campaign.t_shrunk) with
   | Campaign.Drmt_params _, _ -> Alcotest.fail "sabotaged pass flagged a dRMT trial"
+  | Campaign.Native_params _, _ -> Alcotest.fail "sabotaged pass flagged a native trial"
   | _, None -> Alcotest.fail "divergent trial was not shrunk"
   | Campaign.Rmt_params { depth; width; bits; stateful; stateless }, Some s ->
     let desc =
@@ -491,7 +492,7 @@ let golden_fixture = Filename.concat "golden" "coverage_report.json"
 let golden_coverage_section () =
   let report =
     Campaign.run
-      (Campaign.config ~trials:24 ~jobs:1 ~phvs:10 ~substrate:`All ~checkpoint_every:8
+      (Campaign.config ~trials:24 ~jobs:1 ~phvs:10 ~substrate:"all" ~checkpoint_every:8
          ~coverage:true ())
   in
   match Report.parse (Campaign.to_json report) with

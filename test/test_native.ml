@@ -1,0 +1,274 @@
+(* Tests for the native-codegen substrate: the {!Druzhba_pipeline.Emit} →
+   `ocamlfind ocamlopt -shared` → Dynlink chain behind
+   {!Druzhba_dsim.Native_substrate}.
+
+   The load-bearing property is the cross-substrate one: for random
+   programs at every optimization level, the Dynlinked emitted module is
+   bit-identical to the interpreter and the closure compiler — sequential,
+   batched, under fault overlays, and at the exact tick a budget runs dry.
+   The rest covers the machinery around that property: the
+   content-addressed build cache (memo hit, disk hit, corrupted-artifact
+   recovery), emitted-source determinism (what makes the cache sound), and
+   graceful degradation when the toolchain is absent.
+
+   On a machine without ocamlfind/natdynlink the whole binary degrades to
+   a single passing test that prints the probe's reason — the same
+   structured skip the campaign and bench layers perform. *)
+
+module Druzhba = Druzhba_core.Druzhba
+open Druzhba
+module Emit = Druzhba_pipeline.Emit
+module Oracle = Druzhba_campaign.Oracle
+
+let stateful_pool = [| "raw"; "sub"; "pred_raw"; "if_else_raw"; "nested_ifs"; "pair" |]
+let stateless_pool = [| "stateless_full"; "stateless_arith"; "stateless_rel"; "stateless_mux" |]
+
+(* A small random program, same draw shape as the campaign generator. *)
+let draw_program seed =
+  let prng = Prng.create seed in
+  let depth = 1 + Prng.int prng 2 in
+  let width = 1 + Prng.int prng 2 in
+  let bits = [| 8; 16; 32 |].(Prng.int prng 3) in
+  let stateful = stateful_pool.(Prng.int prng (Array.length stateful_pool)) in
+  let stateless = stateless_pool.(Prng.int prng (Array.length stateless_pool)) in
+  let desc =
+    Dgen.generate
+      (Dgen.config ~depth ~width ~bits ())
+      ~stateful:(Atoms.find_exn stateful) ~stateless:(Atoms.find_exn stateless)
+  in
+  let mc = Fuzz.random_mc prng desc in
+  (desc, mc, width, bits)
+
+let native_exn d ~mc =
+  match Native_substrate.create d ~mc with
+  | Ok packed -> packed
+  | Error reason -> Alcotest.failf "native substrate creation failed: %s" reason
+
+(* Runs [sub] and returns everything observable: the trace rows, the final
+   state, and — when a budget is given — whether it exhausted, where the
+   trace stopped, and the fuel left. *)
+let observe ?faults ?fuel ~batched ~inputs ~width sub =
+  let buf = Trace.Buffer.create ~width ~capacity:(List.length inputs) in
+  let budget = Option.map Budget.ticks fuel in
+  let exhausted =
+    match
+      if batched then Substrate.run_batch_into ?budget ?faults ~batch:16 sub ~inputs buf
+      else Substrate.run_into ?budget ?faults sub ~inputs buf
+    with
+    | () -> false
+    | exception Budget.Exhausted -> true
+  in
+  let rows = List.init (Trace.Buffer.length buf) (Trace.Buffer.row buf) in
+  (rows, Substrate.current_state sub, exhausted, Option.map Budget.remaining budget)
+
+let qcheck_cross_substrate =
+  QCheck.Test.make ~name:"native is bit-identical to Engine and Compiled" ~count:6
+    QCheck.(int_range 0 10_000)
+    (fun seed ->
+      let desc, mc, width, bits = draw_program seed in
+      let inputs = Traffic.phvs (Traffic.create ~seed:(Prng.derive seed 1) ~width ~bits) 40 in
+      List.for_all
+        (fun level ->
+          let d = Optimizer.apply ~level ~mc desc in
+          let faults =
+            Faults.generate ~seed:(Prng.derive seed 2) ~desc:d ~n_inputs:40 ~count:3 ()
+          in
+          let fuel = 5 + Prng.int (Prng.create (Prng.derive seed 3)) 60 in
+          List.for_all
+            (fun (faults, fuel, batched) ->
+              let run sub = observe ?faults ?fuel ~batched ~inputs ~width sub in
+              let native = run (native_exn d ~mc) in
+              let engine = run (Substrate.of_engine ~label:"interpreter" d ~mc) in
+              let compiled = run (Substrate.of_compiled (Compile.compile d ~mc)) in
+              if native = engine && native = compiled then true
+              else
+                QCheck.Test.fail_reportf
+                  "seed %d, level %s, faults=%b fuel=%s batched=%b: native diverges" seed
+                  (Optimizer.level_name level) (Option.is_some faults)
+                  (match fuel with Some f -> string_of_int f | None -> "-")
+                  batched)
+            [
+              (None, None, false);
+              (None, None, true);
+              (Some faults, None, false);
+              (Some faults, None, true);
+              (None, Some fuel, false);
+              (Some faults, Some fuel, true);
+            ])
+        [ Optimizer.Unoptimized; Optimizer.Scc; Optimizer.Scc_inline ])
+
+(* --- Build cache ------------------------------------------------------------- *)
+
+let with_temp_cache_dir f =
+  let dir =
+    Filename.concat (Filename.get_temp_dir_name ())
+      (Printf.sprintf "druzhba-native-test-%d" (Unix.getpid ()))
+  in
+  let rec remove_tree path =
+    match Unix.lstat path with
+    | { Unix.st_kind = Unix.S_DIR; _ } ->
+      Array.iter (fun e -> remove_tree (Filename.concat path e)) (Sys.readdir path);
+      (try Unix.rmdir path with Unix.Unix_error _ -> ())
+    | _ -> ( try Sys.remove path with Sys_error _ -> ())
+    | exception Unix.Unix_error _ -> ()
+  in
+  remove_tree dir;
+  Unix.putenv "DRUZHBA_NATIVE_CACHE_DIR" dir;
+  Native_substrate.clear_memo ();
+  Fun.protect
+    ~finally:(fun () ->
+      Unix.putenv "DRUZHBA_NATIVE_CACHE_DIR" "";
+      Native_substrate.clear_memo ();
+      remove_tree dir)
+    (fun () -> f dir)
+
+let rec find_cmxs dir =
+  Sys.readdir dir |> Array.to_list
+  |> List.concat_map (fun e ->
+         let path = Filename.concat dir e in
+         if Sys.is_directory path then find_cmxs path
+         else if Filename.check_suffix path ".cmxs" then [ path ]
+         else [])
+
+let cache_fixture () =
+  let desc =
+    Dgen.generate
+      (Dgen.config ~depth:1 ~width:1 ~bits:8 ())
+      ~stateful:(Atoms.find_exn "raw") ~stateless:(Atoms.find_exn "stateless_mux")
+  in
+  (desc, Fuzz.random_mc (Prng.create 424242) desc)
+
+let test_cache_hit_miss () =
+  with_temp_cache_dir (fun _dir ->
+      let desc, mc = cache_fixture () in
+      let s0 = Native_substrate.stats () in
+      ignore (native_exn desc ~mc);
+      let s1 = Native_substrate.stats () in
+      Alcotest.(check int) "fresh dir: one compile"
+        (s0.Native_substrate.st_compiles + 1)
+        s1.Native_substrate.st_compiles;
+      ignore (native_exn desc ~mc);
+      let s2 = Native_substrate.stats () in
+      Alcotest.(check int) "second create: memo hit"
+        (s1.Native_substrate.st_memo_hits + 1)
+        s2.Native_substrate.st_memo_hits;
+      Alcotest.(check int) "second create: no compile" s1.Native_substrate.st_compiles
+        s2.Native_substrate.st_compiles;
+      Native_substrate.clear_memo ();
+      ignore (native_exn desc ~mc);
+      let s3 = Native_substrate.stats () in
+      Alcotest.(check int) "after clear_memo: disk cache hit"
+        (s2.Native_substrate.st_cache_hits + 1)
+        s3.Native_substrate.st_cache_hits;
+      Alcotest.(check int) "after clear_memo: still no compile" s2.Native_substrate.st_compiles
+        s3.Native_substrate.st_compiles)
+
+(* The torn-write scenario: a killed process left a garbage `.cmxs` at the
+   content-addressed path, and a fresh process must evict and rebuild it
+   rather than propagate the Dynlink error.  The corrupt artifact is
+   pre-seeded at {!Native_substrate.artifact_path} for a key this process
+   has never loaded — corrupting an already-loaded path would be masked by
+   the dynamic loader's handle cache (dlopen serves the old mapping for a
+   known path), which is exactly not the scenario recovery exists for. *)
+let test_corrupted_cmxs_recovery () =
+  with_temp_cache_dir (fun dir ->
+      let desc =
+        Dgen.generate
+          (Dgen.config ~depth:1 ~width:2 ~bits:16 ())
+          ~stateful:(Atoms.find_exn "sub") ~stateless:(Atoms.find_exn "stateless_rel")
+      in
+      let mc = Fuzz.random_mc (Prng.create 777777) desc in
+      Unix.mkdir dir 0o755;
+      let cmxs = Native_substrate.artifact_path desc ~mc in
+      let oc = open_out_bin cmxs in
+      output_string oc "this is not a shared object";
+      close_out oc;
+      let s0 = Native_substrate.stats () in
+      let packed = native_exn desc ~mc in
+      let s1 = Native_substrate.stats () in
+      Alcotest.(check int) "the corrupt artifact is found in the cache"
+        (s0.Native_substrate.st_cache_hits + 1)
+        s1.Native_substrate.st_cache_hits;
+      Alcotest.(check int) "recovery recompiles once"
+        (s0.Native_substrate.st_compiles + 1)
+        s1.Native_substrate.st_compiles;
+      (match find_cmxs dir with
+      | [ rebuilt ] ->
+        Alcotest.(check string) "rebuilt at the same content address" cmxs rebuilt
+      | files -> Alcotest.failf "expected exactly one cached .cmxs, found %d" (List.length files));
+      (* and the recovered module actually runs *)
+      let inputs = Traffic.phvs (Traffic.create ~seed:5 ~width:2 ~bits:16) 8 in
+      let buf = Trace.Buffer.create ~width:2 ~capacity:8 in
+      Substrate.run_into packed ~inputs buf;
+      Alcotest.(check int) "recovered module simulates" 8 (Trace.Buffer.length buf))
+
+(* --- Emitted-source determinism ---------------------------------------------- *)
+
+(* Byte-identical source for equal inputs is what makes the
+   content-addressed cache sound: equal (description, machine code) must
+   map to equal keys, including across independently reconstructed
+   values. *)
+let test_emitted_source_deterministic () =
+  let source seed =
+    let desc, mc, _, _ = draw_program seed in
+    Emit.native_source desc ~mc
+  in
+  List.iter
+    (fun seed ->
+      Alcotest.(check string)
+        (Printf.sprintf "seed %d reproduces byte-identically" seed)
+        (source seed) (source seed))
+    [ 0; 17; 4242 ];
+  Alcotest.(check bool) "different programs emit different source" true
+    (source 0 <> source 17)
+
+(* --- Degradation ------------------------------------------------------------- *)
+
+let test_disable_env () =
+  Unix.putenv "DRUZHBA_NATIVE_DISABLE" "1";
+  Fun.protect
+    ~finally:(fun () -> Unix.putenv "DRUZHBA_NATIVE_DISABLE" "")
+    (fun () ->
+      (match Native_substrate.available () with
+      | Error reason ->
+        Alcotest.(check bool) "reason names the switch" true
+          (let sub = "DRUZHBA_NATIVE_DISABLE" in
+           let n = String.length sub and m = String.length reason in
+           let rec at i = i + n <= m && (String.sub reason i n = sub || at (i + 1)) in
+           at 0)
+      | Ok () -> Alcotest.fail "expected unavailability under DRUZHBA_NATIVE_DISABLE");
+      let desc, mc = cache_fixture () in
+      match Native_substrate.create desc ~mc with
+      | Error _ -> ()
+      | Ok _ -> Alcotest.fail "create must refuse, not Dynlink, when disabled")
+
+let available_suites =
+  [
+    ( "cross-substrate",
+      [ QCheck_alcotest.to_alcotest ~long:false qcheck_cross_substrate ] );
+    ( "build cache",
+      [
+        Alcotest.test_case "memo and disk hits" `Quick test_cache_hit_miss;
+        Alcotest.test_case "corrupted cmxs recovery" `Quick test_corrupted_cmxs_recovery;
+      ] );
+    ( "emitter",
+      [ Alcotest.test_case "source determinism" `Quick test_emitted_source_deterministic ] );
+    ( "degradation",
+      [ Alcotest.test_case "DRUZHBA_NATIVE_DISABLE refuses" `Quick test_disable_env ] );
+  ]
+
+let () =
+  match Native_substrate.available () with
+  | Ok () -> Alcotest.run "native" available_suites
+  | Error reason ->
+    (* structured skip: the suite passes, the reason is visible in the log *)
+    Alcotest.run "native"
+      [
+        ( "toolchain",
+          [
+            Alcotest.test_case
+              (Printf.sprintf "skipped: native toolchain unavailable (%s)" reason)
+              `Quick
+              (fun () -> ());
+          ] );
+      ]
